@@ -1,0 +1,166 @@
+// Command causality explains answers and non-answers of conjunctive
+// queries: it loads a database (one tuple per line, "+R(a,b)"
+// endogenous / "-R(a,b)" exogenous), a query, and an answer tuple, and
+// prints the actual causes ranked by responsibility (Meliou et al.,
+// VLDB 2010).
+//
+// Usage:
+//
+//	causality -db instance.txt -query "q(x) :- R(x,y), S(y)" -answer a4
+//	causality -db instance.txt -query "q(x) :- R(x,y), S(y)" -answer a7 -why no
+//	causality -db instance.txt -query "q :- R(x,y), S(y)" -classify
+//
+// Flags:
+//
+//	-db FILE      database file (required)
+//	-query Q      conjunctive query (required)
+//	-answer VALS  comma-separated answer tuple (required unless Boolean)
+//	-why so|no    explain an answer (default) or a non-answer
+//	-mode auto|exact|paper
+//	              responsibility strategy (default auto)
+//	-classify     print the dichotomy classification and exit
+//	-lineage      also print the minimal endogenous lineage
+//	-program      also print the Theorem 3.4 Datalog¬ cause program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	qc "github.com/querycause/querycause"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "", "database file (+R(a,b) endogenous, -R(a,b) exogenous)")
+		queryStr = flag.String("query", "", "conjunctive query, e.g. \"q(x) :- R(x,y), S(y)\"")
+		answer   = flag.String("answer", "", "comma-separated answer tuple values")
+		why      = flag.String("why", "so", "so (explain answer) or no (explain non-answer)")
+		mode     = flag.String("mode", "auto", "responsibility mode: auto, exact, paper")
+		classify = flag.Bool("classify", false, "print the dichotomy classification and exit")
+		lineage  = flag.Bool("lineage", false, "print the minimal endogenous lineage")
+		program  = flag.Bool("program", false, "print the Theorem 3.4 cause program")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *queryStr, *answer, *why, *mode, *classify, *lineage, *program); err != nil {
+		fmt.Fprintln(os.Stderr, "causality:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, queryStr, answer, why, modeStr string, classify, printLineage, printProgram bool) error {
+	if queryStr == "" {
+		return fmt.Errorf("-query is required")
+	}
+	q, err := qc.ParseQuery(queryStr)
+	if err != nil {
+		return err
+	}
+
+	if classify {
+		endo := func(string) bool { return true }
+		paper, err := qc.Classify(q, endo)
+		if err != nil {
+			return err
+		}
+		sound, err := qc.ClassifySound(q, endo)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query:       %v\n", q)
+		fmt.Printf("paper rule:  %v\n", paper.Class)
+		fmt.Printf("sound rule:  %v\n", sound.Class)
+		if sound.Class.PTime() {
+			fmt.Printf("linear atom order: %v\n", sound.LinearOrder)
+		}
+		if paper.Class == qc.ClassNPHard {
+			fmt.Printf("reduces to:  %s\n", paper.Hard)
+		}
+		return nil
+	}
+
+	if dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := qc.ParseDatabase(f)
+	if err != nil {
+		return err
+	}
+
+	var answerVals []qc.Value
+	if answer != "" {
+		for _, s := range strings.Split(answer, ",") {
+			answerVals = append(answerVals, qc.Value(strings.TrimSpace(s)))
+		}
+	}
+
+	var m qc.Mode
+	switch modeStr {
+	case "auto":
+		m = qc.ModeAuto
+	case "exact":
+		m = qc.ModeExact
+	case "paper":
+		m = qc.ModePaper
+	default:
+		return fmt.Errorf("unknown mode %q", modeStr)
+	}
+
+	var ex *qc.Explainer
+	switch why {
+	case "so":
+		ex, err = qc.WhySo(db, q, answerVals...)
+	case "no":
+		ex, err = qc.WhyNo(db, q, answerVals...)
+	default:
+		return fmt.Errorf("-why must be 'so' or 'no'")
+	}
+	if err != nil {
+		return err
+	}
+
+	if printLineage {
+		fmt.Printf("minimal n-lineage: %v\n", ex.NLineage())
+	}
+	if printProgram {
+		prog, err := qc.CauseProgram(db, ex.BoundQuery())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cause program (Theorem 3.4):\n%s\n", prog)
+	}
+
+	causes := ex.Causes()
+	if len(causes) == 0 {
+		fmt.Println("no actual causes (the answer either does not hold, or holds on exogenous tuples alone)")
+		return nil
+	}
+	verb := "remove"
+	if why == "no" {
+		verb = "insert"
+	}
+	fmt.Printf("%d actual cause(s):\n", len(causes))
+	fmt.Printf("  %-7s %-12s %-16s %s\n", "ρ_t", "|Γ| min", "method", "tuple")
+	for _, c := range causes {
+		e, err := ex.ResponsibilityMode(c, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-7.3f %-12d %-16v %v\n", e.Rho, e.ContingencySize, e.Method, db.Tuple(e.Tuple))
+		if len(e.Contingency) > 0 {
+			parts := make([]string, len(e.Contingency))
+			for i, id := range e.Contingency {
+				parts[i] = db.Tuple(id).String()
+			}
+			fmt.Printf("          Γ: %s {%s}\n", verb, strings.Join(parts, ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	content := `
+# Example 2.2 instance
++R(a1, a5)
++R(a2, a1)
++R(a3, a3)
++R(a4, a3)
++R(a4, a2)
++S(a1)
++S(a2)
++S(a3)
++S(a4)
++S(a6)
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWhySo(t *testing.T) {
+	db := writeTempDB(t)
+	for _, mode := range []string{"auto", "exact", "paper"} {
+		if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", mode, false, true, true); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunWhyNo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	content := "-R(a, b)\n+S(b)\n+S(c)\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "q :- R(x,y), S(y)", "", "no", "auto", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClassify(t *testing.T) {
+	if err := run("", "q :- R(x,y), S(y,z), T(z,x)", "", "so", "auto", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "q :- R(x,y), S(y,z)", "", "so", "auto", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeTempDB(t)
+	cases := []struct {
+		name                       string
+		dbP, q, ans, why, mode     string
+		classify, lineage, program bool
+	}{
+		{name: "no query", dbP: db},
+		{name: "bad query", dbP: db, q: "nope", why: "so", mode: "auto"},
+		{name: "no db", q: "q :- R(x,y)", why: "so", mode: "auto"},
+		{name: "bad mode", dbP: db, q: "q :- R(x,y)", why: "so", mode: "warp"},
+		{name: "bad why", dbP: db, q: "q :- R(x,y)", why: "maybe", mode: "auto"},
+		{name: "missing file", dbP: "/does/not/exist", q: "q :- R(x,y)", why: "so", mode: "auto"},
+		{name: "bad answer arity", dbP: db, q: "q(x) :- R(x,y), S(y)", ans: "a,b", why: "so", mode: "auto"},
+	}
+	for _, c := range cases {
+		if err := run(c.dbP, c.q, c.ans, c.why, c.mode, c.classify, c.lineage, c.program); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

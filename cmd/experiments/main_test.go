@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestAllExperimentsRun smoke-tests every experiment function: each
+// regenerates its figure without calling log.Fatal. Output goes to
+// stdout (use `go run ./cmd/experiments` for the readable version).
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for name, f := range map[string]func(){
+		"fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4,
+		"fig6": fig6, "fig7": fig7, "fig9": fig9, "thm415": thm415, "gap": gap,
+	} {
+		t.Run(name, func(t *testing.T) { f() })
+	}
+}

@@ -1,0 +1,323 @@
+package causegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+func sameIDs(a, b []rel.TupleID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExample3_5 replays Example 3.5: q :- R(x,y), S(y) with R mixed
+// endogenous/exogenous and S endogenous. On
+// R = {(a4,a3) exo, (a3,a3) endo}, S = {a3}: the only cause is S(a3).
+func TestExample3_5(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a4", "a3")
+	ra33 := db.MustAdd("R", true, "a3", "a3")
+	sa3 := db.MustAdd("S", true, "a3")
+	_ = ra33
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	got, prog, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != sa3 {
+		t.Fatalf("causes = %v, want [S(a3)]\nprogram:\n%s", got, prog)
+	}
+	// The program needs negation (causality is non-monotone here).
+	if !strings.Contains(prog.String(), "¬") {
+		t.Errorf("expected negation in program:\n%s", prog)
+	}
+	ns, err := prog.NumStrata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 2 {
+		t.Errorf("strata = %d, want 2 (Theorem 3.4)", ns)
+	}
+}
+
+// TestExample3_5NonMonotone verifies the non-monotonicity claim: after
+// removing the exogenous tuple R(a4,a3), R(a3,a3) becomes a cause.
+func TestExample3_5NonMonotone(t *testing.T) {
+	db := rel.NewDatabase()
+	ra33 := db.MustAdd("R", true, "a3", "a3")
+	sa3 := db.MustAdd("S", true, "a3")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	got, _, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []rel.TupleID{ra33, sa3}) {
+		t.Fatalf("causes = %v, want both tuples", got)
+	}
+}
+
+// TestExample3_6 replays Example 3.6 (self-join): q :- S(x),R(x,y),S(y)
+// with S endogenous, R exogenous, on R = {(a4,a3),(a3,a3)},
+// S = {a3,a4}. The sole cause is S(a3); S(a4) is not a cause. Note the
+// paper's example program misses S(a3) (no strictness guard for the
+// collapsed valuation x=y=a3); the generated program handles it.
+func TestExample3_6(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a4", "a3")
+	db.MustAdd("R", false, "a3", "a3")
+	sa3 := db.MustAdd("S", true, "a3")
+	db.MustAdd("S", true, "a4")
+	q := rel.NewBoolean(
+		rel.NewAtom("S", rel.V("x")),
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y")),
+	)
+	got, prog, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != sa3 {
+		t.Fatalf("causes = %v, want [S(a3)]\nprogram:\n%s", got, prog)
+	}
+}
+
+// TestExample3_6NonMonotone: removing R(a3,a3) makes S(a4) a cause.
+func TestExample3_6NonMonotone(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a4", "a3")
+	sa3 := db.MustAdd("S", true, "a3")
+	sa4 := db.MustAdd("S", true, "a4")
+	q := rel.NewBoolean(
+		rel.NewAtom("S", rel.V("x")),
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y")),
+	)
+	got, _, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, []rel.TupleID{sa3, sa4}) {
+		t.Fatalf("causes = %v, want [S(a3) S(a4)]", got)
+	}
+}
+
+// TestCorollary3_7PositiveProgram: with every relation fully endogenous
+// or exogenous and no endogenous self-joins, the pruned program is a
+// union of conjunctive queries without negation.
+func TestCorollary3_7PositiveProgram(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a", "b")
+	db.MustAdd("R", true, "c", "b")
+	db.MustAdd("S", true, "b")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	prog, err := Generate(q, HintsFromDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prog.String(), "¬") {
+		t.Errorf("Corollary 3.7 program should be positive:\n%s", prog)
+	}
+	got, _, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lineage.Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, want) {
+		t.Fatalf("causes = %v, want %v", got, want)
+	}
+}
+
+func TestGenerateRejectsNonBoolean(t *testing.T) {
+	q := &rel.Query{Name: "q", Head: []rel.Term{rel.V("x")}, Atoms: []rel.Atom{rel.NewAtom("R", rel.V("x"))}}
+	if _, err := Generate(q, nil); err == nil {
+		t.Fatal("expected error for non-Boolean query")
+	}
+	if _, err := Generate(rel.NewBoolean(), nil); err == nil {
+		t.Fatal("expected error for empty query")
+	}
+}
+
+func randomDB(rng *rand.Rand, rels []string, arities []int, size, domain int, endoProb float64) *rel.Database {
+	db := rel.NewDatabase()
+	seen := make(map[string]bool)
+	for ri, name := range rels {
+		for i := 0; i < size; i++ {
+			args := make([]rel.Value, arities[ri])
+			for j := range args {
+				args[j] = rel.Value(string(rune('a' + rng.Intn(domain))))
+			}
+			k := name + "|" + joinVals(args)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			db.MustAdd(name, rng.Float64() < endoProb, args...)
+		}
+	}
+	return db
+}
+
+func joinVals(vs []rel.Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestDatalogMatchesLineageNoSelfJoin fuzzes the generated program
+// against the Theorem 3.2 lineage computation on self-join-free queries
+// with per-tuple endo/exo mixes.
+func TestDatalogMatchesLineageNoSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+		rel.NewAtom("T", rel.V("z")),
+	)
+	for trial := 0; trial < 60; trial++ {
+		db := randomDB(rng, []string{"R", "S", "T"}, []int{2, 2, 1}, 5, 3, 0.7)
+		got, prog, err := Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lineage.Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: datalog=%v lineage=%v\ndb:\n%v\nprogram:\n%s", trial, got, want, db, prog)
+		}
+	}
+}
+
+// TestDatalogMatchesLineageSelfJoin fuzzes the self-join case
+// (Example 3.6's query family) where the strictness guards matter.
+func TestDatalogMatchesLineageSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	q := rel.NewBoolean(
+		rel.NewAtom("S", rel.V("x")),
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y")),
+	)
+	for trial := 0; trial < 60; trial++ {
+		db := randomDB(rng, []string{"R", "S"}, []int{2, 1}, 5, 3, 0.6)
+		got, prog, err := Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lineage.Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: datalog=%v lineage=%v\ndb:\n%v\nprogram:\n%s", trial, got, want, db, prog)
+		}
+	}
+}
+
+// TestDatalogMatchesLineageBinarySelfJoin covers R(x,y),R(y,z) — the
+// self-join family whose responsibility complexity the paper leaves
+// open; causality is still PTIME and the program must agree with the
+// lineage method.
+func TestDatalogMatchesLineageBinarySelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("R", rel.V("y"), rel.V("z")),
+	)
+	for trial := 0; trial < 60; trial++ {
+		db := randomDB(rng, []string{"R"}, []int{2}, 6, 3, 0.6)
+		got, prog, err := Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lineage.Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("trial %d: datalog=%v lineage=%v\ndb:\n%v\nprogram:\n%s", trial, got, want, db, prog)
+		}
+	}
+}
+
+// TestConstantsInQuery: bound queries carry constants into the program.
+func TestConstantsInQuery(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a3", "a3")
+	db.MustAdd("R", true, "a4", "a3")
+	sa3 := db.MustAdd("S", true, "a3")
+	db.MustAdd("S", true, "a4")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.C("a3")), rel.NewAtom("S", rel.C("a3")))
+	got, _, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := lineage.Causes(db, q)
+	if !sameIDs(got, want) {
+		t.Fatalf("causes = %v, want %v", got, want)
+	}
+	found := false
+	for _, id := range got {
+		if id == sa3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("S(a3) must be a cause")
+	}
+}
+
+// TestWhyNoCauses: the same program computes Why-No causes when the
+// endogenous tuples are the candidate missing ones (Section 2).
+func TestWhyNoCauses(t *testing.T) {
+	// Real database Dx: R(a,b). Missing candidates Dn: S(b), S(c).
+	// Non-answer: q :- R(x,y),S(y). Adding S(b) yields the answer, so
+	// S(b) is a (counterfactual) Why-No cause; S(c) joins nothing.
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a", "b")
+	sb := db.MustAdd("S", true, "b")
+	db.MustAdd("S", true, "c")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	got, _, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != sb {
+		t.Fatalf("Why-No causes = %v, want [S(b)]", got)
+	}
+}
+
+func TestDBViewsSuffixes(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a")
+	db.MustAdd("R", false, "b")
+	v := DBViews{DB: db}
+	if got := v.Facts("R#n"); len(got) != 1 || got[0][0] != "a" {
+		t.Errorf("R#n = %v", got)
+	}
+	if got := v.Facts("R#x"); len(got) != 1 || got[0][0] != "b" {
+		t.Errorf("R#x = %v", got)
+	}
+	if got := v.Facts("R"); len(got) != 2 {
+		t.Errorf("R = %v", got)
+	}
+	if got := v.Facts("Missing#n"); got != nil {
+		t.Errorf("Missing#n = %v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package causegen
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/querycause/querycause/internal/datalog"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// DBViews adapts a rel.Database to the datalog EDB interface, exposing
+// the per-relation endogenous/exogenous views R#n and R#x used by
+// generated cause programs (plain relation names resolve to all tuples).
+type DBViews struct {
+	DB *rel.Database
+}
+
+// Facts implements datalog.EDB.
+func (v DBViews) Facts(pred string) [][]rel.Value {
+	name, suffix := pred, ""
+	if i := strings.LastIndex(pred, "#"); i >= 0 {
+		name, suffix = pred[:i], pred[i:]
+	}
+	r := v.DB.Relation(name)
+	if r == nil {
+		return nil
+	}
+	var out [][]rel.Value
+	for _, t := range r.Tuples {
+		switch suffix {
+		case EndoSuffix:
+			if !t.Endo {
+				continue
+			}
+		case ExoSuffix:
+			if t.Endo {
+				continue
+			}
+		case "":
+		default:
+			return nil
+		}
+		out = append(out, t.Args)
+	}
+	return out
+}
+
+// Causes generates the Theorem 3.4 program for q (pruned by hints from
+// db), evaluates it over the database views, and maps the derived C_R
+// facts back to endogenous tuple IDs. It returns the sorted cause IDs
+// together with the program (for display and stratum checks).
+func Causes(db *rel.Database, q *rel.Query) ([]rel.TupleID, *datalog.Program, error) {
+	prog, err := Generate(q, HintsFromDB(db))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := prog.Eval(DBViews{DB: db})
+	if err != nil {
+		return nil, prog, err
+	}
+	idSet := make(map[rel.TupleID]bool)
+	for name, r := range db.Relations {
+		rows := res.Facts(CausePred(name))
+		if len(rows) == 0 {
+			continue
+		}
+		for _, row := range rows {
+			for _, t := range r.Tuples {
+				if t.Endo && rowEqual(t.Args, row) {
+					idSet[t.ID] = true
+				}
+			}
+		}
+	}
+	out := make([]rel.TupleID, 0, len(idSet))
+	for id := range idSet {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, prog, nil
+}
+
+func rowEqual(a, b []rel.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

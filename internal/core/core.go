@@ -1,0 +1,343 @@
+// Package core is the causality engine of the reproduction: it wires
+// the lineage machinery (Theorem 3.2), the dichotomy classifier
+// (Corollary 4.14), the max-flow responsibility algorithm (Algorithm 1)
+// and the exact solvers into one orchestrated API for Why-So and Why-No
+// explanations of query answers and non-answers.
+//
+// Responsibility dispatch (Why-So):
+//
+//  1. t not an actual cause → ρ = 0 (Theorem 3.2).
+//  2. t counterfactual (every minimal conjunct contains it) → ρ = 1.
+//  3. Self-join-free query that is weakly linear under the *sound*
+//     domination rule → Algorithm 1 (max-flow), polynomial time.
+//  4. Otherwise → exact branch-and-bound search (the query is NP-hard,
+//     in the paper's dichotomy gap, has self-joins, or is weakly linear
+//     only under the paper's unsound domination rule).
+//
+// ModePaper reproduces the paper's behaviour literally (Algorithm 1 on
+// any Definition 4.9 weakening); see the counterexample test for where
+// it diverges from Definition 2.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/respflow"
+	"github.com/querycause/querycause/internal/rewrite"
+	"github.com/querycause/querycause/internal/shape"
+	"github.com/querycause/querycause/internal/whyno"
+)
+
+// Mode selects the responsibility computation strategy.
+type Mode int
+
+const (
+	// ModeAuto uses the flow algorithm when soundly applicable, exact
+	// search otherwise.
+	ModeAuto Mode = iota
+	// ModeExact always uses exact branch-and-bound search.
+	ModeExact
+	// ModePaper follows the paper literally: Algorithm 1 whenever the
+	// query is weakly linear under Definition 4.9. For queries whose
+	// weakening uses an unsound domination this can disagree with
+	// Definition 2.3 (see TestDominationCounterexample).
+	ModePaper
+)
+
+// Method records how a responsibility value was computed.
+type Method int
+
+const (
+	// MethodNone: the tuple is not an actual cause (ρ = 0).
+	MethodNone Method = iota
+	// MethodCounterfactual: ρ = 1 directly from the lineage.
+	MethodCounterfactual
+	// MethodFlow: Algorithm 1 (max-flow on the linearized query).
+	MethodFlow
+	// MethodExact: branch-and-bound minimum hitting set.
+	MethodExact
+	// MethodWhyNo: closed form for non-answers (Theorem 4.17).
+	MethodWhyNo
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "not-a-cause"
+	case MethodCounterfactual:
+		return "counterfactual"
+	case MethodFlow:
+		return "max-flow"
+	case MethodExact:
+		return "exact-search"
+	case MethodWhyNo:
+		return "why-no-closed-form"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Explanation is the causal verdict for one tuple.
+type Explanation struct {
+	Tuple rel.TupleID
+	// Rho is the responsibility ρ_t ∈ [0,1].
+	Rho float64
+	// ContingencySize is min|Γ|, or -1 when t is not a cause.
+	ContingencySize int
+	// Contingency is an actual minimum contingency set witnessing
+	// ContingencySize: removing (Why-So) or inserting (Why-No) exactly
+	// these tuples makes t counterfactual. Empty for counterfactual
+	// causes; nil when t is not a cause.
+	Contingency []rel.TupleID
+	Method      Method
+}
+
+// Engine computes causes and responsibilities for one Boolean query
+// over one database instance. Build one per (db, query, answer).
+type Engine struct {
+	db    *rel.Database
+	q     *rel.Query
+	whyNo bool
+
+	nlineage  lineage.DNF
+	causeSet  map[rel.TupleID]bool
+	causes    []rel.TupleID
+	soundCert *rewrite.Certificate
+	paperCert *rewrite.Certificate
+	nets      map[Mode]*respflow.Network
+}
+
+// NewWhySo builds the engine for an answer: q may be Boolean (no
+// answer values) or have a head matching the answer tuple, which is
+// bound per Section 2.
+func NewWhySo(db *rel.Database, q *rel.Query, answer ...rel.Value) (*Engine, error) {
+	bq := q
+	if len(q.Head) > 0 || len(answer) > 0 {
+		var err error
+		bq, err = q.Bind(answer...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newEngine(db, bq, false)
+}
+
+// NewWhyNo builds the engine for a non-answer: the database's
+// endogenous tuples are the candidate missing tuples Dⁿ. The instance
+// is validated (q false on Dˣ, true on Dˣ ∪ Dⁿ).
+func NewWhyNo(db *rel.Database, q *rel.Query, nonAnswer ...rel.Value) (*Engine, error) {
+	bq := q
+	if len(q.Head) > 0 || len(nonAnswer) > 0 {
+		var err error
+		bq, err = q.Bind(nonAnswer...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := whyno.CheckInstance(db, bq); err != nil {
+		return nil, err
+	}
+	return newEngine(db, bq, true)
+}
+
+func newEngine(db *rel.Database, bq *rel.Query, isWhyNo bool) (*Engine, error) {
+	if err := bq.Validate(db); err != nil {
+		return nil, err
+	}
+	n, err := lineage.NLineageOf(db, bq)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		db: db, q: bq, whyNo: isWhyNo,
+		nlineage: n,
+		causeSet: make(map[rel.TupleID]bool),
+		nets:     make(map[Mode]*respflow.Network),
+	}
+	if !n.True {
+		e.causes = n.Vars()
+		for _, id := range e.causes {
+			e.causeSet[id] = true
+		}
+	}
+	return e, nil
+}
+
+// Causes returns all actual causes, sorted by tuple ID (Theorem 3.2).
+func (e *Engine) Causes() []rel.TupleID {
+	return append([]rel.TupleID(nil), e.causes...)
+}
+
+// NLineage exposes the minimal endogenous lineage (for display).
+func (e *Engine) NLineage() lineage.DNF { return e.nlineage }
+
+// Query returns the bound Boolean query the engine explains.
+func (e *Engine) Query() *rel.Query { return e.q }
+
+// endoShape flags a relation endogenous if it holds any endogenous
+// tuple.
+func (e *Engine) endoShape() *shape.Shape {
+	return shape.FromQuery(e.q, func(name string) bool {
+		r := e.db.Relation(name)
+		if r == nil {
+			return false
+		}
+		for _, t := range r.Tuples {
+			if t.Endo {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Classification returns the sound-rule certificate used by ModeAuto.
+func (e *Engine) Classification() (*rewrite.Certificate, error) {
+	if e.soundCert == nil {
+		c, err := rewrite.ClassifySound(e.endoShape())
+		if err != nil {
+			return nil, err
+		}
+		e.soundCert = c
+	}
+	return e.soundCert, nil
+}
+
+// PaperClassification returns the Definition 4.9 certificate (Fig. 3
+// semantics) used by ModePaper.
+func (e *Engine) PaperClassification() (*rewrite.Certificate, error) {
+	if e.paperCert == nil {
+		c, err := rewrite.Classify(e.endoShape())
+		if err != nil {
+			return nil, err
+		}
+		e.paperCert = c
+	}
+	return e.paperCert, nil
+}
+
+// isCounterfactual reports whether every minimal conjunct contains t.
+func (e *Engine) isCounterfactual(t rel.TupleID) bool {
+	if e.nlineage.True || len(e.nlineage.Conjuncts) == 0 {
+		return false
+	}
+	for _, c := range e.nlineage.Conjuncts {
+		if !c.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) network(mode Mode) (*respflow.Network, error) {
+	if net, ok := e.nets[mode]; ok {
+		return net, nil
+	}
+	var cert *rewrite.Certificate
+	var err error
+	if mode == ModePaper {
+		cert, err = e.PaperClassification()
+	} else {
+		cert, err = e.Classification()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !cert.Class.PTime() {
+		return nil, fmt.Errorf("core: query %v is not weakly linear (%v); flow inapplicable", e.q, cert.Class)
+	}
+	ws, order, err := cert.Replay()
+	if err != nil {
+		return nil, err
+	}
+	net, err := respflow.Build(e.db, e.q, ws, order)
+	if err != nil {
+		return nil, err
+	}
+	e.nets[mode] = net
+	return net, nil
+}
+
+// flowApplicable reports whether the flow algorithm may be used in the
+// given mode.
+func (e *Engine) flowApplicable(mode Mode) bool {
+	if e.q.HasSelfJoin() {
+		return false
+	}
+	var cert *rewrite.Certificate
+	var err error
+	if mode == ModePaper {
+		cert, err = e.PaperClassification()
+	} else {
+		cert, err = e.Classification()
+	}
+	return err == nil && cert.Class.PTime()
+}
+
+// Responsibility computes the explanation for tuple t.
+func (e *Engine) Responsibility(t rel.TupleID, mode Mode) (Explanation, error) {
+	if int(t) < 0 || int(t) >= e.db.NumTuples() {
+		return Explanation{}, fmt.Errorf("core: tuple id %d out of range", t)
+	}
+	if !e.db.Tuple(t).Endo {
+		return Explanation{}, fmt.Errorf("core: tuple %v is exogenous; only endogenous tuples have responsibilities", e.db.Tuple(t))
+	}
+	if !e.causeSet[t] {
+		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}, nil
+	}
+	if e.whyNo {
+		set, ok := whyno.MinContingencySetDNF(e.nlineage, t)
+		if !ok {
+			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}, nil
+		}
+		size := len(set)
+		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodWhyNo}, nil
+	}
+	if e.isCounterfactual(t) {
+		return Explanation{Tuple: t, Rho: 1, ContingencySize: 0, Contingency: []rel.TupleID{}, Method: MethodCounterfactual}, nil
+	}
+	if mode != ModeExact && e.flowApplicable(mode) {
+		net, err := e.network(mode)
+		if err != nil {
+			return Explanation{}, err
+		}
+		set, ok := net.Contingency(t)
+		if !ok {
+			// Causes always admit a finite protected cut; reaching this
+			// point indicates an engine bug, except under ModePaper where
+			// unsound weakenings may mis-handle edge cases.
+			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodFlow}, nil
+		}
+		size := len(set)
+		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodFlow}, nil
+	}
+	set, ok := exact.MinContingencySet(e.nlineage, t)
+	if !ok {
+		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodExact}, nil
+	}
+	size := len(set)
+	return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodExact}, nil
+}
+
+// RankAll explains every cause and sorts by descending responsibility,
+// breaking ties by tuple ID (the paper's Fig. 2b ranking).
+func (e *Engine) RankAll(mode Mode) ([]Explanation, error) {
+	out := make([]Explanation, 0, len(e.causes))
+	for _, t := range e.causes {
+		ex, err := e.Responsibility(t, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rho != out[j].Rho {
+			return out[i].Rho > out[j].Rho
+		}
+		return out[i].Tuple < out[j].Tuple
+	})
+	return out, nil
+}

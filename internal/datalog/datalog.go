@@ -1,0 +1,511 @@
+// Package datalog implements a stratified-Datalog-with-negation
+// evaluator, the target language of Theorem 3.4 of Meliou et al.
+// (VLDB 2010): the set of causes of a conjunctive query is computable by
+// a non-recursive stratified Datalog¬ program with two strata.
+//
+// The engine is general: it supports recursion within a stratum (naive
+// fixpoint), negated literals, and a tuple-disequality built-in
+// constraint Neq(s̄, t̄) (true iff the two term vectors differ in some
+// position), which the cause-program generator uses for the strictness
+// guard on self-join queries. Rules must be safe: every variable of the
+// head, of a negated literal, and of a constraint must occur in a
+// positive body literal.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Term is a variable or a constant.
+type Term struct {
+	IsVar bool
+	Var   string
+	Const rel.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Var: name} }
+
+// C returns a constant term.
+func C(v rel.Value) Term { return Term{Const: v} }
+
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return "'" + string(t.Const) + "'"
+}
+
+// Literal is a possibly negated predicate application.
+type Literal struct {
+	Pred    string
+	Terms   []Term
+	Negated bool
+}
+
+// Lit builds a positive literal.
+func Lit(pred string, terms ...Term) Literal {
+	return Literal{Pred: pred, Terms: terms}
+}
+
+// Not builds a negated literal.
+func Not(pred string, terms ...Term) Literal {
+	return Literal{Pred: pred, Terms: terms, Negated: true}
+}
+
+func (l Literal) String() string {
+	parts := make([]string, len(l.Terms))
+	for i, t := range l.Terms {
+		parts[i] = t.String()
+	}
+	s := fmt.Sprintf("%s(%s)", l.Pred, strings.Join(parts, ","))
+	if l.Negated {
+		return "¬" + s
+	}
+	return s
+}
+
+// Constraint is the built-in tuple disequality Neq(Left, Right): true
+// iff the vectors differ in at least one position. Both sides must have
+// equal length and be fully bound at evaluation time.
+type Constraint struct {
+	Left, Right []Term
+}
+
+func (c Constraint) String() string {
+	l := make([]string, len(c.Left))
+	r := make([]string, len(c.Right))
+	for i, t := range c.Left {
+		l[i] = t.String()
+	}
+	for i, t := range c.Right {
+		r[i] = t.String()
+	}
+	return fmt.Sprintf("(%s) ≠ (%s)", strings.Join(l, ","), strings.Join(r, ","))
+}
+
+// Rule is head :- body, constraints.
+type Rule struct {
+	Head Literal
+	Body []Literal
+	Neq  []Constraint
+}
+
+func (r Rule) String() string {
+	var parts []string
+	for _, l := range r.Body {
+		parts = append(parts, l.String())
+	}
+	for _, c := range r.Neq {
+		parts = append(parts, c.String())
+	}
+	return fmt.Sprintf("%s :- %s", r.Head.String(), strings.Join(parts, ", "))
+}
+
+// Program is a set of rules evaluated bottom-up over an EDB.
+type Program struct {
+	Rules []Rule
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// EDB supplies extensional facts by predicate name. Unknown predicates
+// return nil.
+type EDB interface {
+	Facts(pred string) [][]rel.Value
+}
+
+// MapEDB is a simple in-memory EDB.
+type MapEDB map[string][][]rel.Value
+
+// Facts implements EDB.
+func (m MapEDB) Facts(pred string) [][]rel.Value { return m[pred] }
+
+// idbPreds returns the set of predicates defined by rule heads.
+func (p *Program) idbPreds() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range p.Rules {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// Validate checks safety: head, negated-literal, and constraint
+// variables must occur in positive body literals; negated heads are
+// forbidden; constraint sides must have equal arity.
+func (p *Program) Validate() error {
+	for i, r := range p.Rules {
+		if r.Head.Negated {
+			return fmt.Errorf("datalog: rule %d: negated head", i)
+		}
+		pos := make(map[string]bool)
+		for _, l := range r.Body {
+			if !l.Negated {
+				for _, t := range l.Terms {
+					if t.IsVar {
+						pos[t.Var] = true
+					}
+				}
+			}
+		}
+		check := func(ts []Term, what string) error {
+			for _, t := range ts {
+				if t.IsVar && !pos[t.Var] {
+					return fmt.Errorf("datalog: rule %d (%s): unsafe variable %s in %s", i, r, t.Var, what)
+				}
+			}
+			return nil
+		}
+		if err := check(r.Head.Terms, "head"); err != nil {
+			return err
+		}
+		for _, l := range r.Body {
+			if l.Negated {
+				if err := check(l.Terms, "negated literal"); err != nil {
+					return err
+				}
+			}
+		}
+		for _, c := range r.Neq {
+			if len(c.Left) != len(c.Right) {
+				return fmt.Errorf("datalog: rule %d: constraint arity mismatch", i)
+			}
+			if err := check(c.Left, "constraint"); err != nil {
+				return err
+			}
+			if err := check(c.Right, "constraint"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stratify orders IDB predicates into strata such that negative
+// dependencies cross strictly downward. It returns the list of strata
+// (each a sorted list of predicate names) or an error if negation is
+// cyclic (the program is not stratifiable).
+func (p *Program) Stratify() ([][]string, error) {
+	idb := p.idbPreds()
+	// stratum numbers via longest-path over dependency edges:
+	// positive edge u→v (v's rule uses u positively): stratum(v) ≥ stratum(u)
+	// negative edge u→v: stratum(v) ≥ stratum(u)+1.
+	strat := make(map[string]int)
+	for pred := range idb {
+		strat[pred] = 0
+	}
+	n := len(strat)
+	for iter := 0; ; iter++ {
+		if iter > n*n+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (cyclic negation)")
+		}
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				if !idb[l.Pred] {
+					continue
+				}
+				need := strat[l.Pred]
+				if l.Negated {
+					need++
+				}
+				if strat[h] < need {
+					strat[h] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	maxS := 0
+	for _, s := range strat {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	out := make([][]string, maxS+1)
+	var preds []string
+	for pred := range strat {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		out[strat[pred]] = append(out[strat[pred]], pred)
+	}
+	return out, nil
+}
+
+// NumStrata returns the number of strata of the program (1 for purely
+// positive programs). Theorem 3.4's cause programs have exactly 2.
+func (p *Program) NumStrata() (int, error) {
+	s, err := p.Stratify()
+	if err != nil {
+		return 0, err
+	}
+	return len(s), nil
+}
+
+// Result holds the IDB facts derived by evaluation.
+type Result struct {
+	facts map[string]*factSet
+}
+
+// Facts returns the derived facts of a predicate, sorted for
+// determinism.
+func (r *Result) Facts(pred string) [][]rel.Value {
+	fs := r.facts[pred]
+	if fs == nil {
+		return nil
+	}
+	out := append([][]rel.Value(nil), fs.rows...)
+	sort.Slice(out, func(i, j int) bool { return rowLess(out[i], out[j]) })
+	return out
+}
+
+// Has reports whether the fact was derived.
+func (r *Result) Has(pred string, vals ...rel.Value) bool {
+	fs := r.facts[pred]
+	return fs != nil && fs.has(vals)
+}
+
+func rowLess(a, b []rel.Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+type factSet struct {
+	rows [][]rel.Value
+	seen map[string]bool
+}
+
+func newFactSet() *factSet {
+	return &factSet{seen: make(map[string]bool)}
+}
+
+func key(row []rel.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func (f *factSet) add(row []rel.Value) bool {
+	k := key(row)
+	if f.seen[k] {
+		return false
+	}
+	f.seen[k] = true
+	f.rows = append(f.rows, row)
+	return true
+}
+
+func (f *factSet) has(row []rel.Value) bool { return f != nil && f.seen[key(row)] }
+
+// Eval evaluates the program over the EDB: validation, stratification,
+// then per-stratum naive fixpoint.
+func (p *Program) Eval(edb EDB) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	idb := p.idbPreds()
+	res := &Result{facts: make(map[string]*factSet)}
+	strataIndex := make(map[string]int)
+	for i, preds := range strata {
+		for _, pred := range preds {
+			strataIndex[pred] = i
+		}
+	}
+	for si := range strata {
+		// Fixpoint over the rules whose head is in this stratum.
+		var rules []Rule
+		for _, r := range p.Rules {
+			if strataIndex[r.Head.Pred] == si {
+				rules = append(rules, r)
+			}
+		}
+		for {
+			changed := false
+			for _, r := range rules {
+				rows, err := evalRule(r, edb, res, idb)
+				if err != nil {
+					return nil, err
+				}
+				fs := res.facts[r.Head.Pred]
+				if fs == nil {
+					fs = newFactSet()
+					res.facts[r.Head.Pred] = fs
+				}
+				for _, row := range rows {
+					if fs.add(row) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// evalRule computes all head instantiations of a rule under the current
+// facts.
+func evalRule(r Rule, edb EDB, res *Result, idb map[string]bool) ([][]rel.Value, error) {
+	var positives, negatives []Literal
+	for _, l := range r.Body {
+		if l.Negated {
+			negatives = append(negatives, l)
+		} else {
+			positives = append(positives, l)
+		}
+	}
+	lookup := func(pred string) [][]rel.Value {
+		if idb[pred] {
+			fs := res.facts[pred]
+			if fs == nil {
+				return nil
+			}
+			return fs.rows
+		}
+		return edb.Facts(pred)
+	}
+	var out [][]rel.Value
+	binding := make(map[string]rel.Value)
+
+	var emit func()
+	emit = func() {
+		// Negated literals.
+		for _, l := range negatives {
+			row := make([]rel.Value, len(l.Terms))
+			for i, t := range l.Terms {
+				if t.IsVar {
+					row[i] = binding[t.Var]
+				} else {
+					row[i] = t.Const
+				}
+			}
+			for _, fact := range lookup(l.Pred) {
+				if rowEq(fact, row) {
+					return
+				}
+			}
+		}
+		// Constraints.
+		for _, c := range r.Neq {
+			if !neqHolds(c, binding) {
+				return
+			}
+		}
+		row := make([]rel.Value, len(r.Head.Terms))
+		for i, t := range r.Head.Terms {
+			if t.IsVar {
+				row[i] = binding[t.Var]
+			} else {
+				row[i] = t.Const
+			}
+		}
+		out = append(out, row)
+	}
+
+	var join func(i int)
+	join = func(i int) {
+		if i == len(positives) {
+			emit()
+			return
+		}
+		l := positives[i]
+		for _, fact := range lookup(l.Pred) {
+			if len(fact) != len(l.Terms) {
+				continue
+			}
+			var bound []string
+			ok := true
+			for j, t := range l.Terms {
+				if !t.IsVar {
+					if t.Const != fact[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := binding[t.Var]; has {
+					if v != fact[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[t.Var] = fact[j]
+				bound = append(bound, t.Var)
+			}
+			if ok {
+				join(i + 1)
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+	}
+	join(0)
+	return out, nil
+}
+
+func rowEq(a, b []rel.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func neqHolds(c Constraint, binding map[string]rel.Value) bool {
+	for i := range c.Left {
+		l, r := c.Left[i], c.Right[i]
+		var lv, rv rel.Value
+		if l.IsVar {
+			lv = binding[l.Var]
+		} else {
+			lv = l.Const
+		}
+		if r.IsVar {
+			rv = binding[r.Var]
+		} else {
+			rv = r.Const
+		}
+		if lv != rv {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,255 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+func TestSimpleJoin(t *testing.T) {
+	edb := MapEDB{
+		"R": {{"a", "b"}, {"b", "c"}},
+	}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x"), V("z")), Body: []Literal{Lit("R", V("x"), V("y")), Lit("R", V("y"), V("z"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Facts("P")
+	if len(rows) != 1 || rows[0][0] != "a" || rows[0][1] != "c" {
+		t.Fatalf("P = %v, want [[a c]]", rows)
+	}
+}
+
+func TestNegation(t *testing.T) {
+	edb := MapEDB{
+		"R": {{"a"}, {"b"}, {"c"}},
+		"S": {{"b"}},
+	}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("Only", V("x")), Body: []Literal{Lit("R", V("x")), Not("S", V("x"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Facts("Only")
+	if len(rows) != 2 || rows[0][0] != "a" || rows[1][0] != "c" {
+		t.Fatalf("Only = %v, want [[a] [c]]", rows)
+	}
+}
+
+func TestNegationOverIDB(t *testing.T) {
+	edb := MapEDB{"R": {{"a"}, {"b"}}, "Mark": {{"a"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("I", V("x")), Body: []Literal{Lit("R", V("x")), Lit("Mark", V("x"))}},
+		{Head: Lit("J", V("x")), Body: []Literal{Lit("R", V("x")), Not("I", V("x"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Has("J", "b") || res.Has("J", "a") {
+		t.Fatalf("J = %v, want [[b]]", res.Facts("J"))
+	}
+	ns, err := p.NumStrata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns != 2 {
+		t.Fatalf("strata = %d, want 2", ns)
+	}
+}
+
+func TestRecursionTransitiveClosure(t *testing.T) {
+	edb := MapEDB{"E": {{"1", "2"}, {"2", "3"}, {"3", "4"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("T", V("x"), V("y")), Body: []Literal{Lit("E", V("x"), V("y"))}},
+		{Head: Lit("T", V("x"), V("z")), Body: []Literal{Lit("T", V("x"), V("y")), Lit("E", V("y"), V("z"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Facts("T")); got != 6 {
+		t.Fatalf("|T| = %d, want 6", got)
+	}
+	if !res.Has("T", "1", "4") {
+		t.Error("missing T(1,4)")
+	}
+}
+
+func TestUnsafeHeadRejected(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x"), V("y")), Body: []Literal{Lit("R", V("x"))}},
+	}}
+	if _, err := p.Eval(MapEDB{}); err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Fatalf("expected unsafe-variable error, got %v", err)
+	}
+}
+
+func TestUnsafeNegationRejected(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x")), Not("S", V("y"))}},
+	}}
+	if _, err := p.Eval(MapEDB{}); err == nil {
+		t.Fatal("expected unsafe-negation error")
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x")), Not("Q", V("x"))}},
+		{Head: Lit("Q", V("x")), Body: []Literal{Lit("R", V("x")), Not("P", V("x"))}},
+	}}
+	if _, err := p.Eval(MapEDB{"R": {{"a"}}}); err == nil {
+		t.Fatal("expected stratification error")
+	}
+}
+
+func TestNegatedHeadRejected(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Not("P", V("x")), Body: []Literal{Lit("R", V("x"))}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected negated-head error")
+	}
+}
+
+func TestConstraintNeq(t *testing.T) {
+	edb := MapEDB{"R": {{"a", "a"}, {"a", "b"}}}
+	p := &Program{Rules: []Rule{
+		{
+			Head: Lit("Diff", V("x"), V("y")),
+			Body: []Literal{Lit("R", V("x"), V("y"))},
+			Neq:  []Constraint{{Left: []Term{V("x")}, Right: []Term{V("y")}}},
+		},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Facts("Diff")
+	if len(rows) != 1 || rows[0][1] != "b" {
+		t.Fatalf("Diff = %v, want [[a b]]", rows)
+	}
+}
+
+func TestConstraintTupleNeq(t *testing.T) {
+	// Vector disequality: (x1,x2) ≠ (y1,y2) holds iff they differ
+	// somewhere.
+	edb := MapEDB{"P": {{"a", "b", "a", "b"}, {"a", "b", "a", "c"}}}
+	p := &Program{Rules: []Rule{
+		{
+			Head: Lit("D", V("x1"), V("x2"), V("y1"), V("y2")),
+			Body: []Literal{Lit("P", V("x1"), V("x2"), V("y1"), V("y2"))},
+			Neq: []Constraint{{
+				Left:  []Term{V("x1"), V("x2")},
+				Right: []Term{V("y1"), V("y2")},
+			}},
+		},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Facts("D")
+	if len(rows) != 1 || rows[0][3] != "c" {
+		t.Fatalf("D = %v", rows)
+	}
+}
+
+func TestConstraintArityMismatch(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{
+			Head: Lit("D", V("x")),
+			Body: []Literal{Lit("R", V("x"))},
+			Neq:  []Constraint{{Left: []Term{V("x")}, Right: []Term{V("x"), V("x")}}},
+		},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	edb := MapEDB{"R": {{"a", "x"}, {"b", "x"}, {"a", "y"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("v")), Body: []Literal{Lit("R", C("a"), V("v"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Facts("P")); got != 2 {
+		t.Fatalf("|P| = %d, want 2", got)
+	}
+}
+
+func TestConstantHead(t *testing.T) {
+	edb := MapEDB{"R": {{"a"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("Flag", C("yes")), Body: []Literal{Lit("R", V("x"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Has("Flag", "yes") {
+		t.Fatal("missing Flag(yes)")
+	}
+}
+
+func TestArityMismatchFactSkipped(t *testing.T) {
+	// EDB facts of the wrong arity must not bind.
+	edb := MapEDB{"R": {{"a"}, {"a", "b"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x"))}},
+	}}
+	res, err := p.Eval(edb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Facts("P")); got != 1 {
+		t.Fatalf("|P| = %d, want 1", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x"), C("k")), Not("S", V("x"))}},
+	}}
+	s := p.String()
+	for _, want := range []string{"P(x)", "R(x,'k')", "¬S(x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDeterministicFactOrder(t *testing.T) {
+	edb := MapEDB{"R": {{"c"}, {"a"}, {"b"}}}
+	p := &Program{Rules: []Rule{
+		{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x"))}},
+	}}
+	res, _ := p.Eval(edb)
+	rows := res.Facts("P")
+	if rows[0][0] != "a" || rows[1][0] != "b" || rows[2][0] != "c" {
+		t.Fatalf("rows not sorted: %v", rows)
+	}
+}
+
+var _ EDB = MapEDB{} // interface check
+
+func TestRelValueRoundtrip(t *testing.T) {
+	// Ensure rel.Value flows through unmodified (type alias sanity).
+	edb := MapEDB{"R": {{rel.Value("π")}}}
+	p := &Program{Rules: []Rule{{Head: Lit("P", V("x")), Body: []Literal{Lit("R", V("x"))}}}}
+	res, _ := p.Eval(edb)
+	if !res.Has("P", "π") {
+		t.Fatal("unicode value lost")
+	}
+}

@@ -1,0 +1,340 @@
+// Package exact computes minimum contingency sets (and hence
+// responsibilities, Definition 2.3 of Meliou et al., VLDB 2010) by
+// exhaustive search. It is exponential in the worst case — responsibility
+// is NP-hard for non-weakly-linear queries (Theorem 4.1) — and serves
+// three roles: the solver for hard queries on moderate instances, the
+// correctness oracle for the polynomial flow algorithm, and the baseline
+// in the scaling benchmarks.
+//
+// The search works on the minimal endogenous lineage Φⁿ: a contingency Γ
+// for tuple t must (i) leave some conjunct containing t intact — the
+// "protected" conjunct — and (ii) hit every conjunct not containing t.
+// Minimizing over protected conjuncts reduces the problem to minimum
+// hitting set with forbidden elements, solved by branch and bound.
+package exact
+
+import (
+	"sort"
+
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Options tunes the branch-and-bound search; the zero value is the
+// default configuration. Used by the ablation benchmarks.
+type Options struct {
+	// DisablePackingBound turns off the disjoint-target packing lower
+	// bound, leaving only the depth-vs-best pruning.
+	DisablePackingBound bool
+}
+
+// MinContingency computes the size of the smallest contingency set for
+// tuple t over the minimal (redundancy-free) n-lineage d. It returns
+// ok=false when t is not an actual cause (no conjunct of d contains t,
+// or d is the constant true).
+func MinContingency(d lineage.DNF, t rel.TupleID) (size int, ok bool) {
+	return MinContingencyOpts(d, t, Options{})
+}
+
+// MinContingencyOpts is MinContingency with explicit search options.
+func MinContingencyOpts(d lineage.DNF, t rel.TupleID, opts Options) (size int, ok bool) {
+	set, ok := MinContingencySetOpts(d, t, opts)
+	return len(set), ok
+}
+
+// MinContingencySet returns an actual minimum contingency set for t
+// (sorted), not just its size: removing exactly these tuples makes t
+// counterfactual. ok=false when t is not an actual cause. The empty set
+// with ok=true means t is already counterfactual.
+func MinContingencySet(d lineage.DNF, t rel.TupleID) ([]rel.TupleID, bool) {
+	return MinContingencySetOpts(d, t, Options{})
+}
+
+// MinContingencySetOpts is MinContingencySet with explicit options.
+func MinContingencySetOpts(d lineage.DNF, t rel.TupleID, opts Options) ([]rel.TupleID, bool) {
+	if d.True {
+		return nil, false
+	}
+	protectable := d.ConjunctsWith(t)
+	if len(protectable) == 0 {
+		return nil, false
+	}
+	// Conjuncts not containing t must be hit.
+	var targets []lineage.Conjunct
+	for _, c := range d.Conjuncts {
+		if !c.Contains(t) {
+			targets = append(targets, c)
+		}
+	}
+	best := -1
+	var bestSet []rel.TupleID
+	for _, p := range protectable {
+		forbidden := make(map[rel.TupleID]bool, len(p)+1)
+		for _, id := range p {
+			forbidden[id] = true
+		}
+		forbidden[t] = true
+		ub := best // prune against the best found so far
+		if set, feasible := minHittingSet(targets, forbidden, ub, opts); feasible {
+			if best < 0 || len(set) < best {
+				best = len(set)
+				bestSet = set
+			}
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	sort.Slice(bestSet, func(i, j int) bool { return bestSet[i] < bestSet[j] })
+	return bestSet, true
+}
+
+// Responsibility computes ρ_t = 1/(1+min|Γ|), or 0 if t is not a cause.
+func Responsibility(d lineage.DNF, t rel.TupleID) float64 {
+	size, ok := MinContingency(d, t)
+	if !ok {
+		return 0
+	}
+	return 1 / (1 + float64(size))
+}
+
+// minHittingSet finds a minimum set S of non-forbidden elements hitting
+// every target, with |S| strictly better than ub when ub >= 0. It
+// returns feasible=false if some target consists solely of forbidden
+// elements or the bound cannot be beaten.
+func minHittingSet(targets []lineage.Conjunct, forbidden map[rel.TupleID]bool, ub int, opts Options) ([]rel.TupleID, bool) {
+	// Reduce targets to allowed elements; sort by size for branching.
+	reduced := make([][]rel.TupleID, 0, len(targets))
+	for _, c := range targets {
+		var allowed []rel.TupleID
+		for _, id := range c {
+			if !forbidden[id] {
+				allowed = append(allowed, id)
+			}
+		}
+		if len(allowed) == 0 {
+			return nil, false
+		}
+		reduced = append(reduced, allowed)
+	}
+	best := -1
+	if ub >= 0 {
+		best = ub
+	}
+	var bestSet []rel.TupleID
+	haveSet := false
+	chosen := make(map[rel.TupleID]bool)
+
+	var rec func(depth int)
+	rec = func(depth int) {
+		if best >= 0 && depth >= best {
+			return
+		}
+		// Gather uncovered targets; pick the smallest for branching and
+		// greedily pack pairwise-disjoint ones for a lower bound.
+		var pick []rel.TupleID
+		var uncovered [][]rel.TupleID
+		for _, alts := range reduced {
+			hit := false
+			for _, id := range alts {
+				if chosen[id] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				uncovered = append(uncovered, alts)
+				if pick == nil || len(alts) < len(pick) {
+					pick = alts
+				}
+			}
+		}
+		if len(uncovered) == 0 {
+			best = depth
+			bestSet = bestSet[:0]
+			for id := range chosen {
+				bestSet = append(bestSet, id)
+			}
+			haveSet = true
+			return
+		}
+		if best >= 0 && !opts.DisablePackingBound {
+			// Disjoint targets need one element each: a packing lower
+			// bound.
+			used := make(map[rel.TupleID]bool)
+			lb := 0
+			for _, alts := range uncovered {
+				disjoint := true
+				for _, id := range alts {
+					if used[id] {
+						disjoint = false
+						break
+					}
+				}
+				if disjoint {
+					lb++
+					for _, id := range alts {
+						used[id] = true
+					}
+				}
+			}
+			if depth+lb >= best {
+				return
+			}
+		}
+		for _, id := range pick {
+			chosen[id] = true
+			rec(depth + 1)
+			delete(chosen, id)
+		}
+	}
+	rec(0)
+	if !haveSet {
+		// Infeasible, or no improvement over the caller's bound: the
+		// caller keeps its previous answer.
+		return nil, false
+	}
+	return bestSet, true
+}
+
+// MinContingencyDB computes the minimum contingency for t of the Boolean
+// query q on db, going through the lineage pipeline. ok=false means t is
+// not an actual cause.
+func MinContingencyDB(db *rel.Database, q *rel.Query, t rel.TupleID) (int, bool, error) {
+	n, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		return 0, false, err
+	}
+	size, ok := MinContingency(n, t)
+	return size, ok, nil
+}
+
+// BruteForceMinContingency is the definition-level oracle: it enumerates
+// candidate contingency sets Γ ⊆ vars(Φⁿ)\{t} in order of increasing
+// size and returns the first valid one's size. A Γ is valid when the
+// minimal n-lineage stays satisfiable without Γ and becomes
+// unsatisfiable without Γ∪{t} (Theorem 3.2, condition 2).
+//
+// Exponential in the lineage's variable count; intended for tests on
+// small instances.
+func BruteForceMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
+	if d.True {
+		return 0, false
+	}
+	vars := d.Vars()
+	universe := vars[:0:0]
+	for _, id := range vars {
+		if id != t {
+			universe = append(universe, id)
+		}
+	}
+	removed := make(map[rel.TupleID]bool, len(universe)+1)
+	valid := func() bool {
+		if !d.EvalWithout(removed) {
+			return false
+		}
+		removed[t] = true
+		dead := !d.EvalWithout(removed)
+		delete(removed, t)
+		return dead
+	}
+	// Size 0 upward.
+	var search func(start, k int) bool
+	search = func(start, k int) bool {
+		if k == 0 {
+			return valid()
+		}
+		for i := start; i <= len(universe)-k; i++ {
+			id := universe[i]
+			removed[id] = true
+			if search(i+1, k-1) {
+				delete(removed, id)
+				return true
+			}
+			delete(removed, id)
+		}
+		return false
+	}
+	for k := 0; k <= len(universe); k++ {
+		if search(0, k) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// GreedyMinContingency computes an upper bound on the minimum
+// contingency by greedy hitting: protect the smallest conjunct
+// containing t, then repeatedly pick the allowed element covering the
+// most uncovered targets. Used as a polynomial-time baseline in
+// benchmarks; not exact.
+func GreedyMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
+	if d.True {
+		return 0, false
+	}
+	protectable := d.ConjunctsWith(t)
+	if len(protectable) == 0 {
+		return 0, false
+	}
+	sort.Slice(protectable, func(i, j int) bool { return len(protectable[i]) < len(protectable[j]) })
+	p := protectable[0]
+	forbidden := make(map[rel.TupleID]bool, len(p)+1)
+	for _, id := range p {
+		forbidden[id] = true
+	}
+	forbidden[t] = true
+
+	var targets [][]rel.TupleID
+	for _, c := range d.Conjuncts {
+		if c.Contains(t) {
+			continue
+		}
+		var allowed []rel.TupleID
+		for _, id := range c {
+			if !forbidden[id] {
+				allowed = append(allowed, id)
+			}
+		}
+		if len(allowed) == 0 {
+			return 0, false
+		}
+		targets = append(targets, allowed)
+	}
+	chosen := make(map[rel.TupleID]bool)
+	size := 0
+	for {
+		counts := make(map[rel.TupleID]int)
+		uncovered := 0
+		for _, alts := range targets {
+			hit := false
+			for _, id := range alts {
+				if chosen[id] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			uncovered++
+			for _, id := range alts {
+				counts[id]++
+			}
+		}
+		if uncovered == 0 {
+			return size, true
+		}
+		var bestID rel.TupleID
+		bestCount := -1
+		for id, c := range counts {
+			if c > bestCount || (c == bestCount && id < bestID) {
+				bestID, bestCount = id, c
+			}
+		}
+		chosen[bestID] = true
+		size++
+	}
+}

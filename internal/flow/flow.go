@@ -1,0 +1,190 @@
+// Package flow implements maximum flow / minimum cut on directed graphs
+// with integer capacities, used by Algorithm 1 of Meliou et al.
+// (VLDB 2010) to compute responsibilities of linear queries.
+//
+// The implementation is Dinic's algorithm (BFS level graph + blocking
+// flows), adequate for the unit-capacity-dominated networks produced by
+// the responsibility reduction. Capacities may be Inf; a max flow value
+// of at least InfThreshold means no finite cut exists.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity of uncuttable edges (exogenous tuples, protected
+// path edges, source/target stubs).
+const Inf int64 = math.MaxInt64 / 8
+
+// InfThreshold classifies a flow value as "infinite" (no finite cut).
+// Any real cut in our networks has capacity bounded by the number of
+// tuples, far below this.
+const InfThreshold int64 = Inf / 2
+
+// Edge is one directed edge with residual bookkeeping.
+type Edge struct {
+	From, To int
+	Cap      int64 // remaining capacity
+	Orig     int64 // original capacity
+	Payload  any   // caller tag (e.g. a tuple ID); nil for stub edges
+	rev      int   // index of reverse edge in adj[To]
+}
+
+// Graph is a flow network on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]*Edge
+}
+
+// NewGraph returns an empty network on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]*Edge, n)}
+}
+
+// AddVertex appends a vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	g.N++
+	return g.N - 1
+}
+
+// AddEdge adds a directed edge with the given capacity and payload and
+// returns it (so callers can later adjust its capacity via SetCap).
+func (g *Graph) AddEdge(from, to int, cap_ int64, payload any) (*Edge, error) {
+	if from < 0 || from >= g.N || to < 0 || to >= g.N {
+		return nil, fmt.Errorf("flow: edge (%d,%d) out of range [0,%d)", from, to, g.N)
+	}
+	e := &Edge{From: from, To: to, Cap: cap_, Orig: cap_, Payload: payload}
+	r := &Edge{From: to, To: from, Cap: 0, Orig: 0}
+	e.rev = len(g.adj[to])
+	r.rev = len(g.adj[from])
+	g.adj[from] = append(g.adj[from], e)
+	g.adj[to] = append(g.adj[to], r)
+	return e, nil
+}
+
+// SetCap rewrites an edge's capacity (both remaining and original).
+// Flows computed earlier are invalidated; call Reset before re-running.
+func (g *Graph) SetCap(e *Edge, cap_ int64) {
+	e.Cap = cap_
+	e.Orig = cap_
+}
+
+// Reset restores all residual capacities to their original values.
+func (g *Graph) Reset() {
+	for _, es := range g.adj {
+		for _, e := range es {
+			e.Cap = e.Orig
+		}
+	}
+}
+
+// MaxFlow computes the maximum s-t flow. The graph's residual state is
+// reset first, so calls are independent.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	g.Reset()
+	if s == t {
+		return Inf
+	}
+	var total int64
+	level := make([]int, g.N)
+	iter := make([]int, g.N)
+	queue := make([]int, 0, g.N)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[v] {
+				if e.Cap > 0 && level[e.To] < 0 {
+					level[e.To] = level[v] + 1
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(v int, f int64) int64
+	dfs = func(v int, f int64) int64 {
+		if v == t {
+			return f
+		}
+		for ; iter[v] < len(g.adj[v]); iter[v]++ {
+			e := g.adj[v][iter[v]]
+			if e.Cap <= 0 || level[e.To] != level[v]+1 {
+				continue
+			}
+			d := dfs(e.To, min64(f, e.Cap))
+			if d > 0 {
+				e.Cap -= d
+				g.adj[e.To][e.rev].Cap += d
+				return d
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+			if total >= InfThreshold {
+				return total
+			}
+		}
+	}
+	return total
+}
+
+// MinCut computes the maximum flow and returns the saturated edges of
+// the corresponding minimum cut: original edges from the source side of
+// the residual graph to the sink side. The returned value is the flow.
+func (g *Graph) MinCut(s, t int) (int64, []*Edge) {
+	v := g.MaxFlow(s, t)
+	if v >= InfThreshold {
+		return v, nil
+	}
+	reach := make([]bool, g.N)
+	stack := []int{s}
+	reach[s] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[x] {
+			if e.Cap > 0 && !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	var cut []*Edge
+	for _, es := range g.adj {
+		for _, e := range es {
+			if e.Orig > 0 && reach[e.From] && !reach[e.To] {
+				cut = append(cut, e)
+			}
+		}
+	}
+	return v, cut
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package flow
+
+import "testing"
+
+func mustEdge(t *testing.T, g *Graph, from, to int, c int64, payload any) *Edge {
+	t.Helper()
+	e, err := g.AddEdge(from, to, c, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1, 5, nil)
+	mustEdge(t, g, 1, 2, 3, nil)
+	if got := g.MaxFlow(0, 2); got != 3 {
+		t.Fatalf("flow = %d, want 3", got)
+	}
+}
+
+func TestParallelAndBottleneck(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1, 2, nil)
+	mustEdge(t, g, 0, 2, 2, nil)
+	mustEdge(t, g, 1, 3, 1, nil)
+	mustEdge(t, g, 2, 3, 5, nil)
+	if got := g.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("flow = %d, want 3", got)
+	}
+}
+
+// TestClassicNetwork is the standard CLRS example with max flow 23.
+func TestClassicNetwork(t *testing.T) {
+	g := NewGraph(6)
+	mustEdge(t, g, 0, 1, 16, nil)
+	mustEdge(t, g, 0, 2, 13, nil)
+	mustEdge(t, g, 1, 3, 12, nil)
+	mustEdge(t, g, 2, 1, 4, nil)
+	mustEdge(t, g, 2, 4, 14, nil)
+	mustEdge(t, g, 3, 2, 9, nil)
+	mustEdge(t, g, 3, 5, 20, nil)
+	mustEdge(t, g, 4, 3, 7, nil)
+	mustEdge(t, g, 4, 5, 4, nil)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("flow = %d, want 23", got)
+	}
+}
+
+func TestInfinitePath(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1, Inf, nil)
+	mustEdge(t, g, 1, 2, Inf, nil)
+	got := g.MaxFlow(0, 2)
+	if got < InfThreshold {
+		t.Fatalf("flow = %d, want >= InfThreshold", got)
+	}
+}
+
+func TestMinCutMembership(t *testing.T) {
+	// Diamond where the min cut is the two unit edges in the middle.
+	g := NewGraph(6)
+	mustEdge(t, g, 0, 1, Inf, nil)
+	mustEdge(t, g, 0, 2, Inf, nil)
+	e1 := mustEdge(t, g, 1, 3, 1, "t1")
+	e2 := mustEdge(t, g, 2, 4, 1, "t2")
+	mustEdge(t, g, 3, 5, Inf, nil)
+	mustEdge(t, g, 4, 5, Inf, nil)
+	v, cut := g.MinCut(0, 5)
+	if v != 2 {
+		t.Fatalf("flow = %d, want 2", v)
+	}
+	if len(cut) != 2 {
+		t.Fatalf("cut = %v, want 2 edges", cut)
+	}
+	seen := map[any]bool{}
+	for _, e := range cut {
+		seen[e.Payload] = true
+	}
+	if !seen["t1"] || !seen["t2"] {
+		t.Errorf("cut payloads = %v, want t1,t2 (got %v %v)", seen, e1, e2)
+	}
+}
+
+func TestMinCutInfinite(t *testing.T) {
+	g := NewGraph(2)
+	mustEdge(t, g, 0, 1, Inf, nil)
+	v, cut := g.MinCut(0, 1)
+	if v < InfThreshold || cut != nil {
+		t.Fatalf("expected infinite cut, got v=%d cut=%v", v, cut)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	mustEdge(t, g, 0, 1, 4, nil)
+	mustEdge(t, g, 2, 3, 4, nil)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+	v, cut := g.MinCut(0, 3)
+	if v != 0 || len(cut) != 0 {
+		t.Fatalf("mincut = %d/%v, want empty", v, cut)
+	}
+}
+
+func TestSetCapAndReset(t *testing.T) {
+	g := NewGraph(3)
+	e := mustEdge(t, g, 0, 1, 1, nil)
+	mustEdge(t, g, 1, 2, 10, nil)
+	if got := g.MaxFlow(0, 2); got != 1 {
+		t.Fatalf("flow = %d, want 1", got)
+	}
+	g.SetCap(e, 7)
+	if got := g.MaxFlow(0, 2); got != 7 {
+		t.Fatalf("after SetCap flow = %d, want 7", got)
+	}
+	g.SetCap(e, 0)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("after zeroing flow = %d, want 0", got)
+	}
+}
+
+func TestRepeatedRunsIndependent(t *testing.T) {
+	g := NewGraph(3)
+	mustEdge(t, g, 0, 1, 4, nil)
+	mustEdge(t, g, 1, 2, 4, nil)
+	for i := 0; i < 3; i++ {
+		if got := g.MaxFlow(0, 2); got != 4 {
+			t.Fatalf("run %d: flow = %d, want 4", i, got)
+		}
+	}
+}
+
+func TestAddEdgeRangeError(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 9, 1, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := NewGraph(1)
+	v := g.AddVertex()
+	if v != 1 || g.N != 2 {
+		t.Fatalf("AddVertex = %d, N = %d", v, g.N)
+	}
+	mustEdge(t, g, 0, v, 2, nil)
+	if got := g.MaxFlow(0, v); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestSourceEqualsTarget(t *testing.T) {
+	g := NewGraph(1)
+	if got := g.MaxFlow(0, 0); got < InfThreshold {
+		t.Fatalf("s==t flow = %d, want infinite", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package hypergraph implements the dual query hypergraph of
+// Definition 4.3 of Meliou et al. (VLDB 2010) and the linearity test of
+// Definition 4.4: a hypergraph is linear if its vertices admit a total
+// order in which every hyperedge is a consecutive subsequence (the
+// consecutive-ones property of the vertex/edge incidence matrix).
+//
+// Vertices are atoms of a conjunctive query; hyperedges are variables
+// (each variable's set of atoms). Queries have few atoms, so the
+// linearity test is a pruned backtracking search over vertex orders.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hypergraph has vertices 0..N-1 and named hyperedges over them.
+type Hypergraph struct {
+	N     int
+	names []string
+	edges map[string][]int // sorted vertex lists
+}
+
+// New returns an empty hypergraph on n vertices.
+func New(n int) *Hypergraph {
+	return &Hypergraph{N: n, edges: make(map[string][]int)}
+}
+
+// AddEdge adds (or replaces) the named hyperedge. Vertex lists are
+// deduplicated and sorted. Out-of-range vertices are an error.
+func (h *Hypergraph) AddEdge(name string, vertices []int) error {
+	seen := make(map[int]bool)
+	var vs []int
+	for _, v := range vertices {
+		if v < 0 || v >= h.N {
+			return fmt.Errorf("hypergraph: vertex %d out of range [0,%d)", v, h.N)
+		}
+		if !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+	}
+	sort.Ints(vs)
+	if _, ok := h.edges[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.edges[name] = vs
+	return nil
+}
+
+// Edge returns the vertex list of the named edge (nil if absent).
+func (h *Hypergraph) Edge(name string) []int { return h.edges[name] }
+
+// EdgeNames returns edge names in insertion order.
+func (h *Hypergraph) EdgeNames() []string { return h.names }
+
+// LinearOrder searches for a vertex order in which every hyperedge is
+// consecutive. It returns the order and true, or nil and false if the
+// hypergraph is not linear.
+//
+// The search places one vertex at a time. Per edge it tracks whether the
+// edge has started (some member placed) and whether it has been closed
+// (a non-member placed after a member); placing a member of a closed
+// edge is pruned. Singleton and empty edges are trivially consecutive
+// and skipped.
+func (h *Hypergraph) LinearOrder() ([]int, bool) {
+	type edgeState struct {
+		members []int
+		placed  int
+		closed  bool
+	}
+	var states []*edgeState
+	memberOf := make([][]int, h.N) // vertex -> indexes into states
+	for _, name := range h.names {
+		vs := h.edges[name]
+		if len(vs) < 2 {
+			continue
+		}
+		idx := len(states)
+		states = append(states, &edgeState{members: vs})
+		for _, v := range vs {
+			memberOf[v] = append(memberOf[v], idx)
+		}
+	}
+
+	order := make([]int, 0, h.N)
+	used := make([]bool, h.N)
+	isMember := func(st *edgeState, v int) bool {
+		i := sort.SearchInts(st.members, v)
+		return i < len(st.members) && st.members[i] == v
+	}
+
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == h.N {
+			return true
+		}
+		for v := 0; v < h.N; v++ {
+			if used[v] {
+				continue
+			}
+			ok := true
+			for _, ei := range memberOf[v] {
+				if states[ei].closed {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Apply: v starts/continues its edges; every other open edge
+			// closes.
+			var closedNow []int
+			for ei, st := range states {
+				if st.placed > 0 && st.placed < len(st.members) && !st.closed && !isMember(st, v) {
+					st.closed = true
+					closedNow = append(closedNow, ei)
+				}
+			}
+			for _, ei := range memberOf[v] {
+				states[ei].placed++
+			}
+			used[v] = true
+			order = append(order, v)
+
+			if rec() {
+				return true
+			}
+
+			order = order[:len(order)-1]
+			used[v] = false
+			for _, ei := range memberOf[v] {
+				states[ei].placed--
+			}
+			for _, ei := range closedNow {
+				states[ei].closed = false
+			}
+		}
+		return false
+	}
+	if rec() {
+		return order, true
+	}
+	return nil, false
+}
+
+// IsLinear reports whether the hypergraph admits a linear order.
+func (h *Hypergraph) IsLinear() bool {
+	_, ok := h.LinearOrder()
+	return ok
+}
+
+// Components returns the connected components (vertices linked by shared
+// hyperedges), each sorted, in order of smallest member.
+func (h *Hypergraph) Components() [][]int {
+	parent := make([]int, h.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, vs := range h.edges {
+		for i := 1; i < len(vs); i++ {
+			union(vs[0], vs[i])
+		}
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < h.N; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}

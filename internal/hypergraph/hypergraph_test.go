@@ -1,0 +1,154 @@
+package hypergraph
+
+import "testing"
+
+func edgeOK(order []int, edge []int) bool {
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(edge) == 0 {
+		return true
+	}
+	lo, hi := len(order), -1
+	for _, v := range edge {
+		p := pos[v]
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return hi-lo+1 == len(edge)
+}
+
+// TestFig5aLinear reproduces Fig. 5a: the query
+// A(x),S1(x,v),S2(v,y),R(y,u),S3(y,z),T(z,w),B(z) is linear with order
+// A,S1,S2,R,S3,T,B. Atoms indexed 0..6 in that order.
+func TestFig5aLinear(t *testing.T) {
+	h := New(7)
+	// Variables: x∈{A,S1}, v∈{S1,S2}, y∈{S2,R,S3}, u∈{R}, z∈{S3,T,B}, w∈{T}.
+	check := func(name string, vs []int) {
+		if err := h.AddEdge(name, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("x", []int{0, 1})
+	check("v", []int{1, 2})
+	check("y", []int{2, 3, 4})
+	check("u", []int{3})
+	check("z", []int{4, 5, 6})
+	check("w", []int{5})
+	order, ok := h.LinearOrder()
+	if !ok {
+		t.Fatal("Fig. 5a query should be linear")
+	}
+	for _, name := range h.EdgeNames() {
+		if !edgeOK(order, h.Edge(name)) {
+			t.Errorf("edge %s not consecutive in %v", name, order)
+		}
+	}
+}
+
+// TestFig5bNotLinear reproduces Fig. 5b: h1* = A(x),B(y),C(z),W(x,y,z)
+// is not linear (atoms A,B,C,W = 0,1,2,3).
+func TestFig5bNotLinear(t *testing.T) {
+	h := New(4)
+	h.AddEdge("x", []int{0, 3})
+	h.AddEdge("y", []int{1, 3})
+	h.AddEdge("z", []int{2, 3})
+	if h.IsLinear() {
+		t.Fatal("h1* must not be linear")
+	}
+}
+
+// TestH2NotLinear: h2* = R(x,y),S(y,z),T(z,x) (a triangle) is not linear.
+func TestH2NotLinear(t *testing.T) {
+	h := New(3)
+	h.AddEdge("x", []int{0, 2})
+	h.AddEdge("y", []int{0, 1})
+	h.AddEdge("z", []int{1, 2})
+	if h.IsLinear() {
+		t.Fatal("triangle must not be linear")
+	}
+}
+
+func TestChainLinear(t *testing.T) {
+	// R(x,y),S(y,z),T(z,w): linear.
+	h := New(3)
+	h.AddEdge("x", []int{0})
+	h.AddEdge("y", []int{0, 1})
+	h.AddEdge("z", []int{1, 2})
+	h.AddEdge("w", []int{2})
+	order, ok := h.LinearOrder()
+	if !ok {
+		t.Fatal("chain should be linear")
+	}
+	for _, name := range h.EdgeNames() {
+		if !edgeOK(order, h.Edge(name)) {
+			t.Errorf("edge %s not consecutive in %v", name, order)
+		}
+	}
+}
+
+func TestSingleVertexAndEmpty(t *testing.T) {
+	h := New(1)
+	if _, ok := h.LinearOrder(); !ok {
+		t.Error("single vertex is linear")
+	}
+	h0 := New(0)
+	if _, ok := h0.LinearOrder(); !ok {
+		t.Error("empty hypergraph is linear")
+	}
+}
+
+func TestFullEdgeAlwaysLinear(t *testing.T) {
+	h := New(4)
+	h.AddEdge("x", []int{0, 1, 2, 3})
+	if !h.IsLinear() {
+		t.Error("one edge covering all vertices is linear in any order")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	h := New(2)
+	if err := h.AddEdge("x", []int{0, 5}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if err := h.AddEdge("x", []int{0, 0, 1}); err != nil {
+		t.Errorf("duplicates should be tolerated: %v", err)
+	}
+	if got := h.Edge("x"); len(got) != 2 {
+		t.Errorf("edge x = %v, want deduped {0,1}", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	h := New(5)
+	h.AddEdge("a", []int{0, 1})
+	h.AddEdge("b", []int{1, 2})
+	h.AddEdge("c", []int{3})
+	comps := h.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v, want 3 groups", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Errorf("first component = %v, want [0 1 2]", comps[0])
+	}
+}
+
+// TestOverlappingTriples: edges {0,1,2} and {1,2,3} are linearizable,
+// but adding {0,3} (wrapping around) is not.
+func TestOverlappingTriples(t *testing.T) {
+	h := New(4)
+	h.AddEdge("a", []int{0, 1, 2})
+	h.AddEdge("b", []int{1, 2, 3})
+	if !h.IsLinear() {
+		t.Fatal("overlapping triples should be linear")
+	}
+	h.AddEdge("c", []int{0, 3})
+	if h.IsLinear() {
+		t.Fatal("cycle closure should break linearity")
+	}
+}

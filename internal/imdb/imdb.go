@@ -1,0 +1,177 @@
+// Package imdb builds the movie-database instances of the paper's
+// running example (Meliou et al., VLDB 2010, Figures 1 and 2): the
+// genres-of-Burton-movies query, the exact micro-instance behind the
+// Musical answer of Fig. 2, and a seeded synthetic generator for
+// scaling experiments.
+//
+// Schema (Fig. 1):
+//
+//	Director(did, firstName, lastName)
+//	Movie(mid, name, year, rank)
+//	MovieDirectors(did, mid)
+//	Genre(mid, genre)
+//
+// Following Example 1.1's default, Director and Movie tuples are
+// endogenous; MovieDirectors and Genre tuples are exogenous.
+package imdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// GenreQuery is the SQL query of Fig. 1 as a conjunctive query:
+//
+//	q(genre) :- Director(did, fn, 'Burton'), MovieDirectors(did, mid),
+//	            Movie(mid, name, year, rank), Genre(mid, genre)
+func GenreQuery() *rel.Query {
+	return &rel.Query{
+		Name: "q",
+		Head: []rel.Term{rel.V("genre")},
+		Atoms: []rel.Atom{
+			rel.NewAtom("Director", rel.V("did"), rel.V("fn"), rel.C("Burton")),
+			rel.NewAtom("MovieDirectors", rel.V("did"), rel.V("mid")),
+			rel.NewAtom("Movie", rel.V("mid"), rel.V("name"), rel.V("year"), rel.V("rank")),
+			rel.NewAtom("Genre", rel.V("mid"), rel.V("genre")),
+		},
+	}
+}
+
+// Tuples of the Fig. 2 micro-instance, keyed for test assertions.
+const (
+	KeyDavid    = "Director:David"
+	KeyHumphrey = "Director:Humphrey"
+	KeyTim      = "Director:Tim"
+	KeySweeney  = "Movie:Sweeney Todd"
+	KeyMelody   = "Movie:The Melody Lingers On"
+	KeyLetsFall = "Movie:Let's Fall in Love"
+	KeyManon    = "Movie:Manon Lescaut"
+	KeyFlight   = "Movie:Flight"
+	KeyCandide  = "Movie:Candide"
+)
+
+// Micro builds the exact Fig. 2a instance: the lineage of the Musical
+// answer. The director→movie assignment is the unique one consistent
+// with the responsibilities of Fig. 2b (Example 2.4): David Burton
+// directed the 1930s musicals, Humphrey Burton the three filmed operas
+// and concerts, Tim Burton only Sweeney Todd.
+//
+// It returns the database and a key→TupleID map for the endogenous
+// tuples (see the Key* constants).
+func Micro() (*rel.Database, map[string]rel.TupleID) {
+	db := rel.NewDatabase()
+	keys := make(map[string]rel.TupleID)
+
+	directors := []struct {
+		key, did, first string
+	}{
+		{KeyDavid, "23456", "David"},
+		{KeyHumphrey, "23468", "Humphrey"},
+		{KeyTim, "23488", "Tim"},
+	}
+	for _, d := range directors {
+		keys[d.key] = db.MustAdd("Director", true, rel.Value(d.did), rel.Value(d.first), "Burton")
+	}
+
+	movies := []struct {
+		key, mid, name, year, did string
+	}{
+		{KeyMelody, "565577", "The Melody Lingers On", "1935", "23456"},
+		{KeyLetsFall, "359516", "Let's Fall in Love", "1933", "23456"},
+		{KeyManon, "389987", "Manon Lescaut", "1997", "23468"},
+		{KeyFlight, "173629", "Flight", "1999", "23468"},
+		{KeyCandide, "6539", "Candide", "1989", "23468"},
+		{KeySweeney, "526338", "Sweeney Todd", "2007", "23488"},
+	}
+	for _, m := range movies {
+		keys[m.key] = db.MustAdd("Movie", true, rel.Value(m.mid), rel.Value(m.name), rel.Value(m.year), "0")
+		db.MustAdd("MovieDirectors", false, rel.Value(m.did), rel.Value(m.mid))
+		db.MustAdd("Genre", false, rel.Value(m.mid), "Musical")
+	}
+	return db, keys
+}
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	Seed int64
+	// Directors is the number of directors; a fraction share the last
+	// name "Burton" (at least one).
+	Directors int
+	// MoviesPerDirector bounds the films per director (1..).
+	MoviesPerDirector int
+	// Genres is the size of the genre vocabulary.
+	Genres int
+	// GenresPerMovie bounds genre labels per movie (1..).
+	GenresPerMovie int
+	// BurtonShare is the fraction of directors named Burton (default
+	// 0.2).
+	BurtonShare float64
+}
+
+var genreNames = []string{
+	"Drama", "Family", "Fantasy", "History", "Horror", "Music",
+	"Musical", "Mystery", "Romance", "Sci-Fi", "Comedy", "Thriller",
+	"Western", "War", "Adventure", "Animation", "Biography", "Crime",
+	"Documentary", "Film-Noir",
+}
+
+var firstNames = []string{
+	"Tim", "David", "Humphrey", "Alice", "Robert", "Maria", "John",
+	"Sofia", "James", "Clara", "George", "Elena",
+}
+
+var lastNames = []string{
+	"Burton", "Scott", "Kurosawa", "Varda", "Leone", "Campion",
+	"Hitchcock", "Wilder", "Kubrick", "Agnes",
+}
+
+// Synthetic generates a random IMDB-like instance. Director and Movie
+// tuples are endogenous; MovieDirectors and Genre are exogenous.
+// Determinism is guaranteed by the seed.
+func Synthetic(cfg Config) *rel.Database {
+	if cfg.Directors <= 0 {
+		cfg.Directors = 20
+	}
+	if cfg.MoviesPerDirector <= 0 {
+		cfg.MoviesPerDirector = 4
+	}
+	if cfg.Genres <= 0 || cfg.Genres > len(genreNames) {
+		cfg.Genres = 10
+	}
+	if cfg.GenresPerMovie <= 0 {
+		cfg.GenresPerMovie = 2
+	}
+	if cfg.BurtonShare <= 0 {
+		cfg.BurtonShare = 0.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := rel.NewDatabase()
+	mid := 100000
+	for d := 0; d < cfg.Directors; d++ {
+		did := fmt.Sprintf("%d", 20000+d)
+		last := lastNames[1+rng.Intn(len(lastNames)-1)]
+		if d == 0 || rng.Float64() < cfg.BurtonShare {
+			last = "Burton"
+		}
+		first := firstNames[rng.Intn(len(firstNames))]
+		db.MustAdd("Director", true, rel.Value(did), rel.Value(first), rel.Value(last))
+		nMovies := 1 + rng.Intn(cfg.MoviesPerDirector)
+		for m := 0; m < nMovies; m++ {
+			mid++
+			midv := fmt.Sprintf("%d", mid)
+			name := fmt.Sprintf("Film-%d", mid)
+			year := fmt.Sprintf("%d", 1920+rng.Intn(100))
+			rank := fmt.Sprintf("%d", 1+rng.Intn(10))
+			db.MustAdd("Movie", true, rel.Value(midv), rel.Value(name), rel.Value(year), rel.Value(rank))
+			db.MustAdd("MovieDirectors", false, rel.Value(did), rel.Value(midv))
+			k := 1 + rng.Intn(cfg.GenresPerMovie)
+			perm := rng.Perm(cfg.Genres)
+			for g := 0; g < k; g++ {
+				db.MustAdd("Genre", false, rel.Value(midv), rel.Value(genreNames[perm[g]]))
+			}
+		}
+	}
+	return db
+}

@@ -1,0 +1,116 @@
+package lineage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// randDNF is a quick.Generator-friendly random DNF over variables
+// 0..nVars-1.
+type randDNF struct {
+	D DNF
+}
+
+func (randDNF) Generate(rng *rand.Rand, size int) reflect.Value {
+	const nVars = 8
+	nConj := 1 + rng.Intn(6)
+	var d DNF
+	for i := 0; i < nConj; i++ {
+		k := 1 + rng.Intn(3)
+		ids := make([]rel.TupleID, k)
+		for j := range ids {
+			ids[j] = rel.TupleID(rng.Intn(nVars))
+		}
+		d.Conjuncts = append(d.Conjuncts, NewConjunct(ids...))
+	}
+	return reflect.ValueOf(randDNF{D: d})
+}
+
+// TestQuickRemoveRedundantPreservesFunction: minimization never changes
+// the Boolean function — checked on all 2^8 assignments.
+func TestQuickRemoveRedundantPreservesFunction(t *testing.T) {
+	f := func(rd randDNF) bool {
+		min := RemoveRedundant(rd.D)
+		for mask := 0; mask < 1<<8; mask++ {
+			removed := make(map[rel.TupleID]bool)
+			for v := 0; v < 8; v++ {
+				if mask&(1<<v) == 0 {
+					removed[rel.TupleID(v)] = true
+				}
+			}
+			if rd.D.EvalWithout(removed) != min.EvalWithout(removed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimalDNFHasNoRedundancy: after minimization no conjunct
+// strictly contains another.
+func TestQuickMinimalDNFHasNoRedundancy(t *testing.T) {
+	f := func(rd randDNF) bool {
+		min := RemoveRedundant(rd.D)
+		for i, a := range min.Conjuncts {
+			for j, b := range min.Conjuncts {
+				if i != j && a.StrictSubsetOf(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubsetTransitivity: conjunct subset ordering is transitive
+// and antisymmetric on the generated population.
+func TestQuickSubsetTransitivity(t *testing.T) {
+	f := func(a, b, c randDNF) bool {
+		x := a.D.Conjuncts[0]
+		y := b.D.Conjuncts[0]
+		z := c.D.Conjuncts[0]
+		if x.SubsetOf(y) && y.SubsetOf(z) && !x.SubsetOf(z) {
+			return false
+		}
+		if x.SubsetOf(y) && y.SubsetOf(x) && !x.Equal(y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCausesAreLineageVars: every cause occurs in the minimal
+// lineage and vice versa (Theorem 3.2's criterion restated).
+func TestQuickCausesAreLineageVars(t *testing.T) {
+	f := func(rd randDNF) bool {
+		min := RemoveRedundant(rd.D)
+		vars := min.Vars()
+		seen := make(map[rel.TupleID]bool)
+		for _, v := range vars {
+			seen[v] = true
+		}
+		for v := rel.TupleID(0); v < 8; v++ {
+			has := len(min.ConjunctsWith(v)) > 0
+			if has != seen[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

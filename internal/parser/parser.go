@@ -1,0 +1,250 @@
+// Package parser reads the textual query and database formats used by
+// the command-line tools and examples.
+//
+// Query syntax (Datalog-style, matching the paper's notation):
+//
+//	q(x) :- R(x,y), S(y,'a3')
+//	q :- R(x,y), S(y)            (Boolean)
+//
+// Relation names begin with an upper-case letter; bare lower-case
+// identifiers are variables; quoted strings ('…' or "…") and numbers
+// are constants.
+//
+// Database syntax, one tuple per line:
+//
+//	+R(a1, a5)     endogenous tuple
+//	-S(a3)         exogenous tuple
+//	# comment      (blank lines and comments ignored)
+package parser
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// ParseQuery parses a conjunctive query.
+func ParseQuery(s string) (*rel.Query, error) {
+	parts := strings.SplitN(s, ":-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("parser: query must contain ':-': %q", s)
+	}
+	headStr := strings.TrimSpace(parts[0])
+	bodyStr := strings.TrimSpace(parts[1])
+	q := &rel.Query{}
+	// Head: name or name(args).
+	if i := strings.IndexByte(headStr, '('); i >= 0 {
+		if !strings.HasSuffix(headStr, ")") {
+			return nil, fmt.Errorf("parser: malformed head %q", headStr)
+		}
+		q.Name = strings.TrimSpace(headStr[:i])
+		args, err := parseTerms(headStr[i+1 : len(headStr)-1])
+		if err != nil {
+			return nil, fmt.Errorf("parser: head: %w", err)
+		}
+		q.Head = args
+	} else {
+		q.Name = headStr
+	}
+	if q.Name == "" {
+		return nil, fmt.Errorf("parser: empty query name in %q", s)
+	}
+	atoms, err := splitAtoms(bodyStr)
+	if err != nil {
+		return nil, err
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("parser: empty body in %q", s)
+	}
+	for _, a := range atoms {
+		atom, err := parseAtom(a)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, atom)
+	}
+	return q, nil
+}
+
+// splitAtoms splits "R(x,y), S(y)" at top-level commas.
+func splitAtoms(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	inQuote := rune(0)
+	start := 0
+	for i, r := range s {
+		switch {
+		case inQuote != 0:
+			if r == inQuote {
+				inQuote = 0
+			}
+		case r == '\'' || r == '"':
+			inQuote = r
+		case r == '(':
+			depth++
+		case r == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("parser: unbalanced ')' in %q", s)
+			}
+		case r == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || inQuote != 0 {
+		return nil, fmt.Errorf("parser: unbalanced parentheses or quotes in %q", s)
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out, nil
+}
+
+func parseAtom(s string) (rel.Atom, error) {
+	i := strings.IndexByte(s, '(')
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return rel.Atom{}, fmt.Errorf("parser: malformed atom %q", s)
+	}
+	name := strings.TrimSpace(s[:i])
+	if err := checkRelName(name); err != nil {
+		return rel.Atom{}, err
+	}
+	terms, err := parseTerms(s[i+1 : len(s)-1])
+	if err != nil {
+		return rel.Atom{}, fmt.Errorf("parser: atom %s: %w", name, err)
+	}
+	if len(terms) == 0 {
+		return rel.Atom{}, fmt.Errorf("parser: atom %s has no arguments", name)
+	}
+	return rel.Atom{Pred: name, Terms: terms}, nil
+}
+
+func checkRelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("parser: empty relation name")
+	}
+	r := []rune(name)[0]
+	if !unicode.IsUpper(r) {
+		return fmt.Errorf("parser: relation name %q must start with an upper-case letter", name)
+	}
+	return nil
+}
+
+func parseTerms(s string) ([]rel.Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts, err := splitAtoms(s) // same top-level comma logic
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rel.Term, 0, len(parts))
+	for _, p := range parts {
+		t, err := parseTerm(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseTerm(s string) (rel.Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return rel.Term{}, fmt.Errorf("empty term")
+	}
+	if (s[0] == '\'' || s[0] == '"') && len(s) >= 2 && s[len(s)-1] == s[0] {
+		return rel.C(rel.Value(s[1 : len(s)-1])), nil
+	}
+	r := []rune(s)[0]
+	if unicode.IsDigit(r) {
+		return rel.C(rel.Value(s)), nil
+	}
+	if unicode.IsLower(r) || r == '_' {
+		for _, c := range s {
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				return rel.Term{}, fmt.Errorf("invalid variable name %q", s)
+			}
+		}
+		return rel.V(s), nil
+	}
+	return rel.Term{}, fmt.Errorf("cannot parse term %q (variables are lower-case, constants quoted or numeric)", s)
+}
+
+// ParseTupleLine parses one database line: +R(a,b) or -R(a,b).
+func ParseTupleLine(line string) (relName string, endo bool, args []rel.Value, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return "", false, nil, fmt.Errorf("parser: empty tuple line")
+	}
+	switch line[0] {
+	case '+':
+		endo = true
+	case '-':
+		endo = false
+	default:
+		return "", false, nil, fmt.Errorf("parser: tuple line must start with + (endogenous) or - (exogenous): %q", line)
+	}
+	body := strings.TrimSpace(line[1:])
+	i := strings.IndexByte(body, '(')
+	if i < 0 || !strings.HasSuffix(body, ")") {
+		return "", false, nil, fmt.Errorf("parser: malformed tuple %q", line)
+	}
+	relName = strings.TrimSpace(body[:i])
+	if err := checkRelName(relName); err != nil {
+		return "", false, nil, err
+	}
+	parts, err := splitAtoms(body[i+1 : len(body)-1])
+	if err != nil {
+		return "", false, nil, err
+	}
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if len(p) >= 2 && (p[0] == '\'' || p[0] == '"') && p[len(p)-1] == p[0] {
+			p = p[1 : len(p)-1]
+		}
+		args = append(args, rel.Value(p))
+	}
+	if len(args) == 0 {
+		return "", false, nil, fmt.Errorf("parser: tuple %q has no values", line)
+	}
+	return relName, endo, args, nil
+}
+
+// ParseDatabase reads a database file: one tuple per line, comments
+// with '#'.
+func ParseDatabase(r io.Reader) (*rel.Database, error) {
+	db := rel.NewDatabase()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		relName, endo, args, err := ParseTupleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, err := db.Add(relName, endo, args...); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

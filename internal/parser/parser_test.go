@@ -1,0 +1,138 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryWithHead(t *testing.T) {
+	q, err := ParseQuery("q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "q" || len(q.Head) != 1 || !q.Head[0].IsVar || q.Head[0].Var != "x" {
+		t.Fatalf("head = %v", q.Head)
+	}
+	if len(q.Atoms) != 2 || q.Atoms[0].Pred != "R" || q.Atoms[1].Pred != "S" {
+		t.Fatalf("atoms = %v", q.Atoms)
+	}
+}
+
+func TestParseBooleanQuery(t *testing.T) {
+	q, err := ParseQuery("q :- R(x,'a3'), S('a3')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsBoolean() {
+		t.Fatal("want Boolean query")
+	}
+	if q.Atoms[0].Terms[1].IsVar || q.Atoms[0].Terms[1].Const != "a3" {
+		t.Fatalf("constant not parsed: %v", q.Atoms[0])
+	}
+	if q.Atoms[1].Terms[0].Const != "a3" {
+		t.Fatalf("constant not parsed: %v", q.Atoms[1])
+	}
+}
+
+func TestParseQueryConstantsVariants(t *testing.T) {
+	q, err := ParseQuery(`q :- Movie(mid, "Sweeney Todd", 2007)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := q.Atoms[0].Terms
+	if ts[0].IsVar != true || ts[1].Const != "Sweeney Todd" || ts[2].Const != "2007" {
+		t.Fatalf("terms = %v", ts)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"q(x) R(x)",        // no :-
+		"q :- r(x)",        // lower-case relation
+		"q :- R(x",         // unbalanced
+		"q :- ",            // empty body
+		"q :- R()",         // no args
+		"q :- R(x,@)",      // bad term
+		"(x) :- R(x)",      // empty name
+		"q :- R(x,'a)",     // unbalanced quote
+		"q :- R(x)), S(y)", // stray paren
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseTupleLine(t *testing.T) {
+	relName, endo, args, err := ParseTupleLine("+R(a1, a5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relName != "R" || !endo || len(args) != 2 || args[0] != "a1" || args[1] != "a5" {
+		t.Fatalf("got %s %v %v", relName, endo, args)
+	}
+	_, endo, _, err = ParseTupleLine("-S('hello world')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endo {
+		t.Fatal("want exogenous")
+	}
+	for _, bad := range []string{"R(a)", "+r(a)", "+R", "+R()", ""} {
+		if _, _, _, err := ParseTupleLine(bad); err == nil {
+			t.Errorf("ParseTupleLine(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDatabase(t *testing.T) {
+	src := `
+# Example 2.2
++R(a1, a5)
++R(a2, a1)   # trailing comment
+-S(a3)
+`
+	db, err := ParseDatabase(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTuples() != 3 {
+		t.Fatalf("tuples = %d, want 3", db.NumTuples())
+	}
+	if db.Relation("R").Arity != 2 || db.Relation("S").Arity != 1 {
+		t.Fatal("arities wrong")
+	}
+	if db.Tuple(2).Endo {
+		t.Fatal("S(a3) should be exogenous")
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	if _, err := ParseDatabase(strings.NewReader("+R(a)\n+R(a,b)\n")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := ParseDatabase(strings.NewReader("R(a)\n")); err == nil {
+		t.Error("missing +/- should fail")
+	}
+}
+
+func TestRoundTripWithRel(t *testing.T) {
+	q, err := ParseQuery("q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ParseDatabase(strings.NewReader("+R(a,b)\n+S(b)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(db); err != nil {
+		t.Fatal(err)
+	}
+	bq, err := q.Bind("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bq.Atoms[0].Terms[0].Const != "a" {
+		t.Fatalf("bind failed: %v", bq)
+	}
+}

@@ -1,0 +1,295 @@
+// Package reductions makes the hardness theory of Meliou et al.
+// (VLDB 2010) executable: every reduction used in the proofs of
+// Theorem 4.1 (canonical hard queries h₁*, h₂*), Theorem 4.15
+// (LOGSPACE-hardness via UGAP → BGAP → FPMF → chain query) and
+// Proposition 4.16 (self-joins via vertex cover) is implemented as code
+// that builds database instances and exact combinatorial baselines, so
+// the equivalences the proofs assert can be checked mechanically on
+// concrete inputs (and benchmarked).
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// AddEdge inserts edge {u,v}, normalizing order and ignoring
+// self-loops and duplicates.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return
+		}
+	}
+	g.Edges = append(g.Edges, [2]int{u, v})
+}
+
+// RandomGraph samples a graph where each possible edge appears with
+// probability p.
+func RandomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := &Graph{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// MinVertexCover computes the exact minimum vertex cover size by branch
+// and bound (branching on an endpoint of an uncovered edge).
+func (g *Graph) MinVertexCover() int {
+	best := g.N
+	inCover := make([]bool, g.N)
+	var rec func(size int)
+	rec = func(size int) {
+		if size >= best {
+			return
+		}
+		// First uncovered edge.
+		var pick *[2]int
+		lb := 0
+		used := make([]bool, g.N)
+		for i := range g.Edges {
+			e := &g.Edges[i]
+			if inCover[e[0]] || inCover[e[1]] {
+				continue
+			}
+			if pick == nil {
+				pick = e
+			}
+			if !used[e[0]] && !used[e[1]] {
+				lb++ // disjoint uncovered edges: matching lower bound
+				used[e[0]] = true
+				used[e[1]] = true
+			}
+		}
+		if pick == nil {
+			best = size
+			return
+		}
+		if size+lb >= best {
+			return
+		}
+		for _, v := range pick {
+			inCover[v] = true
+			rec(size + 1)
+			inCover[v] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+// HasPath reports whether a and b are connected (used by the UGAP
+// instance of Theorem 4.15).
+func (g *Graph) HasPath(a, b int) bool {
+	if a == b {
+		return true
+	}
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, g.N)
+	stack := []int{a}
+	seen[a] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if w == b {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// SelfJoinInstance is the Proposition 4.16 reduction: a vertex-cover
+// graph encoded as an instance of q :- Rⁿ(x), S(x,y), Rⁿ(y).
+type SelfJoinInstance struct {
+	DB *rel.Database
+	Q  *rel.Query
+	// Target is the added tuple r₀ whose minimum contingency equals the
+	// graph's minimum vertex cover.
+	Target rel.TupleID
+}
+
+// SelfJoinFromGraph builds the instance. sEndo selects whether S is
+// endogenous (the proposition proves hardness either way).
+func SelfJoinFromGraph(g *Graph, sEndo bool) *SelfJoinInstance {
+	db := rel.NewDatabase()
+	val := func(v int) rel.Value { return rel.Value(fmt.Sprintf("x%d", v)) }
+	for v := 0; v < g.N; v++ {
+		db.MustAdd("R", true, val(v))
+	}
+	for _, e := range g.Edges {
+		db.MustAdd("S", sEndo, val(e[0]), val(e[1]))
+	}
+	r0 := db.MustAdd("R", true, "x_target")
+	db.MustAdd("S", sEndo, "x_target", "x_target")
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x")),
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("R", rel.V("y")),
+	)
+	return &SelfJoinInstance{DB: db, Q: q, Target: r0}
+}
+
+// Hypergraph3 is a 3-partite 3-uniform hypergraph: parts of sizes
+// NA, NB, NC and triples (a,b,c) with a ∈ [0,NA) etc. Its minimum
+// vertex cover underlies the h₁* hardness proof (Theorem 4.1, Fig. 6).
+type Hypergraph3 struct {
+	NA, NB, NC int
+	Triples    [][3]int
+}
+
+// AddTriple inserts a hyperedge, ignoring duplicates.
+func (h *Hypergraph3) AddTriple(a, b, c int) {
+	for _, t := range h.Triples {
+		if t == [3]int{a, b, c} {
+			return
+		}
+	}
+	h.Triples = append(h.Triples, [3]int{a, b, c})
+}
+
+// RandomHypergraph3 samples nt distinct triples.
+func RandomHypergraph3(rng *rand.Rand, na, nb, nc, nt int) *Hypergraph3 {
+	h := &Hypergraph3{NA: na, NB: nb, NC: nc}
+	for len(h.Triples) < nt && len(h.Triples) < na*nb*nc {
+		h.AddTriple(rng.Intn(na), rng.Intn(nb), rng.Intn(nc))
+	}
+	return h
+}
+
+// MinVertexCover computes the exact minimum set of vertices touching
+// every triple, by branch and bound with a disjoint-triple lower bound.
+func (h *Hypergraph3) MinVertexCover() int {
+	// Vertices are encoded part-wise: a → (0,a), b → (1,b), c → (2,c).
+	type vertex struct{ part, idx int }
+	inCover := make(map[vertex]bool)
+	best := len(h.Triples) // covering one vertex per triple always works
+	verts := func(t [3]int) [3]vertex {
+		return [3]vertex{{0, t[0]}, {1, t[1]}, {2, t[2]}}
+	}
+	var rec func(size int)
+	rec = func(size int) {
+		if size >= best {
+			return
+		}
+		var pick *[3]int
+		lb := 0
+		used := make(map[vertex]bool)
+		for i := range h.Triples {
+			t := &h.Triples[i]
+			vs := verts(*t)
+			if inCover[vs[0]] || inCover[vs[1]] || inCover[vs[2]] {
+				continue
+			}
+			if pick == nil {
+				pick = t
+			}
+			if !used[vs[0]] && !used[vs[1]] && !used[vs[2]] {
+				lb++
+				used[vs[0]] = true
+				used[vs[1]] = true
+				used[vs[2]] = true
+			}
+		}
+		if pick == nil {
+			best = size
+			return
+		}
+		if size+lb >= best {
+			return
+		}
+		for _, v := range verts(*pick) {
+			inCover[v] = true
+			rec(size + 1)
+			delete(inCover, v)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// H1Instance is the Theorem 4.1 / Fig. 6 reduction: a 3-partite
+// 3-uniform hypergraph encoded as an instance of
+// h₁* :- Aⁿ(x), Bⁿ(y), Cⁿ(z), W(x,y,z).
+type H1Instance struct {
+	DB *rel.Database
+	Q  *rel.Query
+	// Target is r₀ = A(x₀); its minimum contingency equals the
+	// hypergraph's minimum vertex cover.
+	Target rel.TupleID
+}
+
+// H1FromHypergraph builds the instance; wEndo selects W's status (the
+// theorem proves hardness either way).
+func H1FromHypergraph(h *Hypergraph3, wEndo bool) *H1Instance {
+	db := rel.NewDatabase()
+	av := func(i int) rel.Value { return rel.Value(fmt.Sprintf("a%d", i)) }
+	bv := func(i int) rel.Value { return rel.Value(fmt.Sprintf("b%d", i)) }
+	cv := func(i int) rel.Value { return rel.Value(fmt.Sprintf("c%d", i)) }
+	for i := 0; i < h.NA; i++ {
+		db.MustAdd("A", true, av(i))
+	}
+	for i := 0; i < h.NB; i++ {
+		db.MustAdd("B", true, bv(i))
+	}
+	for i := 0; i < h.NC; i++ {
+		db.MustAdd("C", true, cv(i))
+	}
+	for _, t := range h.Triples {
+		db.MustAdd("W", wEndo, av(t[0]), bv(t[1]), cv(t[2]))
+	}
+	r0 := db.MustAdd("A", true, "a_target")
+	db.MustAdd("B", true, "b_target")
+	db.MustAdd("C", true, "c_target")
+	db.MustAdd("W", wEndo, "a_target", "b_target", "c_target")
+	q := rel.NewBoolean(
+		rel.NewAtom("A", rel.V("x")),
+		rel.NewAtom("B", rel.V("y")),
+		rel.NewAtom("C", rel.V("z")),
+		rel.NewAtom("W", rel.V("x"), rel.V("y"), rel.V("z")),
+	)
+	return &H1Instance{DB: db, Q: q, Target: r0}
+}
+
+// SortTriples orders triples lexicographically (determinism helper).
+func (h *Hypergraph3) SortTriples() {
+	sort.Slice(h.Triples, func(i, j int) bool {
+		a, b := h.Triples[i], h.Triples[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+}

@@ -1,0 +1,60 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// TestH2ToH3ResponsibilitiesIdentical is the executable Fig. 9 claim:
+// every R/S/T tuple of an h₂* instance has the same cause status and
+// minimum contingency as its unary image in the transformed h₃*
+// instance.
+func TestH2ToH3ResponsibilitiesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dom := []rel.Value{"0", "1", "2"}
+	for trial := 0; trial < 15; trial++ {
+		db := rel.NewDatabase()
+		seen := map[string]bool{}
+		for _, name := range []string{"R", "S", "T"} {
+			for i := 0; i < 4; i++ {
+				a, b := dom[rng.Intn(3)], dom[rng.Intn(3)]
+				k := name + string(a) + string(b)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				db.MustAdd(name, true, a, b)
+			}
+		}
+		db3, mapping, err := H2ToH3(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, q3 := H2Query(), H3Query()
+		for oldID, newID := range mapping {
+			s2, ok2, err := exact.MinContingencyDB(db, q2, oldID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s3, ok3, err := exact.MinContingencyDB(db3, q3, newID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok2 != ok3 || (ok2 && s2 != s3) {
+				t.Fatalf("trial %d tuple %v: h2=(%d,%v) h3=(%d,%v)\nh2 db:\n%v\nh3 db:\n%v",
+					trial, db.Tuple(oldID), s2, ok2, s3, ok3, db, db3)
+			}
+		}
+	}
+}
+
+func TestH2ToH3MissingRelation(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a", "b")
+	if _, _, err := H2ToH3(db); err == nil {
+		t.Fatal("expected error for missing S,T")
+	}
+}

@@ -1,0 +1,311 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/exact"
+)
+
+// TestMinVertexCoverBruteForce validates the B&B cover solver against
+// subset enumeration on tiny graphs.
+func TestMinVertexCoverBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		g := RandomGraph(rng, 7, 0.35)
+		want := bruteCover(g)
+		if got := g.MinVertexCover(); got != want {
+			t.Fatalf("trial %d: bb=%d brute=%d edges=%v", trial, got, want, g.Edges)
+		}
+	}
+}
+
+func bruteCover(g *Graph) int {
+	for k := 0; k <= g.N; k++ {
+		if coverOfSize(g, k, 0, make([]bool, g.N)) {
+			return k
+		}
+	}
+	return g.N
+}
+
+func coverOfSize(g *Graph, k, from int, in []bool) bool {
+	covered := true
+	for _, e := range g.Edges {
+		if !in[e[0]] && !in[e[1]] {
+			covered = false
+			break
+		}
+	}
+	if covered {
+		return true
+	}
+	if k == 0 {
+		return false
+	}
+	for v := from; v < g.N; v++ {
+		in[v] = true
+		if coverOfSize(g, k-1, v+1, in) {
+			in[v] = false
+			return true
+		}
+		in[v] = false
+	}
+	return false
+}
+
+// TestSelfJoinVertexCover is the executable Proposition 4.16: the
+// minimum contingency of r₀ for q :- Rⁿ(x),S(x,y),Rⁿ(y) equals the
+// minimum vertex cover, with S exogenous or endogenous.
+func TestSelfJoinVertexCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		g := RandomGraph(rng, 6, 0.4)
+		want := g.MinVertexCover()
+		for _, sEndo := range []bool{false, true} {
+			inst := SelfJoinFromGraph(g, sEndo)
+			size, ok, err := exact.MinContingencyDB(inst.DB, inst.Q, inst.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || size != want {
+				t.Fatalf("trial %d sEndo=%v: contingency=%d(%v) cover=%d", trial, sEndo, size, ok, want)
+			}
+		}
+	}
+}
+
+// TestH1Fig6Golden replays the exact Fig. 6 instance: triples
+// (1,1,2),(1,2,1),(2,1,1),(3,3,2); the minimum cover is {c1,c2}, so
+// ρ(r₀) = 1/3.
+func TestH1Fig6Golden(t *testing.T) {
+	h := &Hypergraph3{NA: 3, NB: 3, NC: 2}
+	h.AddTriple(0, 0, 1)
+	h.AddTriple(0, 1, 0)
+	h.AddTriple(1, 0, 0)
+	h.AddTriple(2, 2, 1)
+	if got := h.MinVertexCover(); got != 2 {
+		t.Fatalf("Fig. 6 min cover = %d, want 2", got)
+	}
+	inst := H1FromHypergraph(h, false)
+	size, ok, err := exact.MinContingencyDB(inst.DB, inst.Q, inst.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || size != 2 {
+		t.Fatalf("Fig. 6 contingency = %d(%v), want 2 (ρ = 1/3)", size, ok)
+	}
+}
+
+// TestH1VertexCoverReduction fuzzes the Fig. 6 reduction.
+func TestH1VertexCoverReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		h := RandomHypergraph3(rng, 3, 3, 3, 5)
+		want := h.MinVertexCover()
+		for _, wEndo := range []bool{false, true} {
+			inst := H1FromHypergraph(h, wEndo)
+			size, ok, err := exact.MinContingencyDB(inst.DB, inst.Q, inst.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || size != want {
+				t.Fatalf("trial %d wEndo=%v: contingency=%d(%v) cover=%d triples=%v",
+					trial, wEndo, size, ok, want, h.Triples)
+			}
+		}
+	}
+}
+
+// TestFormulaBasics exercises validation, evaluation and brute-force
+// SAT.
+func TestFormulaBasics(t *testing.T) {
+	f := Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+	}}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sat, assign := f.Satisfiable()
+	if !sat || !f.Evaluate(assign) {
+		t.Fatal("x∨y∨z must be satisfiable")
+	}
+	bad := Formula{NumVars: 2, Clauses: []Clause{
+		{{Var: 0}, {Var: 0, Neg: true}, {Var: 1}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate variable in clause must be rejected")
+	}
+	oor := Formula{NumVars: 1, Clauses: []Clause{{{Var: 0}, {Var: 1}, {Var: 2}}}}
+	if err := oor.Validate(); err == nil {
+		t.Error("out-of-range variable must be rejected")
+	}
+}
+
+// unsat8 is the canonical unsatisfiable 3CNF: all eight sign patterns
+// over three variables.
+func unsat8() Formula {
+	f := Formula{NumVars: 3}
+	for mask := 0; mask < 8; mask++ {
+		f.Clauses = append(f.Clauses, Clause{
+			{Var: 0, Neg: mask&1 != 0},
+			{Var: 1, Neg: mask&2 != 0},
+			{Var: 2, Neg: mask&4 != 0},
+		})
+	}
+	return f
+}
+
+// TestH2SATRings is the executable Lemma C.3: the canonical ring
+// contingency of some assignment is valid iff the formula is
+// satisfiable — checked on satisfiable and unsatisfiable formulas.
+func TestH2SATRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var formulas []Formula
+	for i := 0; i < 4; i++ {
+		formulas = append(formulas, RandomFormula(rng, 4, 2))
+	}
+	formulas = append(formulas, unsat8())
+	for fi, f := range formulas {
+		inst, err := BuildRings(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSAT, _ := f.Satisfiable()
+		gotSAT, err := inst.SatisfiableViaRings(f.NumVars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSAT != wantSAT {
+			t.Fatalf("formula %d: rings say %v, SAT says %v", fi, gotSAT, wantSAT)
+		}
+	}
+}
+
+// TestRingStructure checks Lemma C.2's counting: each ring has mᵢ
+// forward edges per sign, and for a satisfying assignment the canonical
+// contingency has size Σmᵢ and is valid.
+func TestRingStructure(t *testing.T) {
+	f := Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1, Neg: true}, {Var: 2}},
+	}}
+	inst, err := BuildRings(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.SumMi != 27 {
+		t.Fatalf("Σmᵢ = %d, want 27 (three rings of 9)", inst.SumMi)
+	}
+	for v := 0; v < 3; v++ {
+		if len(inst.SPlus[v]) != 9 || len(inst.SMinus[v]) != 9 {
+			t.Fatalf("ring %d: |S⁺|=%d |S⁻|=%d, want 9/9", v, len(inst.SPlus[v]), len(inst.SMinus[v]))
+		}
+	}
+	sat, assign := f.Satisfiable()
+	if !sat {
+		t.Fatal("formula should be satisfiable")
+	}
+	gamma := inst.AssignmentContingency(assign)
+	if len(gamma) != inst.SumMi {
+		t.Fatalf("|Γ| = %d, want %d", len(gamma), inst.SumMi)
+	}
+	ok, err := inst.ValidContingency(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("canonical contingency of a satisfying assignment must be valid")
+	}
+	// A violated assignment's contingency must be invalid when it
+	// falsifies the clause: x=false, y=true, z=false falsifies
+	// (x ∨ ¬y ∨ z).
+	bad := inst.AssignmentContingency([]bool{false, true, false})
+	ok, err = inst.ValidContingency(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("falsifying assignment's contingency must leave the clause triangle alive")
+	}
+}
+
+// TestRingMinimality verifies (on one small instance) that Σmᵢ is
+// really the minimum contingency, i.e. the other direction of
+// Lemma C.3 combined with Lemmas C.1/C.2.
+func TestRingMinimality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact search over a 3-ring instance")
+	}
+	f := Formula{NumVars: 3, Clauses: []Clause{
+		{{Var: 0}, {Var: 1}, {Var: 2}},
+	}}
+	inst, err := BuildRings(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, ok, err := exact.MinContingencyDB(inst.DB, inst.Q, inst.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || size != inst.SumMi {
+		t.Fatalf("min contingency = %d(%v), want Σmᵢ = %d", size, ok, inst.SumMi)
+	}
+}
+
+// TestLogspaceChain is the executable Theorem 4.15: path existence in a
+// random undirected graph is decided by the responsibility of the probe
+// tuple in the chain-query instance, through every intermediate
+// reduction.
+func TestLogspaceChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sawPath, sawNoPath := false, false
+	for trial := 0; trial < 20; trial++ {
+		g := RandomGraph(rng, 6, 0.25)
+		a, b := rng.Intn(g.N), rng.Intn(g.N)
+		if a == b {
+			continue
+		}
+		path := g.HasPath(a, b)
+		bg := UGAPToBGAP(g, a, b)
+		if bg.HasPath() != path {
+			t.Fatalf("trial %d: BGAP path %v, UGAP path %v", trial, bg.HasPath(), path)
+		}
+		f := BGAPToFPMF(bg)
+		flowVal := f.MaxFlow()
+		wantFlow := int64(len(bg.Edges))
+		if path {
+			wantFlow++
+		}
+		if flowVal != wantFlow {
+			t.Fatalf("trial %d: flow=%d want %d (path=%v, |E|=%d)", trial, flowVal, wantFlow, path, len(bg.Edges))
+		}
+		chain := FPMFToChain(f)
+		eng, err := core.NewWhySo(chain.DB, chain.Q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := eng.Responsibility(chain.Target, core.ModeAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Method != core.MethodFlow && ex.Method != core.MethodCounterfactual {
+			t.Fatalf("trial %d: method %v; chain query must be linear", trial, ex.Method)
+		}
+		if int64(ex.ContingencySize) != flowVal {
+			t.Fatalf("trial %d: contingency=%d flow=%d", trial, ex.ContingencySize, flowVal)
+		}
+		if path {
+			sawPath = true
+		} else {
+			sawNoPath = true
+		}
+	}
+	if !sawPath || !sawNoPath {
+		t.Fatalf("test needs both outcomes (path=%v noPath=%v)", sawPath, sawNoPath)
+	}
+}
+
+func TestH2ToH3Transform(t *testing.T) {
+	// Implemented in h2toh3.go; see TestH2ToH3ResponsibilitiesIdentical.
+}

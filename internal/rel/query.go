@@ -1,0 +1,403 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is either a variable or a constant appearing in a query atom.
+type Term struct {
+	IsVar bool
+	Var   string
+	Const Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{IsVar: true, Var: name} }
+
+// C returns a constant term.
+func C(v Value) Term { return Term{Const: v} }
+
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return "'" + string(t.Const) + "'"
+}
+
+// Atom is a relational subgoal R(t1,…,tk) of a conjunctive query.
+type Atom struct {
+	Pred  string
+	Terms []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, terms ...Term) Atom {
+	return Atom{Pred: pred, Terms: terms}
+}
+
+// Vars returns the distinct variables of the atom in first-occurrence
+// order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Terms {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+// Query is a conjunctive query. A Boolean query has an empty Head.
+// Head terms must be variables occurring in the body or constants.
+type Query struct {
+	Name  string
+	Head  []Term
+	Atoms []Atom
+}
+
+// NewBoolean builds a Boolean conjunctive query from atoms.
+func NewBoolean(atoms ...Atom) *Query {
+	return &Query{Name: "q", Atoms: atoms}
+}
+
+// Vars returns the distinct variables of the query in first-occurrence
+// order over the body.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// IsBoolean reports whether the query has an empty head.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// HasSelfJoin reports whether any relation name occurs in two atoms.
+func (q *Query) HasSelfJoin() bool {
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if seen[a.Pred] {
+			return true
+		}
+		seen[a.Pred] = true
+	}
+	return false
+}
+
+// Bind substitutes the answer tuple for the head variables and returns
+// the resulting Boolean query (Section 2: causes of answer ā to q(x̄) are
+// the causes of the Boolean query q[ā/x̄]).
+func (q *Query) Bind(answer ...Value) (*Query, error) {
+	if len(answer) != len(q.Head) {
+		return nil, fmt.Errorf("rel: query %s has %d head terms, got %d answer values", q.Name, len(q.Head), len(answer))
+	}
+	subst := make(map[string]Value)
+	for i, h := range q.Head {
+		if !h.IsVar {
+			if h.Const != answer[i] {
+				return nil, fmt.Errorf("rel: head constant %s incompatible with answer value %s", h.Const, answer[i])
+			}
+			continue
+		}
+		if prev, ok := subst[h.Var]; ok && prev != answer[i] {
+			return nil, fmt.Errorf("rel: head variable %s bound to both %s and %s", h.Var, prev, answer[i])
+		}
+		subst[h.Var] = answer[i]
+	}
+	out := &Query{Name: q.Name}
+	for _, a := range q.Atoms {
+		na := Atom{Pred: a.Pred, Terms: make([]Term, len(a.Terms))}
+		for i, t := range a.Terms {
+			if t.IsVar {
+				if v, ok := subst[t.Var]; ok {
+					na.Terms[i] = C(v)
+					continue
+				}
+			}
+			na.Terms[i] = t
+		}
+		out.Atoms = append(out.Atoms, na)
+	}
+	return out, nil
+}
+
+// Validate checks arities against the database and that head variables
+// appear in the body.
+func (q *Query) Validate(db *Database) error {
+	bodyVars := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if r := db.Relation(a.Pred); r != nil && r.Arity != len(a.Terms) {
+			return fmt.Errorf("rel: atom %s has %d terms but relation %s has arity %d", a, len(a.Terms), a.Pred, r.Arity)
+		}
+		for _, v := range a.Vars() {
+			bodyVars[v] = true
+		}
+	}
+	for _, h := range q.Head {
+		if h.IsVar && !bodyVars[h.Var] {
+			return fmt.Errorf("rel: head variable %s does not occur in the body", h.Var)
+		}
+	}
+	return nil
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Name)
+	if len(q.Head) > 0 {
+		parts := make([]string, len(q.Head))
+		for i, h := range q.Head {
+			parts[i] = h.String()
+		}
+		fmt.Fprintf(&b, "(%s)", strings.Join(parts, ","))
+	}
+	b.WriteString(" :- ")
+	parts := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		parts[i] = a.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	return b.String()
+}
+
+// Valuation is one way of satisfying a Boolean query: a binding of the
+// query variables plus, per atom, the witness tuple it maps onto.
+type Valuation struct {
+	Binding map[string]Value
+	// Witness[i] is the ID of the tuple matched by q.Atoms[i].
+	Witness []TupleID
+}
+
+// Answer is a distinct head tuple together with all valuations deriving
+// it.
+type Answer struct {
+	Values     []Value
+	Valuations []Valuation
+}
+
+// Valuations enumerates all valuations of the Boolean query q over db.
+// For non-Boolean queries it enumerates valuations of the body (the head
+// is ignored); use Answers to group them by head value.
+//
+// The enumeration uses a greedy bound-variable join order with hash
+// indexes on bound columns.
+func Valuations(db *Database, q *Query) ([]Valuation, error) {
+	for _, a := range q.Atoms {
+		r := db.Relation(a.Pred)
+		if r == nil {
+			return nil, nil // empty relation: no valuations
+		}
+		if r.Arity != len(a.Terms) {
+			return nil, fmt.Errorf("rel: atom %s arity mismatch with relation (arity %d)", a, r.Arity)
+		}
+	}
+	var out []Valuation
+	binding := make(map[string]Value)
+	witness := make([]TupleID, len(q.Atoms))
+	used := make([]bool, len(q.Atoms))
+
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(q.Atoms) {
+			bcopy := make(map[string]Value, len(binding))
+			for k, v := range binding {
+				bcopy[k] = v
+			}
+			out = append(out, Valuation{Binding: bcopy, Witness: append([]TupleID(nil), witness...)})
+			return
+		}
+		ai := pickNextAtom(q, used, binding)
+		used[ai] = true
+		a := q.Atoms[ai]
+		r := db.Relation(a.Pred)
+		for _, ti := range candidates(r, a, binding) {
+			tup := r.Tuples[ti]
+			newVars, ok := matchAtom(a, tup, binding)
+			if !ok {
+				continue
+			}
+			witness[ai] = tup.ID
+			rec(depth + 1)
+			for _, v := range newVars {
+				delete(binding, v)
+			}
+		}
+		used[ai] = false
+	}
+	rec(0)
+	return out, nil
+}
+
+// pickNextAtom chooses the unused atom with the most bound terms
+// (constants or already-bound variables), breaking ties by index.
+func pickNextAtom(q *Query, used []bool, binding map[string]Value) int {
+	best, bestScore := -1, -1
+	for i, a := range q.Atoms {
+		if used[i] {
+			continue
+		}
+		score := 0
+		for _, t := range a.Terms {
+			if !t.IsVar {
+				score++
+			} else if _, ok := binding[t.Var]; ok {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// candidates returns indexes into r.Tuples worth testing for atom a under
+// the current binding, using a column index when some term is bound.
+func candidates(r *Relation, a Atom, binding map[string]Value) []int {
+	col, val := -1, Value("")
+	for i, t := range a.Terms {
+		if !t.IsVar {
+			col, val = i, t.Const
+			break
+		}
+		if v, ok := binding[t.Var]; ok {
+			col, val = i, v
+			break
+		}
+	}
+	if col < 0 {
+		all := make([]int, len(r.Tuples))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return r.ensureIndex(col)[val]
+}
+
+// matchAtom attempts to unify atom a with tuple tup under binding. On
+// success it extends binding in place and returns the newly bound
+// variables (for backtracking).
+func matchAtom(a Atom, tup *Tuple, binding map[string]Value) (newVars []string, ok bool) {
+	for i, t := range a.Terms {
+		got := tup.Args[i]
+		if !t.IsVar {
+			if t.Const != got {
+				return unwind(binding, newVars)
+			}
+			continue
+		}
+		if v, bound := binding[t.Var]; bound {
+			if v != got {
+				return unwind(binding, newVars)
+			}
+			continue
+		}
+		binding[t.Var] = got
+		newVars = append(newVars, t.Var)
+	}
+	return newVars, true
+}
+
+func unwind(binding map[string]Value, newVars []string) ([]string, bool) {
+	for _, v := range newVars {
+		delete(binding, v)
+	}
+	return nil, false
+}
+
+// Holds reports whether the Boolean query q is true on db.
+func Holds(db *Database, q *Query) (bool, error) {
+	vals, err := Valuations(db, q)
+	if err != nil {
+		return false, err
+	}
+	return len(vals) > 0, nil
+}
+
+// Answers evaluates a non-Boolean query, grouping valuations by head
+// value. Results are sorted by head tuple for determinism.
+func Answers(db *Database, q *Query) ([]Answer, error) {
+	if err := q.Validate(db); err != nil {
+		return nil, err
+	}
+	vals, err := Valuations(db, q)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string]*Answer)
+	var keys []string
+	for _, val := range vals {
+		hv := make([]Value, len(q.Head))
+		for i, h := range q.Head {
+			if h.IsVar {
+				hv[i] = val.Binding[h.Var]
+			} else {
+				hv[i] = h.Const
+			}
+		}
+		key := joinValues(hv)
+		g, ok := groups[key]
+		if !ok {
+			g = &Answer{Values: hv}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.Valuations = append(g.Valuations, val)
+	}
+	sort.Strings(keys)
+	out := make([]Answer, 0, len(groups))
+	for _, k := range keys {
+		out = append(out, *groups[k])
+	}
+	return out, nil
+}
+
+func joinValues(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// HoldsWithout reports whether q is true on db with the given tuples
+// removed. It does not mutate db.
+func HoldsWithout(db *Database, q *Query, removed map[TupleID]bool) (bool, error) {
+	if len(removed) == 0 {
+		return Holds(db, q)
+	}
+	vals, err := Valuations(db, q)
+	if err != nil {
+		return false, err
+	}
+outer:
+	for _, v := range vals {
+		for _, id := range v.Witness {
+			if removed[id] {
+				continue outer
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}

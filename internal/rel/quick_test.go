@@ -1,0 +1,111 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInstance generates a small database + the chain query
+// R(x,y),S(y,z) with random endo flags.
+type randInstance struct {
+	DB *Database
+}
+
+func (randInstance) Generate(rng *rand.Rand, size int) reflect.Value {
+	db := NewDatabase()
+	dom := []Value{"0", "1", "2"}
+	for i := 0; i < 5; i++ {
+		db.MustAdd("R", rng.Intn(4) != 0, dom[rng.Intn(3)], dom[rng.Intn(3)])
+		db.MustAdd("S", rng.Intn(4) != 0, dom[rng.Intn(3)], dom[rng.Intn(3)])
+	}
+	return reflect.ValueOf(randInstance{DB: db})
+}
+
+func chainQuery() *Query {
+	return NewBoolean(
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+	)
+}
+
+// TestQuickHoldsIffValuations: Holds ⟺ at least one valuation.
+func TestQuickHoldsIffValuations(t *testing.T) {
+	f := func(ri randInstance) bool {
+		q := chainQuery()
+		vals, err := Valuations(ri.DB, q)
+		if err != nil {
+			return false
+		}
+		ok, err := Holds(ri.DB, q)
+		if err != nil {
+			return false
+		}
+		return ok == (len(vals) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWitnessesSatisfyAtoms: every valuation's witness tuples
+// actually match the atom patterns under the binding.
+func TestQuickWitnessesSatisfyAtoms(t *testing.T) {
+	f := func(ri randInstance) bool {
+		q := chainQuery()
+		vals, err := Valuations(ri.DB, q)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			for ai, a := range q.Atoms {
+				tup := ri.DB.Tuple(v.Witness[ai])
+				if tup.Rel != a.Pred {
+					return false
+				}
+				for i, tm := range a.Terms {
+					want := tm.Const
+					if tm.IsVar {
+						want = v.Binding[tm.Var]
+					}
+					if tup.Args[i] != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemovalMonotone: removing more tuples never makes a false
+// query true (monotonicity of conjunctive queries).
+func TestQuickRemovalMonotone(t *testing.T) {
+	f := func(ri randInstance, mask uint16) bool {
+		q := chainQuery()
+		small := map[TupleID]bool{}
+		big := map[TupleID]bool{}
+		for i := 0; i < ri.DB.NumTuples() && i < 16; i++ {
+			if mask&(1<<i) != 0 {
+				small[TupleID(i)] = true
+				big[TupleID(i)] = true
+			}
+		}
+		// big removes one extra tuple.
+		big[TupleID(int(mask)%ri.DB.NumTuples())] = true
+		okSmall, err1 := HoldsWithout(ri.DB, q, small)
+		okBig, err2 := HoldsWithout(ri.DB, q, big)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// big ⊇ small ⟹ okBig ⟹ okSmall.
+		return !okBig || okSmall
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

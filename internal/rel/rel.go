@@ -1,0 +1,200 @@
+// Package rel implements the relational substrate of the causality
+// library: named relations of constant tuples, databases partitioned into
+// endogenous and exogenous tuples, and conjunctive queries with their
+// evaluation to valuations (per-answer witness tuple lists).
+//
+// The package follows Section 2 of Meliou et al. (VLDB 2010): a database
+// instance D is a set of tuples, each tagged endogenous (a potential
+// cause) or exogenous (context). Queries are conjunctive; a Boolean query
+// is one with an empty head. Non-Boolean queries are reduced to Boolean
+// ones by substituting the answer tuple into the head variables
+// (Query.Bind).
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a constant in the active domain. Values compare by string
+// equality; numeric data should be rendered canonically by the caller.
+type Value string
+
+// TupleID identifies a tuple within a Database. IDs are dense, assigned
+// in insertion order, and stable for the lifetime of the database.
+type TupleID int
+
+// Tuple is a row of a relation together with its causal status.
+type Tuple struct {
+	ID   TupleID
+	Rel  string
+	Args []Value
+	// Endo reports whether the tuple is endogenous (a candidate cause).
+	Endo bool
+}
+
+// String renders the tuple as R(a,b,…) with an n/x superscript marker.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = string(a)
+	}
+	tag := "x"
+	if t.Endo {
+		tag = "n"
+	}
+	return fmt.Sprintf("%s^%s(%s)", t.Rel, tag, strings.Join(parts, ","))
+}
+
+// Relation is a named collection of same-arity tuples.
+type Relation struct {
+	Name   string
+	Arity  int
+	Tuples []*Tuple
+
+	// index[col][value] lists positions in Tuples whose col-th argument
+	// equals value. Built lazily by ensureIndex.
+	index map[int]map[Value][]int
+}
+
+// ensureIndex returns a hash index on the given column, building it on
+// first use. Database.Add invalidates all indexes of the relation, so an
+// existing index is always current.
+func (r *Relation) ensureIndex(col int) map[Value][]int {
+	if r.index == nil {
+		r.index = make(map[int]map[Value][]int)
+	}
+	idx, ok := r.index[col]
+	if !ok {
+		idx = make(map[Value][]int, len(r.Tuples))
+		for i, t := range r.Tuples {
+			idx[t.Args[col]] = append(idx[t.Args[col]], i)
+		}
+		r.index[col] = idx
+	}
+	return idx
+}
+
+// Database is a set of relations plus a global tuple registry.
+type Database struct {
+	Relations map[string]*Relation
+	byID      []*Tuple
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{Relations: make(map[string]*Relation)}
+}
+
+// Relation returns the named relation, or nil if absent.
+func (db *Database) Relation(name string) *Relation {
+	return db.Relations[name]
+}
+
+// Add inserts a tuple and returns its ID. It creates the relation on
+// first use and enforces consistent arity. Duplicate rows are permitted
+// by the engine but callers normally avoid them (set semantics).
+func (db *Database) Add(rel string, endo bool, args ...Value) (TupleID, error) {
+	r, ok := db.Relations[rel]
+	if !ok {
+		r = &Relation{Name: rel, Arity: len(args)}
+		db.Relations[rel] = r
+	}
+	if r.Arity != len(args) {
+		return 0, fmt.Errorf("rel: relation %s has arity %d, got %d args", rel, r.Arity, len(args))
+	}
+	t := &Tuple{ID: TupleID(len(db.byID)), Rel: rel, Args: append([]Value(nil), args...), Endo: endo}
+	r.Tuples = append(r.Tuples, t)
+	r.index = nil // invalidate
+	db.byID = append(db.byID, t)
+	return t.ID, nil
+}
+
+// MustAdd is Add, panicking on arity mismatch. Intended for tests and
+// hand-built example instances.
+func (db *Database) MustAdd(rel string, endo bool, args ...Value) TupleID {
+	id, err := db.Add(rel, endo, args...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Tuple returns the tuple with the given ID. It panics on out-of-range
+// IDs, which indicate a bug in the caller.
+func (db *Database) Tuple(id TupleID) *Tuple {
+	return db.byID[id]
+}
+
+// NumTuples returns the number of tuples in the database.
+func (db *Database) NumTuples() int { return len(db.byID) }
+
+// Tuples returns all tuples in insertion order. The slice is shared;
+// callers must not modify it.
+func (db *Database) Tuples() []*Tuple { return db.byID }
+
+// EndoIDs returns the IDs of all endogenous tuples, sorted.
+func (db *Database) EndoIDs() []TupleID {
+	var out []TupleID
+	for _, t := range db.byID {
+		if t.Endo {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// SetEndo flags the identified tuple endogenous or exogenous.
+func (db *Database) SetEndo(id TupleID, endo bool) { db.byID[id].Endo = endo }
+
+// Clone returns a deep copy of the database. Tuple IDs are preserved.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	out.byID = make([]*Tuple, len(db.byID))
+	for name, r := range db.Relations {
+		nr := &Relation{Name: name, Arity: r.Arity, Tuples: make([]*Tuple, len(r.Tuples))}
+		for i, t := range r.Tuples {
+			ct := &Tuple{ID: t.ID, Rel: t.Rel, Args: append([]Value(nil), t.Args...), Endo: t.Endo}
+			nr.Tuples[i] = ct
+			out.byID[t.ID] = ct
+		}
+		out.Relations[name] = nr
+	}
+	return out
+}
+
+// ActiveDomain returns the set of all values occurring in the database,
+// sorted for determinism.
+func (db *Database) ActiveDomain() []Value {
+	seen := make(map[Value]bool)
+	for _, t := range db.byID {
+		for _, v := range t.Args {
+			seen[v] = true
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the database relation by relation, deterministically.
+func (db *Database) String() string {
+	names := make([]string, 0, len(db.Relations))
+	for n := range db.Relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		r := db.Relations[n]
+		fmt.Fprintf(&b, "%s/%d:\n", n, r.Arity)
+		for _, t := range r.Tuples {
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+	}
+	return b.String()
+}

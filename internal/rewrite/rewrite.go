@@ -1,0 +1,265 @@
+// Package rewrite decides the responsibility dichotomy of Meliou et al.
+// (VLDB 2010), Corollary 4.14: a self-join-free conjunctive query is
+// either weakly linear (responsibility in PTIME via Algorithm 1) or
+// NP-hard (it rewrites to one of the canonical hard queries h₁*, h₂*,
+// h₃* of Theorem 4.1).
+//
+// Both sides are decided by breadth-first search over canonical query
+// shapes: the weakening closure ⇒* (Definition 4.9) searched for a
+// linear shape, and the rewriting closure ⇝* (Definition 4.6) searched
+// for a hard shape. Successful searches return step-by-step
+// certificates. The two searches are mutually exclusive and exhaustive
+// for self-join-free queries (the dichotomy theorem); the test suite
+// verifies this XOR property over enumerated and random shapes.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/querycause/querycause/internal/shape"
+)
+
+// Class is the complexity classification of Why-So responsibility for a
+// conjunctive query.
+type Class int
+
+const (
+	// ClassLinear: the query is linear (Definition 4.4); Algorithm 1
+	// applies directly.
+	ClassLinear Class = iota
+	// ClassWeaklyLinear: a weakening sequence yields a linear query;
+	// responsibility is PTIME (Corollary 4.11).
+	ClassWeaklyLinear
+	// ClassNPHard: the query rewrites to h₁*, h₂* or h₃*; computing
+	// responsibility is NP-hard (Lemma 4.7 + Theorem 4.1).
+	ClassNPHard
+	// ClassSelfJoinHard: the query matches Proposition 4.16
+	// (Rⁿ(x),S(x,y),Rⁿ(y)); NP-hard.
+	ClassSelfJoinHard
+	// ClassSelfJoinOpen: the query has self-joins and matches no known
+	// hard pattern; the dichotomy is open (Section 4.1), so exact search
+	// is used.
+	ClassSelfJoinOpen
+	// ClassUnresolved: the query falls into a gap of the paper's
+	// dichotomy machinery — it is neither weakly linear nor rewritable to
+	// a canonical hard query. This happens for disconnected queries
+	// (e.g. an isolated endogenous atom alongside a triangle), which
+	// Definition 4.6 can never delete; Theorem 4.13 implicitly assumes
+	// connectivity. The engine falls back to exact search.
+	ClassUnresolved
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLinear:
+		return "PTIME (linear)"
+	case ClassWeaklyLinear:
+		return "PTIME (weakly linear)"
+	case ClassNPHard:
+		return "NP-hard"
+	case ClassSelfJoinHard:
+		return "NP-hard (self-join, Prop. 4.16)"
+	case ClassSelfJoinOpen:
+		return "open (self-join)"
+	case ClassUnresolved:
+		return "unresolved (dichotomy gap)"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// PTime reports whether the class admits the polynomial flow algorithm.
+func (c Class) PTime() bool { return c == ClassLinear || c == ClassWeaklyLinear }
+
+// Certificate is the result of classification, carrying a replayable
+// proof for whichever side of the dichotomy holds.
+type Certificate struct {
+	Class Class
+	// Input is the classified shape.
+	Input *shape.Shape
+	// Rule is the domination rule the certificate was derived under.
+	Rule shape.DominationRule
+
+	// Weakening is the op sequence turning Input into Weakened (empty if
+	// the query is already linear); Weakened is linear with atom order
+	// LinearOrder. Set only for PTIME classes.
+	Weakening   []shape.Op
+	Weakened    *shape.Shape
+	LinearOrder []int
+
+	// Rewrites is the op sequence turning Input into a shape isomorphic
+	// to Hard. Set only for ClassNPHard.
+	Rewrites []shape.Op
+	Hard     shape.HardQuery
+}
+
+// ErrSearchBudget is returned if a closure search exceeds its state
+// budget; it indicates a query far larger than the sizes the dichotomy
+// machinery is meant for (queries are fixed and small — data complexity).
+var ErrSearchBudget = errors.New("rewrite: state budget exceeded")
+
+// DefaultBudget bounds the number of distinct shapes explored per
+// search.
+const DefaultBudget = 2_000_000
+
+type node struct {
+	s      *shape.Shape
+	parent *node
+	op     shape.Op
+}
+
+func (n *node) path() []shape.Op {
+	var rev []shape.Op
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.op)
+	}
+	out := make([]shape.Op, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// WeaklyLinear searches the weakening closure of s (under the paper's
+// Definition 4.9) for a linear shape. On success it returns the op
+// sequence, the final shape, and a linear atom order.
+func WeaklyLinear(s *shape.Shape) (ops []shape.Op, final *shape.Shape, order []int, found bool, err error) {
+	return WeaklyLinearUnder(s, shape.PaperDomination)
+}
+
+// WeaklyLinearUnder is WeaklyLinear with an explicit domination rule.
+// Under shape.SoundDomination every weakening step provably preserves
+// responsibilities, so a successful search licenses Algorithm 1.
+func WeaklyLinearUnder(s *shape.Shape, rule shape.DominationRule) (ops []shape.Op, final *shape.Shape, order []int, found bool, err error) {
+	visited := map[string]bool{s.Key(): true}
+	queue := []*node{{s: s}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if ord, ok := n.s.LinearOrder(); ok {
+			return n.path(), n.s, ord, true, nil
+		}
+		for _, ap := range n.s.WeakeningsUnder(rule) {
+			k := ap.Result.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			if len(visited) > DefaultBudget {
+				return nil, nil, nil, false, ErrSearchBudget
+			}
+			queue = append(queue, &node{s: ap.Result, parent: n, op: ap.Op})
+		}
+	}
+	return nil, nil, nil, false, nil
+}
+
+// RewriteToHard searches the rewriting closure of s for one of the
+// canonical hard queries. On success it returns the rewrite chain and
+// the matched hard query.
+func RewriteToHard(s *shape.Shape) (ops []shape.Op, hard shape.HardQuery, found bool, err error) {
+	if h, ok := s.MatchHard(); ok {
+		return nil, h, true, nil
+	}
+	visited := map[string]bool{s.Key(): true}
+	queue := []*node{{s: s}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, ap := range n.s.Rewrites() {
+			// Hard queries have ≥3 atoms and exactly 3 variables; both
+			// quantities are non-increasing under rewriting.
+			if len(ap.Result.Atoms) < 3 || len(ap.Result.UsedVars()) < 3 {
+				continue
+			}
+			k := ap.Result.Key()
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			if len(visited) > DefaultBudget {
+				return nil, "", false, ErrSearchBudget
+			}
+			child := &node{s: ap.Result, parent: n, op: ap.Op}
+			if h, ok := ap.Result.MatchHard(); ok {
+				return child.path(), h, true, nil
+			}
+			queue = append(queue, child)
+		}
+	}
+	return nil, "", false, nil
+}
+
+// Classify decides the responsibility complexity of the query shape
+// under the paper's rules (Definitions 4.6 and 4.9). For self-join-free
+// shapes it returns a PTIME certificate (weakening + linear order) or an
+// NP-hardness certificate (rewrite chain to a canonical hard query), per
+// the dichotomy of Corollary 4.14. Queries in the dichotomy gap (see
+// ClassUnresolved) are reported as such rather than misclassified.
+func Classify(s *shape.Shape) (*Certificate, error) {
+	return classify(s, shape.PaperDomination)
+}
+
+// ClassifySound classifies under the responsibility-preserving
+// SoundDomination rule. A PTIME result licenses the flow algorithm; all
+// other classes are handled by exact search in the engine. Queries that
+// are weakly linear under the paper's rule but not under the sound rule
+// come back ClassUnresolved here (the paper would claim PTIME; see the
+// Example 4.12 counterexample in internal/core).
+func ClassifySound(s *shape.Shape) (*Certificate, error) {
+	return classify(s, shape.SoundDomination)
+}
+
+func classify(s *shape.Shape, rule shape.DominationRule) (*Certificate, error) {
+	if s.HasSelfJoin() {
+		if s.MatchSelfJoinHard() {
+			return &Certificate{Class: ClassSelfJoinHard, Input: s, Rule: rule}, nil
+		}
+		return &Certificate{Class: ClassSelfJoinOpen, Input: s, Rule: rule}, nil
+	}
+	ops, final, order, found, err := WeaklyLinearUnder(s, rule)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		class := ClassWeaklyLinear
+		if len(ops) == 0 {
+			class = ClassLinear
+		}
+		return &Certificate{
+			Class: class, Input: s, Rule: rule,
+			Weakening: ops, Weakened: final, LinearOrder: order,
+		}, nil
+	}
+	rops, hard, rfound, err := RewriteToHard(s)
+	if err != nil {
+		return nil, err
+	}
+	if !rfound {
+		return &Certificate{Class: ClassUnresolved, Input: s, Rule: rule}, nil
+	}
+	return &Certificate{Class: ClassNPHard, Input: s, Rule: rule, Rewrites: rops, Hard: hard}, nil
+}
+
+// Replay applies the certificate's weakening ops to its input and
+// re-derives the linear order, validating each side condition under the
+// certificate's domination rule. It is used by the responsibility engine
+// and by tests.
+func (c *Certificate) Replay() (*shape.Shape, []int, error) {
+	if !c.Class.PTime() {
+		return nil, nil, fmt.Errorf("rewrite: no weakening certificate for class %v", c.Class)
+	}
+	cur := c.Input
+	for _, op := range c.Weakening {
+		next, err := cur.ApplyWeakeningUnder(op, c.Rule)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = next
+	}
+	order, ok := cur.LinearOrder()
+	if !ok {
+		return nil, nil, fmt.Errorf("rewrite: certificate's weakened shape is not linear: %v", cur)
+	}
+	return cur, order, nil
+}

@@ -1,0 +1,384 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/querycause/querycause/internal/shape"
+)
+
+func classifyT(t *testing.T, s *shape.Shape) *Certificate {
+	t.Helper()
+	c, err := Classify(s)
+	if err != nil {
+		t.Fatalf("Classify(%v): %v", s, err)
+	}
+	return c
+}
+
+func TestHardQueriesAreNPHard(t *testing.T) {
+	for _, h := range []shape.HardQuery{shape.H1, shape.H2, shape.H3} {
+		c := classifyT(t, shape.NewHard(h))
+		if c.Class != ClassNPHard {
+			t.Errorf("%s classified %v, want NP-hard", h, c.Class)
+		}
+		if c.Hard != h {
+			t.Errorf("%s matched %s", h, c.Hard)
+		}
+		if len(c.Rewrites) != 0 {
+			t.Errorf("%s should match without rewrites, got %v", h, c.Rewrites)
+		}
+	}
+}
+
+// TestFinality verifies Theorem 4.13's defining property on the three
+// canonical queries: every single rewriting of h₁*, h₂*, h₃* is weakly
+// linear.
+func TestFinality(t *testing.T) {
+	for _, h := range []shape.HardQuery{shape.H1, shape.H2, shape.H3} {
+		s := shape.NewHard(h)
+		for _, ap := range s.Rewrites() {
+			_, _, _, found, err := WeaklyLinear(ap.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Errorf("%s rewritten by %v is not weakly linear: %v", h, ap.Op, ap.Result)
+			}
+		}
+	}
+}
+
+// TestExample4_8 reproduces Example 4.8: the 4-cycle
+// R(x,y),S(y,z),T(z,u),K(u,x) (all endogenous) is NP-hard via a rewrite
+// chain to h₂*.
+func TestExample4_8(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0, 1),
+		shape.A("S", true, 1, 2),
+		shape.A("T", true, 2, 3),
+		shape.A("K", true, 3, 0),
+	)
+	s.VarNames = []string{"x", "y", "z", "u"}
+	c := classifyT(t, s)
+	if c.Class != ClassNPHard {
+		t.Fatalf("4-cycle classified %v, want NP-hard", c.Class)
+	}
+	if c.Hard != shape.H2 {
+		t.Errorf("4-cycle reduced to %s, want h2", c.Hard)
+	}
+	if len(c.Rewrites) == 0 {
+		t.Error("expected a non-empty rewrite chain")
+	}
+}
+
+// TestExample4_12a: Rⁿ(x,y), Sˣ(y,z), Tⁿ(z,x) is PTIME via one
+// dissociation (contrast with h₂*, which differs only in S's flag).
+func TestExample4_12a(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0, 1),
+		shape.A("S", false, 1, 2),
+		shape.A("T", true, 2, 0),
+	)
+	c := classifyT(t, s)
+	if !c.Class.PTime() {
+		t.Fatalf("classified %v, want PTIME", c.Class)
+	}
+	if c.Class != ClassWeaklyLinear {
+		t.Errorf("classified %v, want weakly linear (not plain linear)", c.Class)
+	}
+	// Verify the certificate replays.
+	final, order, err := c.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.IsLinear() || len(order) != 3 {
+		t.Errorf("replayed shape not linear: %v / %v", final, order)
+	}
+}
+
+// TestExample4_12b: Rⁿ(x,y), Sⁿ(y,z), Tⁿ(z,x), Vⁿ(x) is PTIME via
+// domination then dissociation.
+func TestExample4_12b(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0, 1),
+		shape.A("S", true, 1, 2),
+		shape.A("T", true, 2, 0),
+		shape.A("V", true, 0),
+	)
+	c := classifyT(t, s)
+	if !c.Class.PTime() {
+		t.Fatalf("classified %v, want PTIME", c.Class)
+	}
+	hasDomination := false
+	for _, op := range c.Weakening {
+		if op.Kind == shape.Domination {
+			hasDomination = true
+		}
+	}
+	if !hasDomination {
+		t.Errorf("expected a domination step, got %v", c.Weakening)
+	}
+}
+
+// TestTheorem4_13Case2b: Aⁿ(x),Bˣ(y),Cˣ(z),R,S,T,W (R,S,T,W endogenous)
+// is weakly linear (A dominates R, T and W).
+func TestTheorem4_13Case2b(t *testing.T) {
+	s := shape.New(
+		shape.A("A", true, 0),
+		shape.A("B", false, 1),
+		shape.A("C", false, 2),
+		shape.A("R", true, 0, 1),
+		shape.A("S", true, 1, 2),
+		shape.A("T", true, 2, 0),
+		shape.A("W", true, 0, 1, 2),
+	)
+	c := classifyT(t, s)
+	if !c.Class.PTime() {
+		t.Errorf("classified %v, want PTIME", c.Class)
+	}
+}
+
+// TestTheorem4_13Case2c: Aⁿ(x),Bⁿ(y),R,S,T (binary atoms endogenous) is
+// weakly linear: R,S,T are all dominated.
+func TestTheorem4_13Case2c(t *testing.T) {
+	s := shape.New(
+		shape.A("A", true, 0),
+		shape.A("B", true, 1),
+		shape.A("R", true, 0, 1),
+		shape.A("S", true, 1, 2),
+		shape.A("T", true, 2, 0),
+	)
+	c := classifyT(t, s)
+	if !c.Class.PTime() {
+		t.Errorf("classified %v, want PTIME", c.Class)
+	}
+}
+
+func TestLinearChainIsLinearClass(t *testing.T) {
+	// Theorem 4.15's query R(x,u1,y),S(y,u2,z),T(z,u3,w): linear.
+	s := shape.New(
+		shape.A("R", true, 0, 1, 2),
+		shape.A("S", true, 2, 3, 4),
+		shape.A("T", true, 4, 5, 6),
+	)
+	c := classifyT(t, s)
+	if c.Class != ClassLinear {
+		t.Errorf("chain classified %v, want linear", c.Class)
+	}
+	if len(c.LinearOrder) != 3 {
+		t.Errorf("linear order = %v", c.LinearOrder)
+	}
+}
+
+func TestSelfJoinClasses(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0),
+		shape.A("S", false, 0, 1),
+		shape.A("R", true, 1),
+	)
+	c := classifyT(t, s)
+	if c.Class != ClassSelfJoinHard {
+		t.Errorf("Prop 4.16 query classified %v", c.Class)
+	}
+	// Open self-join case: Rⁿ(x,y), Rⁿ(y,z) (left open in the paper).
+	s2 := shape.New(shape.A("R", true, 0, 1), shape.A("R", true, 1, 2))
+	c2 := classifyT(t, s2)
+	if c2.Class != ClassSelfJoinOpen {
+		t.Errorf("R(x,y),R(y,z) classified %v, want open", c2.Class)
+	}
+}
+
+// TestDichotomyExhaustive enumerates every 3-atom self-join-free shape
+// over 3 variables (each atom a nonempty subset of {x,y,z} × flag) and
+// checks Corollary 4.14: exactly one of weakly-linear / rewrites-to-hard
+// holds.
+func TestDichotomyExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive dichotomy check")
+	}
+	subsets := [][]int{{0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}, {0, 1, 2}}
+	names := []string{"P", "Q", "R"}
+	count, hard := 0, 0
+	for i := 0; i < len(subsets)*2; i++ {
+		for j := 0; j < len(subsets)*2; j++ {
+			for k := 0; k < len(subsets)*2; k++ {
+				mk := func(n string, idx int) shape.Atom {
+					return shape.A(n, idx%2 == 0, subsets[idx/2]...)
+				}
+				s := shape.New(mk(names[0], i), mk(names[1], j), mk(names[2], k))
+				_, _, _, wl, err := WeaklyLinear(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _, rh, err := RewriteToHard(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wl == rh {
+					t.Fatalf("dichotomy violated for %v: weaklyLinear=%v rewritesToHard=%v", s, wl, rh)
+				}
+				count++
+				if rh {
+					hard++
+				}
+			}
+		}
+	}
+	if hard == 0 {
+		t.Error("expected some hard shapes in the enumeration")
+	}
+	t.Logf("checked %d shapes, %d NP-hard", count, hard)
+}
+
+// TestDichotomyRandom4Atoms samples random *connected* 4-atom shapes
+// over 4 variables and checks the XOR property. Connectivity matters:
+// the paper's dichotomy machinery has a gap for disconnected queries
+// (see TestDichotomyGapDisconnected).
+func TestDichotomyRandom4Atoms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"P", "Q", "R", "S"}
+	trials := 0
+	for trials < 200 {
+		var atoms []shape.Atom
+		for i := 0; i < 4; i++ {
+			var vars []int
+			for v := 0; v < 4; v++ {
+				if rng.Intn(2) == 0 {
+					vars = append(vars, v)
+				}
+			}
+			if len(vars) == 0 {
+				vars = []int{rng.Intn(4)}
+			}
+			atoms = append(atoms, shape.A(names[i], rng.Intn(2) == 0, vars...))
+		}
+		s := shape.New(atoms...)
+		if !s.Connected() {
+			continue
+		}
+		trials++
+		_, _, _, wl, err := WeaklyLinear(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, rh, err := RewriteToHard(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wl == rh {
+			t.Fatalf("trial %d: dichotomy violated for %v (wl=%v rh=%v)", trials, s, wl, rh)
+		}
+	}
+}
+
+// TestDichotomyGapDisconnected documents a gap in the paper's dichotomy
+// machinery, found by random search during this reproduction: for
+// Pⁿ(y), Qⁿ(x,w), Rⁿ(x,z), Sⁿ(z,w) — a triangle plus an isolated
+// endogenous atom — the isolated atom can never be deleted (Definition
+// 4.6 requires it exogenous or dominated) and nothing is dominated, so
+// the query is neither weakly linear nor rewritable to h₁*/h₂*/h₃*,
+// contradicting Theorem 4.13's claim that all final queries are
+// canonical. The query is in fact NP-hard (its instances with a single
+// P-tuple embed the h₂* triangle hitting-set problem). Classify reports
+// ClassUnresolved and the engine uses exact search.
+func TestDichotomyGapDisconnected(t *testing.T) {
+	s := shape.New(
+		shape.A("P", true, 1),
+		shape.A("Q", true, 0, 3),
+		shape.A("R", true, 0, 2),
+		shape.A("S", true, 2, 3),
+	)
+	if s.Connected() {
+		t.Fatal("test shape should be disconnected")
+	}
+	_, _, _, wl, err := WeaklyLinear(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl {
+		t.Fatal("shape unexpectedly weakly linear")
+	}
+	_, _, rh, err := RewriteToHard(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh {
+		t.Fatal("shape unexpectedly rewrites to a hard query")
+	}
+	c := classifyT(t, s)
+	if c.Class != ClassUnresolved {
+		t.Errorf("classified %v, want unresolved", c.Class)
+	}
+}
+
+// TestSoundVsPaperDomination: the paper's Example 4.12b query
+// Rⁿ(x,y),Sⁿ(y,z),Tⁿ(z,x),Vⁿ(x) is weakly linear under Definition 4.9
+// (V dominates R and T), but the domination is not
+// responsibility-preserving (V covers x but not y, resp. not z), so the
+// sound rule rejects it. The semantic counterexample lives in
+// internal/core's tests.
+func TestSoundVsPaperDomination(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0, 1),
+		shape.A("S", true, 1, 2),
+		shape.A("T", true, 2, 0),
+		shape.A("V", true, 0),
+	)
+	paper, err := Classify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paper.Class.PTime() {
+		t.Fatalf("paper classification = %v, want PTIME", paper.Class)
+	}
+	sound, err := ClassifySound(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sound.Class.PTime() {
+		t.Fatalf("sound classification = %v, want not PTIME", sound.Class)
+	}
+}
+
+// TestSoundDominationEqualVarsets: equal variable sets dominate soundly
+// (per-valuation bijection), so Rⁿ(x,y),Pⁿ(x,y),Sⁿ(y,z),Tⁿ(z,x) — a
+// triangle with a doubled edge — is still classified like the triangle.
+func TestSoundDominationEqualVarsets(t *testing.T) {
+	s := shape.New(
+		shape.A("R", true, 0, 1),
+		shape.A("P", true, 0, 1),
+		shape.A("S", false, 1, 2),
+		shape.A("T", true, 2, 0),
+	)
+	// With S exogenous this is Example 4.12a plus a doubled edge: PTIME.
+	sound, err := ClassifySound(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sound.Class.PTime() {
+		t.Errorf("sound classification = %v, want PTIME", sound.Class)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassLinear:       "PTIME (linear)",
+		ClassWeaklyLinear: "PTIME (weakly linear)",
+		ClassNPHard:       "NP-hard",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if !ClassLinear.PTime() || ClassNPHard.PTime() {
+		t.Error("PTime() misclassifies")
+	}
+}
+
+func TestReplayRequiresPTime(t *testing.T) {
+	c := &Certificate{Class: ClassNPHard}
+	if _, _, err := c.Replay(); err == nil {
+		t.Error("expected error replaying NP-hard certificate")
+	}
+}

@@ -1,0 +1,166 @@
+package shape
+
+import "sort"
+
+// HardQuery names one of the canonical NP-hard queries of Theorem 4.1.
+type HardQuery string
+
+const (
+	// H1 is h₁* :- Aⁿ(x), Bⁿ(y), Cⁿ(z), W(x,y,z).
+	H1 HardQuery = "h1"
+	// H2 is h₂* :- Rⁿ(x,y), Sⁿ(y,z), Tⁿ(z,x).
+	H2 HardQuery = "h2"
+	// H3 is h₃* :- Aⁿ(x), Bⁿ(y), Cⁿ(z), R(x,y), S(y,z), T(z,x).
+	H3 HardQuery = "h3"
+)
+
+// hardPattern describes an atom of a canonical hard query over variables
+// 0,1,2. anyFlag atoms are hard whether endogenous or exogenous
+// (Theorem 4.1).
+type hardPattern struct {
+	vars    []int
+	anyFlag bool // if false the atom must be endogenous
+}
+
+var hardPatterns = map[HardQuery][]hardPattern{
+	H1: {
+		{vars: []int{0}}, {vars: []int{1}}, {vars: []int{2}},
+		{vars: []int{0, 1, 2}, anyFlag: true},
+	},
+	H2: {
+		{vars: []int{0, 1}}, {vars: []int{1, 2}}, {vars: []int{0, 2}},
+	},
+	H3: {
+		{vars: []int{0}}, {vars: []int{1}}, {vars: []int{2}},
+		{vars: []int{0, 1}, anyFlag: true}, {vars: []int{1, 2}, anyFlag: true}, {vars: []int{0, 2}, anyFlag: true},
+	},
+}
+
+// MatchHard reports whether the shape is isomorphic (by variable
+// renaming; relation names are immaterial) to one of the canonical hard
+// queries of Theorem 4.1.
+func (s *Shape) MatchHard() (HardQuery, bool) {
+	for _, h := range []HardQuery{H1, H2, H3} {
+		if s.matches(hardPatterns[h]) {
+			return h, true
+		}
+	}
+	return "", false
+}
+
+// matches checks isomorphism against a pattern over exactly 3 variables.
+func (s *Shape) matches(pattern []hardPattern) bool {
+	if len(s.Atoms) != len(pattern) {
+		return false
+	}
+	used := s.UsedVars()
+	if len(used) != 3 {
+		return false
+	}
+	perms := [][3]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, p := range perms {
+		ren := map[int]int{used[0]: p[0], used[1]: p[1], used[2]: p[2]}
+		if s.matchesUnder(pattern, ren) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesUnder checks whether the renamed atoms match the pattern as a
+// multiset (backtracking assignment).
+func (s *Shape) matchesUnder(pattern []hardPattern, ren map[int]int) bool {
+	taken := make([]bool, len(pattern))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(s.Atoms) {
+			return true
+		}
+		a := s.Atoms[i]
+		rv := make([]int, len(a.Vars))
+		for k, v := range a.Vars {
+			rv[k] = ren[v]
+		}
+		sort.Ints(rv)
+		for j, pat := range pattern {
+			if taken[j] || len(rv) != len(pat.vars) {
+				continue
+			}
+			if !pat.anyFlag && !a.Endo {
+				continue
+			}
+			eq := true
+			for k := range rv {
+				if rv[k] != pat.vars[k] {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			taken[j] = true
+			if rec(i + 1) {
+				return true
+			}
+			taken[j] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// MatchSelfJoinHard reports whether the shape matches the self-join
+// query of Proposition 4.16, Rⁿ(x), S(x,y), Rⁿ(y) (S endogenous or
+// exogenous), for which responsibility is NP-hard.
+func (s *Shape) MatchSelfJoinHard() bool {
+	if len(s.Atoms) != 3 {
+		return false
+	}
+	used := s.UsedVars()
+	if len(used) != 2 {
+		return false
+	}
+	var unary []Atom
+	var binary []Atom
+	for _, a := range s.Atoms {
+		switch len(a.Vars) {
+		case 1:
+			unary = append(unary, a)
+		case 2:
+			binary = append(binary, a)
+		default:
+			return false
+		}
+	}
+	if len(unary) != 2 || len(binary) != 1 {
+		return false
+	}
+	if unary[0].Rel != unary[1].Rel || !unary[0].Endo || !unary[1].Endo {
+		return false
+	}
+	if unary[0].Vars[0] == unary[1].Vars[0] {
+		return false
+	}
+	return binary[0].Vars[0] == used[0] && binary[0].Vars[1] == used[1]
+}
+
+// NewHard returns a fresh copy of the named canonical hard query with
+// conventional relation names and variables x,y,z. For H1 and H3 the
+// unspecified-flag atoms are created endogenous.
+func NewHard(h HardQuery) *Shape {
+	var s *Shape
+	switch h {
+	case H1:
+		s = New(A("A", true, 0), A("B", true, 1), A("C", true, 2), A("W", true, 0, 1, 2))
+	case H2:
+		s = New(A("R", true, 0, 1), A("S", true, 1, 2), A("T", true, 2, 0))
+	case H3:
+		s = New(A("A", true, 0), A("B", true, 1), A("C", true, 2),
+			A("R", true, 0, 1), A("S", true, 1, 2), A("T", true, 2, 0))
+	default:
+		return nil
+	}
+	s.VarNames = []string{"x", "y", "z"}
+	return s
+}

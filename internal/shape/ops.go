@@ -1,0 +1,326 @@
+package shape
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a single weakening or rewriting step, recorded for certificates.
+type Op struct {
+	Kind OpKind
+	// Atom is the index of the affected atom (Domination, Dissociation,
+	// DeleteAtom).
+	Atom int
+	// Var is the deleted variable (DeleteVar), the added variable
+	// (Dissociation), or the variable y in ADD y (AddVar).
+	Var int
+	// Pivot is the variable x in ADD y (AddVar): y is added to every atom
+	// containing x.
+	Pivot int
+}
+
+// OpKind enumerates weakening and rewriting steps.
+type OpKind int
+
+const (
+	// Domination (Definition 4.9): an endogenous atom whose variable set
+	// contains another endogenous atom's variable set becomes exogenous.
+	Domination OpKind = iota
+	// Dissociation (Definition 4.9): an exogenous atom absorbs a variable
+	// occurring in one of its neighbors.
+	Dissociation
+	// DeleteVar (Definition 4.6, DELETE x): a variable is removed from
+	// all atoms.
+	DeleteVar
+	// AddVar (Definition 4.6, ADD y): variable y is added to all atoms
+	// containing x, provided some atom contains both.
+	AddVar
+	// DeleteAtom (Definition 4.6, DELETE g): an exogenous or dominated
+	// atom is removed.
+	DeleteAtom
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Domination:
+		return "domination"
+	case Dissociation:
+		return "dissociation"
+	case DeleteVar:
+		return "delete-var"
+	case AddVar:
+		return "add-var"
+	case DeleteAtom:
+		return "delete-atom"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Describe renders the op against the shape it was applied to.
+func (o Op) Describe(s *Shape) string {
+	switch o.Kind {
+	case Domination:
+		return fmt.Sprintf("domination: make %s exogenous", s.Atoms[o.Atom].Rel)
+	case Dissociation:
+		return fmt.Sprintf("dissociation: add %s to %s", s.varName(o.Var), s.Atoms[o.Atom].Rel)
+	case DeleteVar:
+		return fmt.Sprintf("delete variable %s", s.varName(o.Var))
+	case AddVar:
+		return fmt.Sprintf("add %s to all atoms containing %s", s.varName(o.Var), s.varName(o.Pivot))
+	case DeleteAtom:
+		return fmt.Sprintf("delete atom %s", s.Atoms[o.Atom].Rel)
+	}
+	return o.Kind.String()
+}
+
+// neighbors reports whether atoms i and j share a variable.
+func (s *Shape) neighbors(i, j int) bool {
+	for _, v := range s.Atoms[i].Vars {
+		if s.Atoms[j].HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// DominationRule selects which domination side condition weakenings use.
+type DominationRule int
+
+const (
+	// PaperDomination is Definition 4.9 verbatim: an endogenous atom g is
+	// dominated if some other endogenous atom g0 has Var(g0) ⊆ Var(g).
+	//
+	// This rule is NOT always responsibility-preserving: for
+	// q :- Rⁿ(x,y), Sⁿ(y,z), Tⁿ(z,x), Vⁿ(x) (the paper's Example 4.12)
+	// there are instances where a minimum contingency must use an
+	// R-tuple, because the only dominator V covers x but not y, so an
+	// R(a,b) with a equal to the protected conjunct's x-value cannot be
+	// swapped for V(a). See the counterexample test in internal/core.
+	PaperDomination DominationRule = iota
+	// SoundDomination additionally requires every variable of the
+	// dominated atom to be covered by some endogenous dominator: then any
+	// contingency tuple g(ā) outside the protected conjunct P differs
+	// from P on some variable v ∈ Var(g), and the dominator containing v
+	// yields a projection tuple outside P that covers at least the same
+	// valuations — so minimum contingencies never need dominated tuples
+	// and the weakening preserves responsibility. A zero-variable
+	// endogenous atom is always soundly dominated: its single possible
+	// tuple lies in every conjunct, hence never in any contingency.
+	SoundDomination
+)
+
+// dominated reports whether atom i may be made exogenous under the rule.
+func (s *Shape) dominated(i int, rule DominationRule) bool {
+	g := s.Atoms[i]
+	if !g.Endo {
+		return false
+	}
+	switch rule {
+	case PaperDomination:
+		for j, g0 := range s.Atoms {
+			if i != j && g0.Endo && g0.subsetOf(g) {
+				return true
+			}
+		}
+		return false
+	case SoundDomination:
+		if len(g.Vars) == 0 {
+			// Sound only if the atom genuinely cannot carry contingency
+			// tuples; a zero-variable atom has one possible tuple, in
+			// every conjunct.
+			return true
+		}
+		for _, v := range g.Vars {
+			covered := false
+			for j, g0 := range s.Atoms {
+				if i != j && g0.Endo && g0.HasVar(v) && g0.subsetOf(g) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Weakenings enumerates all single-step weakenings q ⇒ q′ under the
+// paper's Definition 4.9 (PaperDomination).
+func (s *Shape) Weakenings() []AppliedOp { return s.WeakeningsUnder(PaperDomination) }
+
+// WeakeningsUnder enumerates single-step weakenings under the given
+// domination rule. Dissociation (which never alters the lineage, only
+// the hypergraph) is common to both rules.
+func (s *Shape) WeakeningsUnder(rule DominationRule) []AppliedOp {
+	var out []AppliedOp
+	// Domination.
+	for i := range s.Atoms {
+		if s.dominated(i, rule) {
+			ns := s.Clone()
+			ns.Atoms[i].Endo = false
+			out = append(out, AppliedOp{Op: Op{Kind: Domination, Atom: i}, Result: ns})
+		}
+	}
+	// Dissociation.
+	for i, g := range s.Atoms {
+		if g.Endo {
+			continue
+		}
+		candidate := make(map[int]bool)
+		for j := range s.Atoms {
+			if i == j || !s.neighbors(i, j) {
+				continue
+			}
+			for _, v := range s.Atoms[j].Vars {
+				if !g.HasVar(v) {
+					candidate[v] = true
+				}
+			}
+		}
+		vars := make([]int, 0, len(candidate))
+		for v := range candidate {
+			vars = append(vars, v)
+		}
+		sort.Ints(vars)
+		for _, v := range vars {
+			ns := s.Clone()
+			ns.Atoms[i].Vars = insertSorted(ns.Atoms[i].Vars, v)
+			out = append(out, AppliedOp{Op: Op{Kind: Dissociation, Atom: i, Var: v}, Result: ns})
+		}
+	}
+	return out
+}
+
+// Rewrites enumerates all single-step rewritings q ⇝ q′ (Definition
+// 4.6).
+func (s *Shape) Rewrites() []AppliedOp {
+	var out []AppliedOp
+	used := s.UsedVars()
+	// DELETE x.
+	for _, v := range used {
+		ns := s.Clone()
+		for i := range ns.Atoms {
+			ns.Atoms[i].Vars = removeSorted(ns.Atoms[i].Vars, v)
+		}
+		out = append(out, AppliedOp{Op: Op{Kind: DeleteVar, Var: v}, Result: ns})
+	}
+	// ADD y: for each ordered pair (x,y) co-occurring in some atom.
+	for _, x := range used {
+		for _, y := range used {
+			if x == y {
+				continue
+			}
+			cooccur := false
+			for _, a := range s.Atoms {
+				if a.HasVar(x) && a.HasVar(y) {
+					cooccur = true
+					break
+				}
+			}
+			if !cooccur {
+				continue
+			}
+			ns := s.Clone()
+			changed := false
+			for i := range ns.Atoms {
+				if ns.Atoms[i].HasVar(x) && !ns.Atoms[i].HasVar(y) {
+					ns.Atoms[i].Vars = insertSorted(ns.Atoms[i].Vars, y)
+					changed = true
+				}
+			}
+			if changed {
+				out = append(out, AppliedOp{Op: Op{Kind: AddVar, Var: y, Pivot: x}, Result: ns})
+			}
+		}
+	}
+	// DELETE g: g exogenous, or some other atom's variables ⊆ Var(g).
+	for i, g := range s.Atoms {
+		deletable := !g.Endo
+		if !deletable {
+			for j, g0 := range s.Atoms {
+				if i != j && g0.subsetOf(g) {
+					deletable = true
+					break
+				}
+			}
+		}
+		if !deletable {
+			continue
+		}
+		ns := s.Clone()
+		ns.Atoms = append(append([]Atom(nil), ns.Atoms[:i]...), ns.Atoms[i+1:]...)
+		out = append(out, AppliedOp{Op: Op{Kind: DeleteAtom, Atom: i}, Result: ns})
+	}
+	return out
+}
+
+// ApplyWeakening applies a recorded weakening op under the paper's
+// domination rule. See ApplyWeakeningUnder.
+func (s *Shape) ApplyWeakening(o Op) (*Shape, error) {
+	return s.ApplyWeakeningUnder(o, PaperDomination)
+}
+
+// ApplyWeakeningUnder applies a recorded weakening op (used to replay
+// certificates). It validates the op's side conditions under the given
+// domination rule.
+func (s *Shape) ApplyWeakeningUnder(o Op, rule DominationRule) (*Shape, error) {
+	switch o.Kind {
+	case Domination:
+		if o.Atom < 0 || o.Atom >= len(s.Atoms) || !s.Atoms[o.Atom].Endo {
+			return nil, fmt.Errorf("shape: invalid domination of atom %d", o.Atom)
+		}
+		if !s.dominated(o.Atom, rule) {
+			return nil, fmt.Errorf("shape: atom %d is not dominated under rule %d", o.Atom, int(rule))
+		}
+		ns := s.Clone()
+		ns.Atoms[o.Atom].Endo = false
+		return ns, nil
+	case Dissociation:
+		if o.Atom < 0 || o.Atom >= len(s.Atoms) || s.Atoms[o.Atom].Endo {
+			return nil, fmt.Errorf("shape: invalid dissociation of atom %d", o.Atom)
+		}
+		ok := false
+		for j := range s.Atoms {
+			if j != o.Atom && s.neighbors(o.Atom, j) && s.Atoms[j].HasVar(o.Var) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("shape: variable %d not in a neighbor of atom %d", o.Var, o.Atom)
+		}
+		ns := s.Clone()
+		ns.Atoms[o.Atom].Vars = insertSorted(ns.Atoms[o.Atom].Vars, o.Var)
+		return ns, nil
+	default:
+		return nil, fmt.Errorf("shape: %s is not a weakening op", o.Kind)
+	}
+}
+
+// AppliedOp pairs a successor shape with the op that produced it.
+type AppliedOp struct {
+	Op     Op
+	Result *Shape
+}
+
+func insertSorted(vs []int, v int) []int {
+	i := sort.SearchInts(vs, v)
+	if i < len(vs) && vs[i] == v {
+		return vs
+	}
+	vs = append(vs, 0)
+	copy(vs[i+1:], vs[i:])
+	vs[i] = v
+	return vs
+}
+
+func removeSorted(vs []int, v int) []int {
+	i := sort.SearchInts(vs, v)
+	if i >= len(vs) || vs[i] != v {
+		return vs
+	}
+	return append(vs[:i], vs[i+1:]...)
+}

@@ -1,0 +1,234 @@
+// Package shape represents conjunctive queries abstractly for the
+// complexity analysis of Section 4 of Meliou et al. (VLDB 2010): an atom
+// is its set of variables plus an endogenous/exogenous flag; constants
+// are dropped (they do not contribute hyperedges to the dual hypergraph
+// of Definition 4.3 and only make instances easier).
+//
+// Shapes support the linearity test (Definition 4.4), the weakening
+// relation ⇒ (Definition 4.9), the rewriting relation ⇝ (Definition
+// 4.6), and isomorphism matching against the canonical hard queries h₁*,
+// h₂*, h₃* of Theorem 4.1. Variable identities are stable across
+// weakening and rewriting (neither introduces fresh variables), so
+// search states are keyed without graph canonicalization.
+package shape
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/querycause/querycause/internal/hypergraph"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Atom is one subgoal: a relation name, its variable set (sorted ints),
+// and its endogenous flag.
+type Atom struct {
+	Rel  string
+	Vars []int
+	Endo bool
+}
+
+// HasVar reports whether v is in the atom's variable set.
+func (a Atom) HasVar(v int) bool {
+	i := sort.SearchInts(a.Vars, v)
+	return i < len(a.Vars) && a.Vars[i] == v
+}
+
+// subsetOf reports Vars(a) ⊆ Vars(b).
+func (a Atom) subsetOf(b Atom) bool {
+	j := 0
+	for _, v := range a.Vars {
+		for j < len(b.Vars) && b.Vars[j] < v {
+			j++
+		}
+		if j == len(b.Vars) || b.Vars[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Shape is an abstract conjunctive query.
+type Shape struct {
+	Atoms []Atom
+	// VarNames maps variable ids to display names. Ids not listed render
+	// as v<i>.
+	VarNames []string
+}
+
+// A constructs an atom for literal shape definitions, e.g.
+// shape.A("R", true, 0, 1).
+func A(relName string, endo bool, vars ...int) Atom {
+	vs := append([]int(nil), vars...)
+	sort.Ints(vs)
+	vs = dedupInts(vs)
+	return Atom{Rel: relName, Vars: vs, Endo: endo}
+}
+
+// New builds a shape from atoms.
+func New(atoms ...Atom) *Shape {
+	return &Shape{Atoms: atoms}
+}
+
+func dedupInts(vs []int) []int {
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FromQuery abstracts a Boolean conjunctive query: variables are numbered
+// by first occurrence, constants are dropped, and each atom's flag is
+// looked up by relation name via endo.
+func FromQuery(q *rel.Query, endo func(relName string) bool) *Shape {
+	ids := make(map[string]int)
+	var names []string
+	s := &Shape{}
+	for _, at := range q.Atoms {
+		var vs []int
+		for _, t := range at.Terms {
+			if !t.IsVar {
+				continue
+			}
+			id, ok := ids[t.Var]
+			if !ok {
+				id = len(names)
+				ids[t.Var] = id
+				names = append(names, t.Var)
+			}
+			vs = append(vs, id)
+		}
+		sort.Ints(vs)
+		s.Atoms = append(s.Atoms, Atom{Rel: at.Pred, Vars: dedupInts(vs), Endo: endo(at.Pred)})
+	}
+	s.VarNames = names
+	return s
+}
+
+// Clone deep-copies the shape.
+func (s *Shape) Clone() *Shape {
+	out := &Shape{Atoms: make([]Atom, len(s.Atoms)), VarNames: s.VarNames}
+	for i, a := range s.Atoms {
+		out.Atoms[i] = Atom{Rel: a.Rel, Vars: append([]int(nil), a.Vars...), Endo: a.Endo}
+	}
+	return out
+}
+
+// UsedVars returns the sorted set of variables occurring in some atom.
+func (s *Shape) UsedVars() []int {
+	seen := make(map[int]bool)
+	for _, a := range s.Atoms {
+		for _, v := range a.Vars {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasSelfJoin reports whether two atoms share a relation name.
+func (s *Shape) HasSelfJoin() bool {
+	seen := make(map[string]bool)
+	for _, a := range s.Atoms {
+		if seen[a.Rel] {
+			return true
+		}
+		seen[a.Rel] = true
+	}
+	return false
+}
+
+// Key returns a canonical string for search-state deduplication. Atom
+// order is normalized; variable ids and relation names are preserved
+// (weakening and rewriting never rename variables). Relation names are
+// excluded: for the self-join-free analysis atoms are interchangeable up
+// to their variable sets and flags.
+func (s *Shape) Key() string {
+	parts := make([]string, len(s.Atoms))
+	for i, a := range s.Atoms {
+		var b strings.Builder
+		if a.Endo {
+			b.WriteString("n:")
+		} else {
+			b.WriteString("x:")
+		}
+		for _, v := range a.Vars {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		parts[i] = b.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// varName renders a variable id for display.
+func (s *Shape) varName(v int) string {
+	if v < len(s.VarNames) && s.VarNames[v] != "" {
+		return s.VarNames[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// String renders the shape as, e.g., "Rⁿ(x,y), Sˣ(y,z)".
+func (s *Shape) String() string {
+	parts := make([]string, len(s.Atoms))
+	for i, a := range s.Atoms {
+		vs := make([]string, len(a.Vars))
+		for j, v := range a.Vars {
+			vs[j] = s.varName(v)
+		}
+		tag := "x"
+		if a.Endo {
+			tag = "n"
+		}
+		parts[i] = fmt.Sprintf("%s^%s(%s)", a.Rel, tag, strings.Join(vs, ","))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Dual builds the dual query hypergraph H_D (Definition 4.3): vertices
+// are atoms, one hyperedge per used variable.
+func (s *Shape) Dual() *hypergraph.Hypergraph {
+	h := hypergraph.New(len(s.Atoms))
+	for _, v := range s.UsedVars() {
+		var members []int
+		for i, a := range s.Atoms {
+			if a.HasVar(v) {
+				members = append(members, i)
+			}
+		}
+		// Vertices are in range by construction; error is impossible.
+		_ = h.AddEdge(fmt.Sprintf("%d", v), members)
+	}
+	return h
+}
+
+// Connected reports whether the shape's atoms form one connected
+// component under shared variables. The dichotomy machinery of Theorem
+// 4.13 implicitly assumes connected queries: a disconnected endogenous
+// atom can be neither deleted (Definition 4.6) nor dominated, leaving
+// queries outside both closures (see the gap tests in internal/rewrite).
+func (s *Shape) Connected() bool {
+	return len(s.Dual().Components()) <= 1
+}
+
+// LinearOrder returns an atom order witnessing linearity (Definition
+// 4.4), or nil/false if the shape is not linear.
+func (s *Shape) LinearOrder() ([]int, bool) {
+	return s.Dual().LinearOrder()
+}
+
+// IsLinear reports whether the shape is linear.
+func (s *Shape) IsLinear() bool {
+	_, ok := s.LinearOrder()
+	return ok
+}

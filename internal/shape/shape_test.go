@@ -1,0 +1,292 @@
+package shape
+
+import (
+	"testing"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+func TestFromQuery(t *testing.T) {
+	// q :- R(x,'a3'), S(y,x), S is exogenous.
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.C("a3")),
+		rel.NewAtom("S", rel.V("y"), rel.V("x")),
+	)
+	s := FromQuery(q, func(r string) bool { return r == "R" })
+	if len(s.Atoms) != 2 {
+		t.Fatalf("atoms = %v", s.Atoms)
+	}
+	if len(s.Atoms[0].Vars) != 1 || s.Atoms[0].Vars[0] != 0 || !s.Atoms[0].Endo {
+		t.Errorf("R atom = %+v, want vars [0] endo", s.Atoms[0])
+	}
+	if len(s.Atoms[1].Vars) != 2 || s.Atoms[1].Endo {
+		t.Errorf("S atom = %+v, want vars [0 1] exo", s.Atoms[1])
+	}
+	if s.VarNames[0] != "x" || s.VarNames[1] != "y" {
+		t.Errorf("VarNames = %v", s.VarNames)
+	}
+}
+
+func TestFromQueryRepeatedVar(t *testing.T) {
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("x")))
+	s := FromQuery(q, func(string) bool { return true })
+	if len(s.Atoms[0].Vars) != 1 {
+		t.Fatalf("R(x,x) shape vars = %v, want deduped", s.Atoms[0].Vars)
+	}
+}
+
+func TestKeyNormalizesAtomOrder(t *testing.T) {
+	s1 := New(A("R", true, 0, 1), A("S", false, 1, 2))
+	s2 := New(A("S2", false, 1, 2), A("R2", true, 0, 1))
+	if s1.Key() != s2.Key() {
+		t.Errorf("keys differ: %q vs %q", s1.Key(), s2.Key())
+	}
+	s3 := New(A("R", false, 0, 1), A("S", false, 1, 2))
+	if s1.Key() == s3.Key() {
+		t.Error("keys should differ on endo flags")
+	}
+}
+
+func TestLinearityOfHardQueries(t *testing.T) {
+	for _, h := range []HardQuery{H1, H2, H3} {
+		if NewHard(h).IsLinear() {
+			t.Errorf("%s must not be linear", h)
+		}
+	}
+}
+
+func TestMatchHardSelf(t *testing.T) {
+	for _, h := range []HardQuery{H1, H2, H3} {
+		got, ok := NewHard(h).MatchHard()
+		if !ok || got != h {
+			t.Errorf("NewHard(%s).MatchHard() = %v,%v", h, got, ok)
+		}
+	}
+}
+
+func TestMatchHardAnyFlagAtoms(t *testing.T) {
+	// Theorem 4.1: W in h1 and R,S,T in h3 may be exogenous.
+	h1 := New(A("A", true, 0), A("B", true, 1), A("C", true, 2), A("W", false, 0, 1, 2))
+	if _, ok := h1.MatchHard(); !ok {
+		t.Error("h1 with exogenous W must match")
+	}
+	h3 := New(A("A", true, 0), A("B", true, 1), A("C", true, 2),
+		A("R", false, 0, 1), A("S", true, 1, 2), A("T", false, 2, 0))
+	if got, ok := h3.MatchHard(); !ok || got != H3 {
+		t.Errorf("h3 with mixed flags: got %v,%v", got, ok)
+	}
+	// But the unary atoms must be endogenous.
+	bad := New(A("A", false, 0), A("B", true, 1), A("C", true, 2), A("W", true, 0, 1, 2))
+	if _, ok := bad.MatchHard(); ok {
+		t.Error("h1 with exogenous A must not match")
+	}
+	// h2 with an exogenous edge is not h2 (that query is PTIME, Ex. 4.12).
+	badH2 := New(A("R", true, 0, 1), A("S", false, 1, 2), A("T", true, 2, 0))
+	if _, ok := badH2.MatchHard(); ok {
+		t.Error("h2 with exogenous S must not match")
+	}
+}
+
+func TestMatchHardUnderRenaming(t *testing.T) {
+	// h2 with scrambled variable ids.
+	s := New(A("P", true, 7, 3), A("Q", true, 3, 9), A("Z", true, 9, 7))
+	if got, ok := s.MatchHard(); !ok || got != H2 {
+		t.Errorf("renamed h2: got %v,%v", got, ok)
+	}
+}
+
+func TestMatchHardRejectsNear(t *testing.T) {
+	// A path of three binary atoms (not a triangle) must not match h2.
+	s := New(A("R", true, 0, 1), A("S", true, 1, 2), A("T", true, 2, 3))
+	if _, ok := s.MatchHard(); ok {
+		t.Error("path must not match")
+	}
+	// Four variables.
+	s2 := New(A("A", true, 0), A("B", true, 1), A("C", true, 2), A("W", true, 0, 1, 3))
+	if _, ok := s2.MatchHard(); ok {
+		t.Error("wrong ternary atom must not match")
+	}
+}
+
+func TestMatchSelfJoinHard(t *testing.T) {
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x")),
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("R", rel.V("y")),
+	)
+	s := FromQuery(q, func(r string) bool { return r == "R" })
+	if !s.MatchSelfJoinHard() {
+		t.Error("Prop 4.16 pattern must match (S exogenous)")
+	}
+	s2 := FromQuery(q, func(r string) bool { return true })
+	if !s2.MatchSelfJoinHard() {
+		t.Error("Prop 4.16 pattern must match (S endogenous)")
+	}
+	// Different relation names on the unaries: not the pattern.
+	q3 := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x")),
+		rel.NewAtom("S", rel.V("x"), rel.V("y")),
+		rel.NewAtom("T", rel.V("y")),
+	)
+	if FromQuery(q3, func(string) bool { return true }).MatchSelfJoinHard() {
+		t.Error("distinct unaries must not match Prop 4.16")
+	}
+}
+
+func TestWeakeningsDomination(t *testing.T) {
+	// Rⁿ(x,y), Vⁿ(x): V dominates R.
+	s := New(A("R", true, 0, 1), A("V", true, 0))
+	var got []AppliedOp
+	for _, ap := range s.Weakenings() {
+		if ap.Op.Kind == Domination {
+			got = append(got, ap)
+		}
+	}
+	if len(got) != 1 || got[0].Op.Atom != 0 {
+		t.Fatalf("dominations = %+v, want atom 0 only", got)
+	}
+	if got[0].Result.Atoms[0].Endo {
+		t.Error("dominated atom should be exogenous in result")
+	}
+	// Equal variable sets dominate each other: two candidate ops.
+	s2 := New(A("R", true, 0, 1), A("P", true, 0, 1))
+	doms := 0
+	for _, ap := range s2.Weakenings() {
+		if ap.Op.Kind == Domination {
+			doms++
+		}
+	}
+	if doms != 2 {
+		t.Errorf("equal varsets: %d dominations, want 2", doms)
+	}
+}
+
+func TestWeakeningsDissociation(t *testing.T) {
+	// Rⁿ(x,y), Sˣ(y,z), Tⁿ(z,x): S can absorb x from either neighbor.
+	s := New(A("R", true, 0, 1), A("S", false, 1, 2), A("T", true, 2, 0))
+	var diss []AppliedOp
+	for _, ap := range s.Weakenings() {
+		if ap.Op.Kind == Dissociation {
+			diss = append(diss, ap)
+		}
+	}
+	if len(diss) != 1 || diss[0].Op.Atom != 1 || diss[0].Op.Var != 0 {
+		t.Fatalf("dissociations = %+v, want S absorbing x", diss)
+	}
+	r := diss[0].Result
+	if len(r.Atoms[1].Vars) != 3 {
+		t.Errorf("S vars after dissociation = %v", r.Atoms[1].Vars)
+	}
+}
+
+func TestDissociationRequiresNeighbor(t *testing.T) {
+	// Sˣ(y) with disconnected Rⁿ(x): no dissociation possible.
+	s := New(A("S", false, 1), A("R", true, 0))
+	for _, ap := range s.Weakenings() {
+		if ap.Op.Kind == Dissociation {
+			t.Fatalf("unexpected dissociation %+v", ap.Op)
+		}
+	}
+}
+
+func TestRewritesDeleteVar(t *testing.T) {
+	s := New(A("R", true, 0, 1), A("S", true, 1))
+	var del []AppliedOp
+	for _, ap := range s.Rewrites() {
+		if ap.Op.Kind == DeleteVar {
+			del = append(del, ap)
+		}
+	}
+	if len(del) != 2 {
+		t.Fatalf("delete-var ops = %d, want 2", len(del))
+	}
+	for _, ap := range del {
+		if ap.Op.Var == 1 {
+			if len(ap.Result.Atoms[1].Vars) != 0 {
+				t.Errorf("S should be empty after deleting y: %v", ap.Result.Atoms[1])
+			}
+		}
+	}
+}
+
+func TestRewritesAddVar(t *testing.T) {
+	// R(x,y), S(y,z): can add x to atoms containing y (pivot y), etc.
+	s := New(A("R", true, 0, 1), A("S", true, 1, 2))
+	found := false
+	for _, ap := range s.Rewrites() {
+		if ap.Op.Kind == AddVar && ap.Op.Pivot == 1 && ap.Op.Var == 0 {
+			found = true
+			if !ap.Result.Atoms[1].HasVar(0) {
+				t.Error("S should contain x after ADD")
+			}
+		}
+		if ap.Op.Kind == AddVar && ap.Op.Pivot == 0 && ap.Op.Var == 2 {
+			t.Error("x,z do not co-occur; ADD z via pivot x is illegal")
+		}
+	}
+	if !found {
+		t.Error("missing ADD x to atoms containing y")
+	}
+}
+
+func TestRewritesDeleteAtom(t *testing.T) {
+	// W exogenous: deletable. Rⁿ(x,y) with Vⁿ(x): R deletable (dominated).
+	s := New(A("R", true, 0, 1), A("V", true, 0), A("W", false, 0, 1))
+	dels := map[int]bool{}
+	for _, ap := range s.Rewrites() {
+		if ap.Op.Kind == DeleteAtom {
+			dels[ap.Op.Atom] = true
+			if len(ap.Result.Atoms) != 2 {
+				t.Errorf("delete-atom result has %d atoms", len(ap.Result.Atoms))
+			}
+		}
+	}
+	if !dels[0] || !dels[2] {
+		t.Errorf("deletable atoms = %v, want {0, 2}", dels)
+	}
+	if dels[1] {
+		// V is endogenous; it is deletable only if some other atom's
+		// variable set is contained in {x}. R's is not; W's is not.
+		t.Error("V must not be deletable")
+	}
+}
+
+func TestApplyWeakeningValidation(t *testing.T) {
+	s := New(A("R", true, 0, 1), A("V", true, 0))
+	if _, err := s.ApplyWeakening(Op{Kind: Domination, Atom: 1}); err == nil {
+		t.Error("V is not dominated; expected error")
+	}
+	ns, err := s.ApplyWeakening(Op{Kind: Domination, Atom: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Atoms[0].Endo {
+		t.Error("atom 0 should be exogenous")
+	}
+	if _, err := s.ApplyWeakening(Op{Kind: DeleteVar, Var: 0}); err == nil {
+		t.Error("DeleteVar is not a weakening")
+	}
+	if _, err := ns.ApplyWeakening(Op{Kind: Dissociation, Atom: 0, Var: 5}); err == nil {
+		t.Error("variable 5 is in no neighbor")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewHard(H2)
+	got := s.String()
+	want := "R^n(x,y), S^n(y,z), T^n(x,z)" // variable sets are sorted
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestUsedVarsAndSelfJoin(t *testing.T) {
+	s := New(A("R", true, 0, 2), A("R", true, 2))
+	uv := s.UsedVars()
+	if len(uv) != 2 || uv[0] != 0 || uv[1] != 2 {
+		t.Errorf("UsedVars = %v", uv)
+	}
+	if !s.HasSelfJoin() {
+		t.Error("self-join expected")
+	}
+}

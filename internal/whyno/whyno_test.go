@@ -1,0 +1,185 @@
+package whyno
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// whyNotInstance: real database R(a,b) (exogenous); candidates
+// S(b), S(c) (endogenous); q :- R(x,y), S(y) is a non-answer on Dˣ.
+func whyNotInstance() (*rel.Database, *rel.Query, rel.TupleID, rel.TupleID) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a", "b")
+	sb := db.MustAdd("S", true, "b")
+	sc := db.MustAdd("S", true, "c")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	return db, q, sb, sc
+}
+
+func TestCheckInstance(t *testing.T) {
+	db, q, _, _ := whyNotInstance()
+	if err := CheckInstance(db, q); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	// Already an answer: add exogenous S(b).
+	db2 := rel.NewDatabase()
+	db2.MustAdd("R", false, "a", "b")
+	db2.MustAdd("S", false, "b")
+	db2.MustAdd("S", true, "c")
+	if err := CheckInstance(db2, q); err == nil {
+		t.Error("expected rejection: q holds on Dˣ")
+	}
+	// Unreachable: no candidate makes it true.
+	db3 := rel.NewDatabase()
+	db3.MustAdd("R", false, "a", "b")
+	db3.MustAdd("S", true, "z")
+	if err := CheckInstance(db3, q); err == nil {
+		t.Error("expected rejection: q unreachable")
+	}
+	// Non-Boolean query.
+	hq := &rel.Query{Name: "q", Head: []rel.Term{rel.V("x")}, Atoms: q.Atoms}
+	if err := CheckInstance(db, hq); err == nil {
+		t.Error("expected rejection: non-Boolean")
+	}
+}
+
+func TestCausesAndResponsibility(t *testing.T) {
+	db, q, sb, sc := whyNotInstance()
+	causes, err := Causes(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(causes) != 1 || causes[0] != sb {
+		t.Fatalf("causes = %v, want [S(b)]", causes)
+	}
+	// S(b) is a counterfactual Why-No cause: inserting it alone yields
+	// the answer.
+	rho, err := Responsibility(db, q, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 1 {
+		t.Errorf("ρ(S(b)) = %v, want 1", rho)
+	}
+	rho, err = Responsibility(db, q, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho != 0 {
+		t.Errorf("ρ(S(c)) = %v, want 0", rho)
+	}
+}
+
+// TestTwoInsertions: a non-answer needing two insertions gives ρ = 1/2.
+func TestTwoInsertions(t *testing.T) {
+	db := rel.NewDatabase()
+	rb := db.MustAdd("R", true, "a", "b") // candidate
+	sb := db.MustAdd("S", true, "b")      // candidate
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x"), rel.V("y")), rel.NewAtom("S", rel.V("y")))
+	if err := CheckInstance(db, q); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []rel.TupleID{rb, sb} {
+		size, ok, err := MinContingency(db, q, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || size != 1 {
+			t.Errorf("tuple %v: size=%d ok=%v, want 1 (insert the other)", db.Tuple(id), size, ok)
+		}
+	}
+}
+
+// TestClosedFormMatchesBruteForce fuzzes the 1/min-conjunct formula
+// against definition-level enumeration.
+func TestClosedFormMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+		rel.NewAtom("T", rel.V("z")),
+	)
+	dom := []rel.Value{"0", "1", "2"}
+	checked := 0
+	for trial := 0; trial < 100 && checked < 25; trial++ {
+		db := rel.NewDatabase()
+		for _, spec := range []struct {
+			name  string
+			arity int
+		}{{"R", 2}, {"S", 2}, {"T", 1}} {
+			for i := 0; i < 2; i++ { // sparse real data
+				args := make([]rel.Value, spec.arity)
+				for j := range args {
+					args[j] = dom[rng.Intn(3)]
+				}
+				db.MustAdd(spec.name, false, args...)
+			}
+			for i := 0; i < 4; i++ { // candidates
+				args := make([]rel.Value, spec.arity)
+				for j := range args {
+					args[j] = dom[rng.Intn(3)]
+				}
+				db.MustAdd(spec.name, true, args...)
+			}
+		}
+		if CheckInstance(db, q) != nil {
+			continue
+		}
+		checked++
+		causes, err := Causes(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range causes {
+			got, gotOK, err := MinContingency(db, q, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK, err := BruteForceMinContingency(db, q, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotOK != wantOK || got != want {
+				t.Fatalf("tuple %v: closed=(%d,%v) brute=(%d,%v)\ndb:\n%v",
+					db.Tuple(id), got, gotOK, want, wantOK, db)
+			}
+			// Theorem 4.17's bound.
+			if got > len(q.Atoms)-1 {
+				t.Fatalf("contingency %d > m-1", got)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no valid instances generated")
+	}
+}
+
+func TestPotentialTuples(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", false, "a", "b")
+	db.MustAdd("S", false, "a")
+	ids, err := PotentialTuples(db, "S", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Active domain {a,b}; S has (a); candidate: (b).
+	if len(ids) != 1 || db.Tuple(ids[0]).Args[0] != "b" {
+		t.Fatalf("candidates = %v", ids)
+	}
+	if !db.Tuple(ids[0]).Endo {
+		t.Error("candidates must be endogenous")
+	}
+	// Limit honored.
+	ids2, err := PotentialTuples(db, "R", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids2) != 2 {
+		t.Fatalf("limited candidates = %d, want 2", len(ids2))
+	}
+	if _, err := PotentialTuples(db, "Nope", 0); err == nil {
+		t.Error("expected unknown-relation error")
+	}
+}

@@ -1,0 +1,147 @@
+// Package workload generates parameterized database instances for the
+// benchmark harness and property tests: the query families of the
+// paper's complexity analysis (linear chains, the canonical hard
+// triangle h₂*, its PTIME variant with an exogenous edge, and the star
+// query h₁*) at controllable sizes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// val renders a domain element.
+func val(i int) rel.Value { return rel.Value(fmt.Sprintf("d%d", i)) }
+
+// Chain2 builds an instance of q :- R(x,y), S(y,z) with n tuples per
+// relation over a domain sized to keep the join selective; all tuples
+// endogenous. Returns the database, the query, and a tuple guaranteed
+// to be an actual cause (a tuple on some valuation).
+func Chain2(seed int64, n int) (*rel.Database, *rel.Query, rel.TupleID) {
+	rng := rand.New(rand.NewSource(seed))
+	dom := domainFor(n)
+	db := rel.NewDatabase()
+	first := db.MustAdd("R", true, val(0), val(1))
+	db.MustAdd("S", true, val(1), val(2))
+	for i := 1; i < n; i++ {
+		db.MustAdd("R", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+		db.MustAdd("S", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+	)
+	return db, q, first
+}
+
+// Chain3 builds q :- R(x,y), S(y,z), T(z,w) similarly.
+func Chain3(seed int64, n int) (*rel.Database, *rel.Query, rel.TupleID) {
+	rng := rand.New(rand.NewSource(seed))
+	dom := domainFor(n)
+	db := rel.NewDatabase()
+	first := db.MustAdd("R", true, val(0), val(1))
+	db.MustAdd("S", true, val(1), val(2))
+	db.MustAdd("T", true, val(2), val(3))
+	for i := 1; i < n; i++ {
+		db.MustAdd("R", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+		db.MustAdd("S", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+		db.MustAdd("T", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+		rel.NewAtom("T", rel.V("z"), rel.V("w")),
+	)
+	return db, q, first
+}
+
+// Triangle builds the canonical hard query h₂* :- R(x,y),S(y,z),T(z,x)
+// with n tuples per relation, all endogenous (NP-hard responsibility).
+func Triangle(seed int64, n int) (*rel.Database, *rel.Query, rel.TupleID) {
+	db, q, id := triangle(seed, n, true)
+	return db, q, id
+}
+
+// TriangleExoS is the Example 4.12a PTIME variant: S exogenous.
+func TriangleExoS(seed int64, n int) (*rel.Database, *rel.Query, rel.TupleID) {
+	db, q, id := triangle(seed, n, false)
+	return db, q, id
+}
+
+func triangle(seed int64, n int, sEndo bool) (*rel.Database, *rel.Query, rel.TupleID) {
+	rng := rand.New(rand.NewSource(seed))
+	dom := domainFor(n)
+	db := rel.NewDatabase()
+	first := db.MustAdd("R", true, val(0), val(1))
+	db.MustAdd("S", sEndo, val(1), val(2))
+	db.MustAdd("T", true, val(2), val(0))
+	for i := 1; i < n; i++ {
+		db.MustAdd("R", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+		db.MustAdd("S", sEndo, val(rng.Intn(dom)), val(rng.Intn(dom)))
+		db.MustAdd("T", true, val(rng.Intn(dom)), val(rng.Intn(dom)))
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+		rel.NewAtom("T", rel.V("z"), rel.V("x")),
+	)
+	return db, q, first
+}
+
+// Star builds h₁* :- A(x),B(y),C(z),W(x,y,z) with n unary tuples per
+// relation and 2n triples, all endogenous.
+func Star(seed int64, n int) (*rel.Database, *rel.Query, rel.TupleID) {
+	rng := rand.New(rand.NewSource(seed))
+	db := rel.NewDatabase()
+	first := db.MustAdd("A", true, val(0))
+	db.MustAdd("B", true, val(0))
+	db.MustAdd("C", true, val(0))
+	db.MustAdd("W", true, val(0), val(0), val(0))
+	for i := 1; i < n; i++ {
+		db.MustAdd("A", true, val(i))
+		db.MustAdd("B", true, val(i))
+		db.MustAdd("C", true, val(i))
+	}
+	for i := 1; i < 2*n; i++ {
+		db.MustAdd("W", true, val(rng.Intn(n)), val(rng.Intn(n)), val(rng.Intn(n)))
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("A", rel.V("x")),
+		rel.NewAtom("B", rel.V("y")),
+		rel.NewAtom("C", rel.V("z")),
+		rel.NewAtom("W", rel.V("x"), rel.V("y"), rel.V("z")),
+	)
+	return db, q, first
+}
+
+// WhyNoChain builds a Why-No instance for q :- R(x,y),S(y,z): a sparse
+// exogenous real database and n candidate missing tuples per relation.
+func WhyNoChain(seed int64, n int) (*rel.Database, *rel.Query) {
+	rng := rand.New(rand.NewSource(seed))
+	dom := domainFor(n) + 2
+	db := rel.NewDatabase()
+	// Real database: R side only, so the query is a non-answer.
+	for i := 0; i < n; i++ {
+		db.MustAdd("R", false, val(rng.Intn(dom)), val(2+rng.Intn(dom)))
+	}
+	// Candidates.
+	for i := 0; i < n; i++ {
+		db.MustAdd("S", true, val(2+rng.Intn(dom)), val(rng.Intn(dom)))
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+	)
+	return db, q
+}
+
+// domainFor keeps join fan-out moderate as instances grow.
+func domainFor(n int) int {
+	d := 2
+	for d*d < n {
+		d++
+	}
+	return d + 1
+}
