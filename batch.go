@@ -1,0 +1,105 @@
+package querycause
+
+import (
+	"context"
+
+	"github.com/querycause/querycause/internal/core"
+)
+
+// BatchOptions configures the parallel explanation entry points.
+type BatchOptions struct {
+	// Parallelism is the worker count. Values <= 0 mean
+	// runtime.GOMAXPROCS(0); 1 forces the serial path.
+	Parallelism int
+	// Mode selects the responsibility strategy. The zero value is
+	// ModeAuto.
+	Mode Mode
+}
+
+// RankParallel is Rank computed by a pool of workers fanning out across
+// the causes: each worker explains causes independently over the shared
+// immutable lineage, using a private copy of the Algorithm 1 flow
+// network on the polynomial side of the dichotomy and the pure exact
+// solver on the NP-hard side. The ranking is byte-identical to Rank
+// (same causes, same ρ, same order) for every parallelism degree; ctx
+// cancels between per-cause computations.
+func (e *Explainer) RankParallel(ctx context.Context, opts BatchOptions) ([]Explanation, error) {
+	return e.eng.RankAllParallel(ctx, opts.Mode, core.ParallelOptions{Workers: opts.Parallelism})
+}
+
+// BatchRequest names one answer or non-answer of a workload to explain.
+type BatchRequest struct {
+	// Query is the conjunctive query; it may be Boolean (no Answer).
+	Query *Query
+	// Answer is the (non-)answer tuple bound into the head.
+	Answer []Value
+	// WhyNo explains why Answer is NOT returned instead of why it is.
+	WhyNo bool
+}
+
+// BatchResult pairs a request with its ranking. Err is per-request: an
+// invalid request (bad binding, invalid Why-No instance) fails alone
+// without aborting the rest of the batch.
+type BatchResult struct {
+	Request      BatchRequest
+	Explanations []Explanation
+	Err          error
+}
+
+// ExplainAll explains many answers and non-answers of one database in a
+// single call, fanning the requests out across a worker pool of
+// opts.Parallelism workers. Results are returned in request order and
+// are byte-identical to the serial per-request ranking at the same
+// opts.Mode (WhySo/WhyNo + Rank when opts.Mode is ModeAuto, the
+// default). When the batch has fewer requests than workers, the
+// leftover budget flows into ranking each request's causes
+// concurrently, so a single-request batch behaves like RankParallel
+// with the full worker count.
+//
+// ExplainAll returns a non-nil error only when ctx is canceled before
+// the batch completes; per-request failures land in BatchResult.Err.
+func ExplainAll(ctx context.Context, db *Database, reqs []BatchRequest, opts BatchOptions) ([]BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]BatchResult, len(reqs))
+	for i, r := range reqs {
+		results[i].Request = r
+	}
+	if len(reqs) == 0 {
+		return results, nil
+	}
+	workers := core.ResolveWorkers(opts.Parallelism)
+	reqWorkers := workers
+	if reqWorkers > len(reqs) {
+		reqWorkers = len(reqs)
+	}
+	// Leftover budget (workers beyond one per request) goes to ranking
+	// causes within each request; with reqs >= workers this is 1 and
+	// each request is ranked serially.
+	perReq := BatchOptions{Parallelism: workers / reqWorkers, Mode: opts.Mode}
+	core.ForEachIndex(ctx, len(reqs), reqWorkers, func() func(int) {
+		return func(i int) {
+			results[i].Explanations, results[i].Err = explainOne(ctx, db, reqs[i], perReq)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func explainOne(ctx context.Context, db *Database, r BatchRequest, opts BatchOptions) ([]Explanation, error) {
+	ex, err := newExplainer(db, r)
+	if err != nil {
+		return nil, err
+	}
+	return ex.RankParallel(ctx, opts)
+}
+
+func newExplainer(db *Database, r BatchRequest) (*Explainer, error) {
+	if r.WhyNo {
+		return WhyNo(db, r.Query, r.Answer...)
+	}
+	return WhySo(db, r.Query, r.Answer...)
+}

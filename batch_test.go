@@ -1,0 +1,166 @@
+package querycause_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// TestExplainAllMatchesSerial batches every answer of the genre query
+// on a synthetic IMDB and checks each ranking against the serial
+// WhySo+Rank path, at several parallelism degrees.
+func TestExplainAllMatchesSerial(t *testing.T) {
+	db := imdb.Synthetic(imdb.Config{Seed: 7, Directors: 40})
+	q := imdb.GenreQuery()
+	ans, err := rel.Answers(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) < 2 {
+		t.Fatalf("want a multi-answer workload, got %d answers", len(ans))
+	}
+	var reqs []qc.BatchRequest
+	want := make([][]qc.Explanation, len(ans))
+	for i, a := range ans {
+		reqs = append(reqs, qc.BatchRequest{Query: q, Answer: a.Values})
+		ex, err := qc.WhySo(db, q, a.Values...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], err = ex.Rank()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, par := range []int{0, 1, 3} {
+		results, err := qc.ExplainAll(context.Background(), db, reqs, qc.BatchOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(results) != len(reqs) {
+			t.Fatalf("parallelism %d: got %d results, want %d", par, len(results), len(reqs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("parallelism %d, request %d: %v", par, i, r.Err)
+			}
+			if !reflect.DeepEqual(r.Explanations, want[i]) {
+				t.Fatalf("parallelism %d, request %d: batch ranking differs from serial", par, i)
+			}
+		}
+	}
+}
+
+// TestExplainAllMixedAndErrors mixes Why-So, Why-No and an invalid
+// request in one batch: the bad request must fail alone.
+func TestExplainAllMixedAndErrors(t *testing.T) {
+	whyNoDB, err := qc.ParseDatabase(strings.NewReader("-R(a, b)\n+S(b)\n+S(c)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qc.ParseQuery("q :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolQ, err := qc.ParseQuery("q :- S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	headQ, err := qc.ParseQuery("q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []qc.BatchRequest{
+		{Query: q, WhyNo: true},
+		{Query: boolQ},
+		{Query: headQ, Answer: []qc.Value{"a", "b"}}, // arity mismatch
+	}
+	results, err := qc.ExplainAll(context.Background(), whyNoDB, reqs, qc.BatchOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || len(results[0].Explanations) == 0 {
+		t.Fatalf("why-no request: err=%v, %d explanations", results[0].Err, len(results[0].Explanations))
+	}
+	if results[1].Err != nil {
+		t.Fatalf("boolean request: %v", results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("arity-mismatch request: expected a per-request error")
+	}
+}
+
+// TestExplainAllSingleRequest checks the degenerate one-request batch
+// (which hands its worker budget to RankParallel) and empty batches.
+func TestExplainAllSingleRequest(t *testing.T) {
+	db, _ := imdb.Micro()
+	q := imdb.GenreQuery()
+	ex, err := qc.WhySo(db, q, "Musical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ex.MustRank()
+
+	results, err := qc.ExplainAll(context.Background(), db,
+		[]qc.BatchRequest{{Query: q, Answer: []qc.Value{"Musical"}}}, qc.BatchOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !reflect.DeepEqual(results[0].Explanations, want) {
+		t.Fatalf("single-request batch diverged from serial (err=%v)", results[0].Err)
+	}
+
+	empty, err := qc.ExplainAll(context.Background(), db, nil, qc.BatchOptions{})
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(empty))
+	}
+}
+
+// TestExplainAllCancellation: a canceled context aborts the batch.
+func TestExplainAllCancellation(t *testing.T) {
+	db, _ := imdb.Micro()
+	q := imdb.GenreQuery()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []qc.BatchRequest{
+		{Query: q, Answer: []qc.Value{"Musical"}},
+		{Query: q, Answer: []qc.Value{"Musical"}},
+	}
+	if _, err := qc.ExplainAll(ctx, db, reqs, qc.BatchOptions{Parallelism: 2}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRankParallelExplainer checks the Explainer-level entry point
+// against Rank, including an explicit mode.
+func TestRankParallelExplainer(t *testing.T) {
+	db, _ := imdb.Micro()
+	ex, err := qc.WhySo(db, imdb.GenreQuery(), "Musical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ex.MustRank()
+	got, err := ex.RankParallel(context.Background(), qc.BatchOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RankParallel diverged from Rank")
+	}
+	wantExact, err := ex.ResponsibilityMode(want[0].Tuple, qc.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotExact, err := ex.RankParallel(context.Background(), qc.BatchOptions{Parallelism: 4, Mode: qc.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotExact[0].Rho != wantExact.Rho {
+		t.Fatalf("ModeExact top ρ: got %v, want %v", gotExact[0].Rho, wantExact.Rho)
+	}
+}

@@ -10,8 +10,10 @@
 package querycause_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	qc "github.com/querycause/querycause"
@@ -240,6 +242,132 @@ func BenchmarkE16_WhyNo(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := whyno.Responsibility(db, q, causes[0]); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelSweep is the worker-count axis of the E18/E19 benchmarks:
+// serial (1), then 2, 4, and the host's GOMAXPROCS when larger.
+func parallelSweep() []int {
+	sweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		sweep = append(sweep, p)
+	}
+	return sweep
+}
+
+// BenchmarkE18_ParallelRanking measures the concurrent batch engine
+// (RankAllParallel) against the serial RankAll on both sides of the
+// responsibility dichotomy: a weakly linear query solved per cause by
+// Algorithm 1 (max-flow over per-worker network clones) and the
+// NP-hard star h₁* solved per cause by exact branch-and-bound over the
+// shared lineage. workers=1 is the serial baseline; the speedup at
+// workers=w is serial_ns / parallel_ns on a host with GOMAXPROCS ≥ w
+// (on a single-core host the sweep instead measures fan-out overhead).
+func BenchmarkE18_ParallelRanking(b *testing.B) {
+	cases := []struct {
+		name string
+		eng  func(b *testing.B) *core.Engine
+		mode core.Mode
+	}{
+		{
+			name: "flow-linear/triangle-exo-s/n=96",
+			eng: func(b *testing.B) *core.Engine {
+				db, q, _ := workload.TriangleExoS(29, 96)
+				eng, err := core.NewWhySo(db, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return eng
+			},
+			mode: core.ModeAuto,
+		},
+		{
+			name: "hard-exact/star/n=12",
+			eng: func(b *testing.B) *core.Engine {
+				db, q, _ := workload.Star(13, 12)
+				eng, err := core.NewWhySo(db, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return eng
+			},
+			mode: core.ModeExact,
+		},
+	}
+	for _, c := range cases {
+		eng := c.eng(b)
+		// Warm the lazy caches (classification certificate, base flow
+		// network) so every variant times only the per-cause work.
+		want, err := eng.RankAll(c.mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RankAll(c.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, w := range parallelSweep() {
+			b.Run(fmt.Sprintf("%s/parallel=%d", c.name, w), func(b *testing.B) {
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					out, err := eng.RankAllParallel(ctx, c.mode, core.ParallelOptions{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out) != len(want) {
+						b.Fatalf("parallel ranking has %d entries, want %d", len(out), len(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE19_ExplainAllBatch measures the request-level fan-out: all
+// answers of the genre query on a synthetic IMDB, explained one
+// WhySo+Rank at a time versus one ExplainAll call.
+func BenchmarkE19_ExplainAllBatch(b *testing.B) {
+	db := imdb.Synthetic(imdb.Config{Seed: 42, Directors: 120})
+	q := imdb.GenreQuery()
+	ans, err := rel.Answers(db, q)
+	if err != nil || len(ans) == 0 {
+		b.Fatalf("no answers: %v", err)
+	}
+	reqs := make([]qc.BatchRequest, len(ans))
+	for i, a := range ans {
+		reqs[i] = qc.BatchRequest{Query: q, Answer: a.Values}
+	}
+	b.Run(fmt.Sprintf("serial/answers=%d", len(ans)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, a := range ans {
+				ex, err := qc.WhySo(db, q, a.Values...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ex.Rank(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	ctx := context.Background()
+	for _, w := range parallelSweep() {
+		b.Run(fmt.Sprintf("batch/answers=%d/parallel=%d", len(ans), w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := qc.ExplainAll(ctx, db, reqs, qc.BatchOptions{Parallelism: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
 				}
 			}
 		})

@@ -18,12 +18,15 @@
 //	-why so|no    explain an answer (default) or a non-answer
 //	-mode auto|exact|paper
 //	              responsibility strategy (default auto)
+//	-parallel N   worker count for ranking causes (0 = GOMAXPROCS,
+//	              1 = serial)
 //	-classify     print the dichotomy classification and exit
 //	-lineage      also print the minimal endogenous lineage
 //	-program      also print the Theorem 3.4 Datalog¬ cause program
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,18 +42,19 @@ func main() {
 		answer   = flag.String("answer", "", "comma-separated answer tuple values")
 		why      = flag.String("why", "so", "so (explain answer) or no (explain non-answer)")
 		mode     = flag.String("mode", "auto", "responsibility mode: auto, exact, paper")
+		parallel = flag.Int("parallel", 0, "worker count for ranking causes (0 = GOMAXPROCS, 1 = serial)")
 		classify = flag.Bool("classify", false, "print the dichotomy classification and exit")
 		lineage  = flag.Bool("lineage", false, "print the minimal endogenous lineage")
 		program  = flag.Bool("program", false, "print the Theorem 3.4 cause program")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *queryStr, *answer, *why, *mode, *classify, *lineage, *program); err != nil {
+	if err := run(*dbPath, *queryStr, *answer, *why, *mode, *parallel, *classify, *lineage, *program); err != nil {
 		fmt.Fprintln(os.Stderr, "causality:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, queryStr, answer, why, modeStr string, classify, printLineage, printProgram bool) error {
+func run(dbPath, queryStr, answer, why, modeStr string, parallel int, classify, printLineage, printProgram bool) error {
 	if queryStr == "" {
 		return fmt.Errorf("-query is required")
 	}
@@ -146,13 +150,20 @@ func run(dbPath, queryStr, answer, why, modeStr string, classify, printLineage, 
 	if why == "no" {
 		verb = "insert"
 	}
+	// Rank all causes at once through the batch engine (one worker per
+	// core by default), then print in tuple order as before.
+	ranked, err := ex.RankParallel(context.Background(), qc.BatchOptions{Parallelism: parallel, Mode: m})
+	if err != nil {
+		return err
+	}
+	byTuple := make(map[qc.TupleID]qc.Explanation, len(ranked))
+	for _, e := range ranked {
+		byTuple[e.Tuple] = e
+	}
 	fmt.Printf("%d actual cause(s):\n", len(causes))
 	fmt.Printf("  %-7s %-12s %-16s %s\n", "ρ_t", "|Γ| min", "method", "tuple")
 	for _, c := range causes {
-		e, err := ex.ResponsibilityMode(c, m)
-		if err != nil {
-			return err
-		}
+		e := byTuple[c]
 		fmt.Printf("  %-7.3f %-12d %-16v %v\n", e.Rho, e.ContingencySize, e.Method, db.Tuple(e.Tuple))
 		if len(e.Contingency) > 0 {
 			parts := make([]string, len(e.Contingency))

@@ -32,8 +32,10 @@ func writeTempDB(t *testing.T) string {
 func TestRunWhySo(t *testing.T) {
 	db := writeTempDB(t)
 	for _, mode := range []string{"auto", "exact", "paper"} {
-		if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", mode, false, true, true); err != nil {
-			t.Fatalf("mode %s: %v", mode, err)
+		for _, parallel := range []int{0, 1, 4} {
+			if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", mode, parallel, false, true, true); err != nil {
+				t.Fatalf("mode %s parallel %d: %v", mode, parallel, err)
+			}
 		}
 	}
 }
@@ -45,16 +47,16 @@ func TestRunWhyNo(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "q :- R(x,y), S(y)", "", "no", "auto", false, false, false); err != nil {
+	if err := run(path, "q :- R(x,y), S(y)", "", "no", "auto", 0, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunClassify(t *testing.T) {
-	if err := run("", "q :- R(x,y), S(y,z), T(z,x)", "", "so", "auto", true, false, false); err != nil {
+	if err := run("", "q :- R(x,y), S(y,z), T(z,x)", "", "so", "auto", 0, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "q :- R(x,y), S(y,z)", "", "so", "auto", true, false, false); err != nil {
+	if err := run("", "q :- R(x,y), S(y,z)", "", "so", "auto", 0, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +77,7 @@ func TestRunErrors(t *testing.T) {
 		{name: "bad answer arity", dbP: db, q: "q(x) :- R(x,y), S(y)", ans: "a,b", why: "so", mode: "auto"},
 	}
 	for _, c := range cases {
-		if err := run(c.dbP, c.q, c.ans, c.why, c.mode, c.classify, c.lineage, c.program); err == nil {
+		if err := run(c.dbP, c.q, c.ans, c.why, c.mode, 0, c.classify, c.lineage, c.program); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}

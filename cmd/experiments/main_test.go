@@ -12,6 +12,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for name, f := range map[string]func(){
 		"fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4,
 		"fig6": fig6, "fig7": fig7, "fig9": fig9, "thm415": thm415, "gap": gap,
+		"batch": batch,
 	} {
 		t.Run(name, func(t *testing.T) { f() })
 	}

@@ -4,6 +4,11 @@
 //	"The Complexity of Causality and Responsibility for Query Answers
 //	and non-Answers", PVLDB 4(1), 2010 (also UW CSE TR / arXiv:1009.2021)
 //
+// The module path is github.com/querycause/querycause; import this
+// root package as
+//
+//	import qc "github.com/querycause/querycause"
+//
 // It explains answers and non-answers of conjunctive queries over
 // relational data through the lens of actual causality: given a
 // database partitioned into endogenous tuples (candidate causes) and
@@ -32,6 +37,29 @@
 //	for _, e := range ex.MustRank() {
 //	    fmt.Printf("ρ=%.2f %v\n", e.Rho, db.Tuple(e.Tuple))
 //	}
+//
+// Runnable versions of this and the paper's other worked examples live
+// under examples/:
+//
+//	go run ./examples/quickstart
+//	go run ./examples/imdb
+//	go run ./examples/whynot
+//	go run ./examples/dichotomy
+//
+// # Batch explanation and parallelism
+//
+// Each cause's responsibility is an independent computation over the
+// shared immutable lineage, so rankings parallelize without locking.
+// Explainer.RankParallel fans one answer's causes out across a worker
+// pool, and ExplainAll explains many answers/non-answers of a workload
+// in one call:
+//
+//	exps, _ := ex.RankParallel(ctx, querycause.BatchOptions{Parallelism: 8})
+//	results, _ := querycause.ExplainAll(ctx, db, reqs, querycause.BatchOptions{})
+//
+// BatchOptions.Parallelism defaults to runtime.GOMAXPROCS(0); both
+// entry points honor context cancellation and return rankings
+// byte-identical to the serial Rank for every parallelism degree.
 //
 // # Fidelity notes
 //

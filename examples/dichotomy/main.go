@@ -2,6 +2,11 @@
 // certificates — a weakening sequence plus linear order on the PTIME
 // side, a rewrite chain to a canonical hard query on the NP-hard side
 // (Examples 4.8 and 4.12 of the paper).
+//
+// It imports the module root, github.com/querycause/querycause. Run
+// from the repository root with:
+//
+//	go run ./examples/dichotomy
 package main
 
 import (

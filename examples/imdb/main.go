@@ -3,6 +3,11 @@
 // "Musical"? The ranking reproduces Fig. 2b: Sweeney Todd and the three
 // Burton directors lead with ρ = 1/3 — revealing both Tim Burton's one
 // musical and the ambiguity of "Burton".
+//
+// It imports the module root, github.com/querycause/querycause. Run
+// from the repository root with:
+//
+//	go run ./examples/imdb
 package main
 
 import (

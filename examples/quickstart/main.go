@@ -1,6 +1,11 @@
 // Quickstart: the paper's Example 2.2 end to end — build a database,
 // mark tuples endogenous, run a query, and rank the causes of an answer
 // by responsibility.
+//
+// It imports the module root, github.com/querycause/querycause. Run
+// from the repository root with:
+//
+//	go run ./examples/quickstart
 package main
 
 import (

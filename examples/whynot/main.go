@@ -2,6 +2,11 @@
 // causality; Theorem 4.17). The real database is exogenous; candidate
 // missing tuples are endogenous; causes are the insertions that would
 // produce the missing answer, ranked by how few companions they need.
+//
+// It imports the module root, github.com/querycause/querycause. Run
+// from the repository root with:
+//
+//	go run ./examples/whynot
 package main
 
 import (

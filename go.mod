@@ -1,0 +1,3 @@
+module github.com/querycause/querycause
+
+go 1.22

@@ -20,8 +20,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/querycause/querycause/internal/exact"
 	"github.com/querycause/querycause/internal/lineage"
@@ -96,18 +98,32 @@ type Explanation struct {
 }
 
 // Engine computes causes and responsibilities for one Boolean query
-// over one database instance. Build one per (db, query, answer).
+// over one database instance. Build one per (db, query, answer). An
+// Engine may be shared by concurrent goroutines (e.g. a server
+// answering repeated explain requests): the lazily computed
+// certificates and flow networks are mutex-guarded, and everything
+// else is immutable after construction.
 type Engine struct {
 	db    *rel.Database
 	q     *rel.Query
 	whyNo bool
 
-	nlineage  lineage.DNF
-	causeSet  map[rel.TupleID]bool
-	causes    []rel.TupleID
+	nlineage lineage.DNF
+	causeSet map[rel.TupleID]bool
+	causes   []rel.TupleID
+
+	// mu guards the lazy caches below; all other fields are read-only
+	// after newEngine returns.
+	mu        sync.Mutex
 	soundCert *rewrite.Certificate
 	paperCert *rewrite.Certificate
 	nets      map[Mode]*respflow.Network
+	// flowMu serializes use of the cached networks: Contingency
+	// temporarily rewrites edge capacities, so the serial path holds
+	// flowMu around each flow computation and RankAllParallel holds it
+	// while cloning a worker's private network. Workers never lock —
+	// they mutate only their clones.
+	flowMu sync.Mutex
 }
 
 // NewWhySo builds the engine for an answer: q may be Boolean (no
@@ -196,6 +212,12 @@ func (e *Engine) endoShape() *shape.Shape {
 
 // Classification returns the sound-rule certificate used by ModeAuto.
 func (e *Engine) Classification() (*rewrite.Certificate, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.classificationLocked()
+}
+
+func (e *Engine) classificationLocked() (*rewrite.Certificate, error) {
 	if e.soundCert == nil {
 		c, err := rewrite.ClassifySound(e.endoShape())
 		if err != nil {
@@ -209,6 +231,12 @@ func (e *Engine) Classification() (*rewrite.Certificate, error) {
 // PaperClassification returns the Definition 4.9 certificate (Fig. 3
 // semantics) used by ModePaper.
 func (e *Engine) PaperClassification() (*rewrite.Certificate, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.paperClassificationLocked()
+}
+
+func (e *Engine) paperClassificationLocked() (*rewrite.Certificate, error) {
 	if e.paperCert == nil {
 		c, err := rewrite.Classify(e.endoShape())
 		if err != nil {
@@ -233,15 +261,17 @@ func (e *Engine) isCounterfactual(t rel.TupleID) bool {
 }
 
 func (e *Engine) network(mode Mode) (*respflow.Network, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if net, ok := e.nets[mode]; ok {
 		return net, nil
 	}
 	var cert *rewrite.Certificate
 	var err error
 	if mode == ModePaper {
-		cert, err = e.PaperClassification()
+		cert, err = e.paperClassificationLocked()
 	} else {
-		cert, err = e.Classification()
+		cert, err = e.classificationLocked()
 	}
 	if err != nil {
 		return nil, err
@@ -285,59 +315,76 @@ func (e *Engine) Responsibility(t rel.TupleID, mode Mode) (Explanation, error) {
 	if !e.db.Tuple(t).Endo {
 		return Explanation{}, fmt.Errorf("core: tuple %v is exogenous; only endogenous tuples have responsibilities", e.db.Tuple(t))
 	}
+	var net *respflow.Network
+	if e.causeSet[t] && !e.whyNo && !e.isCounterfactual(t) && mode != ModeExact && e.flowApplicable(mode) {
+		var err error
+		net, err = e.network(mode)
+		if err != nil {
+			return Explanation{}, err
+		}
+		// The cached network is shared across calls; hold flowMu for
+		// the capacity-rewriting flow computation.
+		e.flowMu.Lock()
+		defer e.flowMu.Unlock()
+	}
+	return e.explain(t, net), nil
+}
+
+// explain computes the explanation for one endogenous tuple. A non-nil
+// net selects the flow path and must be private to the calling
+// goroutine (the engine's cached network on the serial path, a Clone
+// per worker on the parallel path); nil dispatches the non-trivial
+// Why-So case to the exact solver. Everything else explain reads on
+// the engine is immutable after construction, so concurrent calls with
+// distinct networks are race-free.
+func (e *Engine) explain(t rel.TupleID, net *respflow.Network) Explanation {
 	if !e.causeSet[t] {
-		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}, nil
+		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}
 	}
 	if e.whyNo {
 		set, ok := whyno.MinContingencySetDNF(e.nlineage, t)
 		if !ok {
-			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}, nil
+			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodNone}
 		}
 		size := len(set)
-		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodWhyNo}, nil
+		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodWhyNo}
 	}
 	if e.isCounterfactual(t) {
-		return Explanation{Tuple: t, Rho: 1, ContingencySize: 0, Contingency: []rel.TupleID{}, Method: MethodCounterfactual}, nil
+		return Explanation{Tuple: t, Rho: 1, ContingencySize: 0, Contingency: []rel.TupleID{}, Method: MethodCounterfactual}
 	}
-	if mode != ModeExact && e.flowApplicable(mode) {
-		net, err := e.network(mode)
-		if err != nil {
-			return Explanation{}, err
-		}
+	if net != nil {
 		set, ok := net.Contingency(t)
 		if !ok {
 			// Causes always admit a finite protected cut; reaching this
 			// point indicates an engine bug, except under ModePaper where
 			// unsound weakenings may mis-handle edge cases.
-			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodFlow}, nil
+			return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodFlow}
 		}
 		size := len(set)
-		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodFlow}, nil
+		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodFlow}
 	}
 	set, ok := exact.MinContingencySet(e.nlineage, t)
 	if !ok {
-		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodExact}, nil
+		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodExact}
 	}
 	size := len(set)
-	return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodExact}, nil
+	return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodExact}
 }
 
 // RankAll explains every cause and sorts by descending responsibility,
 // breaking ties by tuple ID (the paper's Fig. 2b ranking).
 func (e *Engine) RankAll(mode Mode) ([]Explanation, error) {
-	out := make([]Explanation, 0, len(e.causes))
-	for _, t := range e.causes {
-		ex, err := e.Responsibility(t, mode)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ex)
-	}
+	return e.rankAllCtx(context.Background(), mode)
+}
+
+// sortExplanations applies the paper's Fig. 2b ranking order in place:
+// descending ρ, ties broken by ascending tuple ID. Both the serial and
+// the parallel rankers use it, so their outputs are directly comparable.
+func sortExplanations(out []Explanation) {
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Rho != out[j].Rho {
 			return out[i].Rho > out[j].Rho
 		}
 		return out[i].Tuple < out[j].Tuple
 	})
-	return out, nil
 }

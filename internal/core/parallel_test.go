@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/whyno"
+	"github.com/querycause/querycause/internal/workload"
+)
+
+// renderRanking serializes a ranking for byte-level comparison: the
+// acceptance bar is that the parallel ranking is byte-identical to the
+// serial one, not merely equivalent.
+func renderRanking(exps []Explanation) string {
+	out := ""
+	for _, e := range exps {
+		out += fmt.Sprintf("%d|%.17g|%d|%v|%d\n", e.Tuple, e.Rho, e.ContingencySize, e.Contingency, e.Method)
+	}
+	return out
+}
+
+// parallelWorkload is one randomized instance for the cross-check.
+type parallelWorkload struct {
+	name  string
+	build func(seed int64) (*rel.Database, *rel.Query)
+	whyNo bool
+}
+
+// parallelWorkloads covers both sides of the responsibility dichotomy
+// (flow-solved weakly linear queries, exact-solved NP-hard queries), a
+// query with counterfactual causes, and the Why-No closed form.
+func parallelWorkloads() []parallelWorkload {
+	drop := func(f func(int64, int) (*rel.Database, *rel.Query, rel.TupleID), n int) func(int64) (*rel.Database, *rel.Query) {
+		return func(seed int64) (*rel.Database, *rel.Query) {
+			db, q, _ := f(seed, n)
+			return db, q
+		}
+	}
+	return []parallelWorkload{
+		{name: "flow/chain2", build: drop(workload.Chain2, 24)},
+		{name: "flow/chain3", build: drop(workload.Chain3, 12)},
+		{name: "flow/triangle-exo-s", build: drop(workload.TriangleExoS, 16)},
+		{name: "exact/triangle-h2", build: drop(workload.Triangle, 8)},
+		{name: "exact/star-h1", build: drop(workload.Star, 6)},
+		{name: "whyno/chain2", build: func(seed int64) (*rel.Database, *rel.Query) {
+			db, q := workload.WhyNoChain(seed, 12)
+			return db, q
+		}, whyNo: true},
+	}
+}
+
+func newEngineFor(t *testing.T, w parallelWorkload, seed int64) *Engine {
+	t.Helper()
+	db, q := w.build(seed)
+	if w.whyNo {
+		if err := whyno.CheckInstance(db, q); err != nil {
+			t.Skipf("seed %d: not a valid why-no instance: %v", seed, err)
+		}
+		eng, err := NewWhyNo(db, q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return eng
+	}
+	eng, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return eng
+}
+
+// TestRankAllParallelMatchesSerial is the randomized cross-check: for
+// seeded random instances on both sides of the dichotomy and every
+// mode, the parallel ranking must be exactly the serial ranking — same
+// causes, same ρ, same contingencies, same order — at several worker
+// counts.
+func TestRankAllParallelMatchesSerial(t *testing.T) {
+	modes := []Mode{ModeAuto, ModeExact, ModePaper}
+	for _, w := range parallelWorkloads() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 5; seed++ {
+				for _, mode := range modes {
+					eng := newEngineFor(t, w, seed)
+					serial, err := eng.RankAll(mode)
+					if err != nil {
+						t.Fatalf("seed %d mode %v: serial: %v", seed, mode, err)
+					}
+					for _, workers := range []int{0, 1, 2, 3, 8} {
+						// Fresh engine per run: the parallel path must not
+						// depend on serial warm-up of the lazy caches.
+						eng2 := newEngineFor(t, w, seed)
+						par, err := eng2.RankAllParallel(context.Background(), mode, ParallelOptions{Workers: workers})
+						if err != nil {
+							t.Fatalf("seed %d mode %v workers %d: parallel: %v", seed, mode, workers, err)
+						}
+						if !reflect.DeepEqual(serial, par) {
+							t.Fatalf("seed %d mode %v workers %d: rankings differ\nserial:\n%s\nparallel:\n%s",
+								seed, mode, workers, renderRanking(serial), renderRanking(par))
+						}
+						if sb, pb := renderRanking(serial), renderRanking(par); sb != pb {
+							t.Fatalf("seed %d mode %v workers %d: rankings not byte-identical\nserial:\n%s\nparallel:\n%s",
+								seed, mode, workers, sb, pb)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankAllParallelFig2 pins the parallel ranking to the paper's
+// Fig. 2b instance: the worked example must come out identical under
+// any parallelism.
+func TestRankAllParallelFig2(t *testing.T) {
+	db, _ := imdb.Micro()
+	q, err := imdb.GenreQuery().Bind("Musical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := eng.RankAll(ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eng.RankAllParallel(context.Background(), ModeAuto, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Fig. 2b parallel ranking diverged:\nserial:\n%s\nparallel:\n%s",
+			renderRanking(serial), renderRanking(par))
+	}
+}
+
+// TestRankAllParallelCancellation verifies ctx handling: an already
+// canceled context fails fast, and a context canceled mid-flight stops
+// the pool with ctx.Err() rather than a partial ranking.
+func TestRankAllParallelCancellation(t *testing.T) {
+	db, q, _ := workload.Star(99, 6)
+	eng, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := eng.RankAllParallel(ctx, ModeExact, ParallelOptions{Workers: workers}); err != context.Canceled {
+			t.Fatalf("workers %d: want context.Canceled, got %v", workers, err)
+		}
+	}
+
+	mid, cancelMid := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancelMid()
+		close(done)
+	}()
+	if out, err := eng.RankAllParallel(mid, ModeExact, ParallelOptions{Workers: 4}); err == nil {
+		// The pool may legitimately win the race and finish first; then
+		// the full deterministic ranking must be returned.
+		if len(out) != len(eng.Causes()) {
+			t.Fatalf("completed ranking has %d entries, want %d", len(out), len(eng.Causes()))
+		}
+	} else if err != context.Canceled {
+		t.Fatalf("want context.Canceled or success, got %v", err)
+	}
+	<-done
+	cancelMid()
+}
+
+// TestRankAllParallelSharedEngine exercises the documented server
+// pattern: one COLD shared engine, many concurrent callers mixing
+// RankAll, RankAllParallel and single-tuple Responsibility. The lazy
+// caches are first populated under contention, and the serial callers
+// share one flow network while the parallel callers clone it.
+func TestRankAllParallelSharedEngine(t *testing.T) {
+	db, q, target := workload.TriangleExoS(7, 12)
+	ref, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RankAll(ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewWhySo(db, q) // cold: no serial warm-up
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 9
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			var got []Explanation
+			var err error
+			switch i % 3 {
+			case 0:
+				got, err = eng.RankAllParallel(context.Background(), ModeAuto, ParallelOptions{Workers: 4})
+			case 1:
+				got, err = eng.RankAll(ModeAuto)
+			default:
+				_, err = eng.Responsibility(target, ModeAuto)
+				errs <- err
+				return
+			}
+			if err == nil && !reflect.DeepEqual(want, got) {
+				err = fmt.Errorf("concurrent ranking diverged")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < callers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -64,6 +64,25 @@ func (g *Graph) AddEdge(from, to int, cap_ int64, payload any) (*Edge, error) {
 	return e, nil
 }
 
+// Clone returns a deep copy of the graph plus the mapping from each
+// original edge to its copy, so callers holding edge handles (for
+// SetCap) can translate them. Adjacency order — and hence search order,
+// max-flow augmentation order and min-cut edge order — is preserved
+// exactly, making a clone's results bit-identical to the original's.
+func (g *Graph) Clone() (*Graph, map[*Edge]*Edge) {
+	ng := &Graph{N: g.N, adj: make([][]*Edge, len(g.adj))}
+	remap := make(map[*Edge]*Edge)
+	for v, es := range g.adj {
+		ng.adj[v] = make([]*Edge, len(es))
+		for i, e := range es {
+			c := *e
+			ng.adj[v][i] = &c
+			remap[e] = &c
+		}
+	}
+	return ng, remap
+}
+
 // SetCap rewrites an edge's capacity (both remaining and original).
 // Flows computed earlier are invalidated; call Reset before re-running.
 func (g *Graph) SetCap(e *Edge, cap_ int64) {

@@ -242,6 +242,33 @@ func checkConsecutive(ws *shape.Shape, order []int) error {
 	return nil
 }
 
+// Clone returns an independently mutable copy of the network for use
+// by a concurrent worker: MinContingency and Contingency temporarily
+// rewrite edge capacities, so a Network must never be shared between
+// goroutines, but clones of one base network may run in parallel. The
+// graph and the per-tuple edge handles are deep-copied; protectSets and
+// defaultCap are immutable after Build and are shared. Clones preserve
+// edge order, so a clone's answers are identical to the original's.
+func (n *Network) Clone() *Network {
+	g, remap := n.g.Clone()
+	ebt := make(map[rel.TupleID][]*flow.Edge, len(n.edgeByTuple))
+	for id, es := range n.edgeByTuple {
+		cp := make([]*flow.Edge, len(es))
+		for i, e := range es {
+			cp[i] = remap[e]
+		}
+		ebt[id] = cp
+	}
+	return &Network{
+		g:           g,
+		source:      n.source,
+		target:      n.target,
+		edgeByTuple: ebt,
+		defaultCap:  n.defaultCap,
+		protectSets: n.protectSets,
+	}
+}
+
 // MinContingency computes the minimum contingency size for tuple t.
 // ok=false means t is not an actual cause (no finite protected cut, or t
 // on no valuation).
