@@ -58,48 +58,26 @@ type BatchResult struct {
 //
 // ExplainAll returns a non-nil error only when ctx is canceled before
 // the batch completes; per-request failures land in BatchResult.Err.
+//
+// ExplainAll is a thin wrapper over the engine-level batch runner in
+// internal/core, which the querycaused server shares: the server plugs
+// a cache-backed engine factory into the same fan-out, so library and
+// server batches have identical semantics.
 func ExplainAll(ctx context.Context, db *Database, reqs []BatchRequest, opts BatchOptions) ([]BatchResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	results := make([]BatchResult, len(reqs))
+	creqs := make([]core.BatchRequest, len(reqs))
 	for i, r := range reqs {
-		results[i].Request = r
+		creqs[i] = core.BatchRequest{Query: r.Query, Answer: r.Answer, WhyNo: r.WhyNo}
 	}
-	if len(reqs) == 0 {
-		return results, nil
-	}
-	workers := core.ResolveWorkers(opts.Parallelism)
-	reqWorkers := workers
-	if reqWorkers > len(reqs) {
-		reqWorkers = len(reqs)
-	}
-	// Leftover budget (workers beyond one per request) goes to ranking
-	// causes within each request; with reqs >= workers this is 1 and
-	// each request is ranked serially.
-	perReq := BatchOptions{Parallelism: workers / reqWorkers, Mode: opts.Mode}
-	core.ForEachIndex(ctx, len(reqs), reqWorkers, func() func(int) {
-		return func(i int) {
-			results[i].Explanations, results[i].Err = explainOne(ctx, db, reqs[i], perReq)
-		}
+	cres, err := core.ExplainBatch(ctx, db, creqs, core.BatchRunOptions{
+		Workers: opts.Parallelism,
+		Mode:    opts.Mode,
 	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
-}
-
-func explainOne(ctx context.Context, db *Database, r BatchRequest, opts BatchOptions) ([]Explanation, error) {
-	ex, err := newExplainer(db, r)
 	if err != nil {
 		return nil, err
 	}
-	return ex.RankParallel(ctx, opts)
-}
-
-func newExplainer(db *Database, r BatchRequest) (*Explainer, error) {
-	if r.WhyNo {
-		return WhyNo(db, r.Query, r.Answer...)
+	results := make([]BatchResult, len(reqs))
+	for i, r := range cres {
+		results[i] = BatchResult{Request: reqs[i], Explanations: r.Explanations, Err: r.Err}
 	}
-	return WhySo(db, r.Query, r.Answer...)
+	return results, nil
 }

@@ -1,12 +1,13 @@
-// Benchmark harness: one benchmark per experiment in DESIGN.md's
-// per-experiment index (E1–E17), regenerating the computational content
+// Benchmark harness: one benchmark per experiment index (E1–E17),
+// regenerating the computational content
 // of every figure, table, and construction in the paper. Run with
 //
 //	go test -bench=. -benchmem
 //
-// Absolute numbers are machine-dependent; EXPERIMENTS.md records the
-// shapes that must hold (e.g. polynomial flow vs exponential exact
-// search, and the PTIME/NP-hard split of Fig. 3).
+// Absolute numbers are machine-dependent; what must hold are the
+// shapes (e.g. polynomial flow vs exponential exact search, and the
+// PTIME/NP-hard split of Fig. 3). BENCH_parallel.json records a
+// baseline for the E18/E19 rows.
 package querycause_test
 
 import (
@@ -375,7 +376,7 @@ func BenchmarkE19_ExplainAllBatch(b *testing.B) {
 }
 
 // BenchmarkAblation_PackingBound quantifies the branch-and-bound
-// packing lower bound called out in DESIGN.md: the exact solver with
+// packing lower bound: the exact solver with
 // and without it on the h₁* family.
 func BenchmarkAblation_PackingBound(b *testing.B) {
 	db, q, t := workload.Star(13, 16)

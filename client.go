@@ -1,0 +1,192 @@
+package querycause
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// Wire types of the querycaused HTTP API (see internal/server and
+// cmd/querycaused). The client and server share these definitions.
+type (
+	// DatabaseInfo describes one registered database session.
+	DatabaseInfo = server.DatabaseInfo
+	// PrepareQueryResponse describes a prepared (parsed + classified +
+	// rewritten) query.
+	PrepareQueryResponse = server.PrepareQueryResponse
+	// ExplainRequest asks why an answer is (why-so) or is not (why-no)
+	// returned.
+	ExplainRequest = server.ExplainRequest
+	// ExplainResponse is the ranking for one answer or non-answer.
+	ExplainResponse = server.ExplainResponse
+	// ExplanationDTO is one ranked cause on the wire.
+	ExplanationDTO = server.ExplanationDTO
+	// BatchExplainRequest explains many answers/non-answers in one call.
+	BatchExplainRequest = server.BatchExplainRequest
+	// BatchItem is one request of a batch.
+	BatchItem = server.BatchItem
+	// BatchExplainResponse carries per-item batch results.
+	BatchExplainResponse = server.BatchExplainResponse
+	// BatchItemResult is the outcome of one batch item.
+	BatchItemResult = server.BatchItemResult
+	// ServerStats is the /v1/stats payload.
+	ServerStats = server.StatsResponse
+)
+
+// Client is a thin Go client for a querycaused server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8347"). httpClient may be nil for
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("querycaused: %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		msg := ""
+		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
+			if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			} else {
+				msg = strings.TrimSpace(string(raw))
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UploadDatabase registers a database given in the parser's textual
+// format and returns its session handle.
+func (c *Client) UploadDatabase(ctx context.Context, text string) (DatabaseInfo, error) {
+	var out DatabaseInfo
+	err := c.do(ctx, http.MethodPost, "/v1/databases", server.CreateDatabaseRequest{Database: text}, &out)
+	return out, err
+}
+
+// UploadDB registers an in-memory database (serialized with the
+// parser's format) and returns its session handle. It fails without a
+// request if the database holds values the textual format cannot
+// represent (see FormatDatabase).
+func (c *Client) UploadDB(ctx context.Context, db *Database) (DatabaseInfo, error) {
+	text, err := parser.FormatDatabase(db)
+	if err != nil {
+		return DatabaseInfo{}, err
+	}
+	return c.UploadDatabase(ctx, text)
+}
+
+// ListDatabases lists the live sessions.
+func (c *Client) ListDatabases(ctx context.Context) ([]DatabaseInfo, error) {
+	var out []DatabaseInfo
+	err := c.do(ctx, http.MethodGet, "/v1/databases", nil, &out)
+	return out, err
+}
+
+// DropDatabase drops a session explicitly.
+func (c *Client) DropDatabase(ctx context.Context, dbID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/databases/"+dbID, nil, nil)
+}
+
+// PrepareQuery parses, classifies, and rewrites a query once; later
+// explains against its id skip straight to responsibility ranking.
+func (c *Client) PrepareQuery(ctx context.Context, dbID, query string) (PrepareQueryResponse, error) {
+	var out PrepareQueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/queries",
+		server.PrepareQueryRequest{Query: query}, &out)
+	return out, err
+}
+
+// WhySo explains why the answer is returned, against a prepared query
+// (queryID != "") or an inline req.Query.
+func (c *Client) WhySo(ctx context.Context, dbID, queryID string, req ExplainRequest) (ExplainResponse, error) {
+	return c.explain(ctx, dbID, queryID, "whyso", req)
+}
+
+// WhyNo explains why the answer is NOT returned.
+func (c *Client) WhyNo(ctx context.Context, dbID, queryID string, req ExplainRequest) (ExplainResponse, error) {
+	return c.explain(ctx, dbID, queryID, "whyno", req)
+}
+
+func (c *Client) explain(ctx context.Context, dbID, queryID, kind string, req ExplainRequest) (ExplainResponse, error) {
+	path := "/v1/databases/" + dbID + "/" + kind
+	if queryID != "" {
+		path = "/v1/databases/" + dbID + "/queries/" + queryID + "/" + kind
+	}
+	var out ExplainResponse
+	err := c.do(ctx, http.MethodPost, path, req, &out)
+	return out, err
+}
+
+// Batch explains many answers/non-answers in one call.
+func (c *Client) Batch(ctx context.Context, dbID string, req BatchExplainRequest) (BatchExplainResponse, error) {
+	var out BatchExplainResponse
+	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/batch", req, &out)
+	return out, err
+}
+
+// Stats fetches the server's cache and admission counters.
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	var out ServerStats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// FormatDatabase renders db in the textual format ParseDatabase reads
+// (and UploadDatabase accepts). It errors on values the line-oriented
+// format cannot represent (line breaks, or both quote characters).
+func FormatDatabase(db *Database) (string, error) { return parser.FormatDatabase(db) }

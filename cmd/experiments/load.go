@@ -1,0 +1,201 @@
+// Load-generator mode: hammer a running querycaused server end-to-end
+// over HTTP with the workload generators' query families — prepared
+// why-so explains (warm certificate/lineage caches), inline one-shot
+// explains, why-no explains, and ExplainAll batches — from many
+// concurrent clients, and report throughput, latency, and the server's
+// cache hit rates. Exits non-zero on any non-2xx response, so CI uses
+// it as a smoke test:
+//
+//	querycaused -addr :8347 &
+//	experiments -run load -server http://localhost:8347 -load-clients 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/workload"
+)
+
+var (
+	serverURL    = flag.String("server", "", "querycaused base URL for -run load (e.g. http://localhost:8347)")
+	loadClients  = flag.Int("load-clients", 64, "concurrent clients for -run load")
+	loadRequests = flag.Int("load-requests", 10, "requests per client for -run load")
+)
+
+// loadTarget is one request shape a client can fire.
+type loadTarget struct {
+	name string
+	fire func(ctx context.Context, c *qc.Client) error
+}
+
+func load() {
+	if *serverURL == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run load requires -server URL")
+		os.Exit(2)
+	}
+	header(fmt.Sprintf("Load: %d clients x %d requests against %s", *loadClients, *loadRequests, *serverURL))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := qc.NewClient(*serverURL, nil)
+	if err := c.Health(ctx); err != nil {
+		log.Fatalf("server not healthy: %v", err)
+	}
+	targets, err := loadTargets(ctx, c)
+	if err != nil {
+		log.Fatalf("preparing workloads: %v", err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	start := time.Now()
+	for g := 0; g < *loadClients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < *loadRequests; i++ {
+				t := targets[(g+i)%len(targets)]
+				t0 := time.Now()
+				if err := t.fire(ctx, c); err != nil {
+					failures.Add(1)
+					log.Printf("client %d %s: %v", g, t.name, err)
+					continue
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(t0))
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := *loadClients * *loadRequests
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("requests: %d  failures: %d  elapsed: %v  throughput: %.0f req/s\n",
+		total, failures.Load(), elapsed.Round(time.Millisecond), float64(len(lats))/elapsed.Seconds())
+	if len(lats) > 0 {
+		fmt.Printf("latency: p50 %v  p95 %v  max %v\n",
+			lats[len(lats)/2].Round(time.Microsecond),
+			lats[len(lats)*95/100].Round(time.Microsecond),
+			lats[len(lats)-1].Round(time.Microsecond))
+	}
+	if stats, err := c.Stats(ctx); err == nil {
+		fmt.Printf("server: sessions=%d inflight=%d peak_inflight=%d cert cache %d/%d hits, engine cache %d/%d hits\n",
+			stats.Sessions, stats.Inflight, stats.PeakInflight,
+			stats.CertCache.Hits, stats.CertCache.Hits+stats.CertCache.Misses,
+			stats.EngineCache.Hits, stats.EngineCache.Hits+stats.EngineCache.Misses)
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadTargets uploads the workload databases and prepares queries,
+// returning the mixed request shapes the clients cycle through.
+func loadTargets(ctx context.Context, c *qc.Client) ([]loadTarget, error) {
+	// Micro IMDB: the paper's Fig. 2 instance, non-Boolean genre query
+	// with real answers for prepared warm explains.
+	micro, _ := imdb.Micro()
+	microInfo, err := c.UploadDB(ctx, micro)
+	if err != nil {
+		return nil, err
+	}
+	genre := imdb.GenreQuery()
+	pq, err := c.PrepareQuery(ctx, microInfo.ID, genre.String())
+	if err != nil {
+		return nil, err
+	}
+	answers, err := rel.Answers(micro, genre)
+	if err != nil {
+		return nil, err
+	}
+
+	// Boolean chain workload (PTIME flow path) for inline explains.
+	chainDB, chainQ, _ := workload.Chain2(7, 24)
+	chainInfo, err := c.UploadDB(ctx, chainDB)
+	if err != nil {
+		return nil, err
+	}
+	chainStr := chainQ.String()
+
+	// Why-No workload (Theorem 4.17 closed form).
+	whyNoDB, whyNoQ := workload.WhyNoChain(11, 12)
+	whyNoInfo, err := c.UploadDB(ctx, whyNoDB)
+	if err != nil {
+		return nil, err
+	}
+	whyNoStr := whyNoQ.String()
+
+	var batchItems []qc.BatchItem
+	for _, a := range answers {
+		item := qc.BatchItem{QueryID: pq.ID}
+		for _, v := range a.Values {
+			item.Answer = append(item.Answer, string(v))
+		}
+		batchItems = append(batchItems, item)
+	}
+
+	targets := []loadTarget{
+		{name: "whyso-prepared", fire: func(ctx context.Context, c *qc.Client) error {
+			a := answers[0]
+			_, err := c.WhySo(ctx, microInfo.ID, pq.ID, qc.ExplainRequest{Answer: values(a.Values)})
+			return err
+		}},
+		{name: "whyso-inline-chain", fire: func(ctx context.Context, c *qc.Client) error {
+			_, err := c.WhySo(ctx, chainInfo.ID, "", qc.ExplainRequest{Query: chainStr})
+			return err
+		}},
+		{name: "whyno-chain", fire: func(ctx context.Context, c *qc.Client) error {
+			_, err := c.WhyNo(ctx, whyNoInfo.ID, "", qc.ExplainRequest{Query: whyNoStr})
+			return err
+		}},
+		{name: "batch-genres", fire: func(ctx context.Context, c *qc.Client) error {
+			resp, err := c.Batch(ctx, microInfo.ID, qc.BatchExplainRequest{Requests: batchItems})
+			if err != nil {
+				return err
+			}
+			for _, r := range resp.Results {
+				if r.Error != "" {
+					return fmt.Errorf("batch item: %s", r.Error)
+				}
+			}
+			return nil
+		}},
+	}
+	// Every answer of the genre query as its own prepared-query target,
+	// so the engine cache sees a mixed warm working set.
+	for _, a := range answers {
+		vals := values(a.Values)
+		targets = append(targets, loadTarget{
+			name: "whyso-" + vals[0],
+			fire: func(ctx context.Context, c *qc.Client) error {
+				_, err := c.WhySo(ctx, microInfo.ID, pq.ID, qc.ExplainRequest{Answer: vals})
+				return err
+			},
+		})
+	}
+	return targets, nil
+}
+
+func values(vs []rel.Value) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = string(v)
+	}
+	return out
+}

@@ -1,15 +1,21 @@
 // Command experiments regenerates every figure, table and construction
 // of Meliou et al. (VLDB 2010) from the reproduction library and prints
-// them in the paper's layout. EXPERIMENTS.md records the expected
-// output.
+// them in the paper's layout.
 //
 // Usage:
 //
 //	experiments [-run all|fig1|fig2|fig3|fig4|fig6|fig7|fig9|thm415|gap|batch]
 //	            [-parallel N]
+//	experiments -run load -server http://localhost:8347
+//	            [-load-clients N] [-load-requests N]
 //
 // -parallel sets the worker count used by the ranking experiments
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
+//
+// The load experiment is a server load generator: it uploads the
+// workload databases to a running querycaused server and hammers the
+// why-so/why-no/batch endpoints from -load-clients concurrent clients
+// (see load.go). It is excluded from -run all.
 package main
 
 import (
@@ -50,7 +56,9 @@ func main() {
 		"thm415": thm415,
 		"gap":    gap,
 		"batch":  batch,
+		"load":   load,
 	}
+	// load needs a running server, so it is not part of "all".
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "thm415", "gap", "batch"}
 	if *run == "all" {
 		for _, name := range order {
@@ -60,7 +68,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()
@@ -344,7 +352,7 @@ func batch() {
 
 // gap prints the two reproduction findings.
 func gap() {
-	header("Reproduction findings (see DESIGN.md §3)")
+	header("Reproduction findings (see the fidelity notes in doc.go)")
 	// Finding 1: domination unsoundness (Example 4.12b).
 	db := rel.NewDatabase()
 	db.MustAdd("V", true, "a")

@@ -1,0 +1,109 @@
+// Command querycaused is the long-running causality-explanation server:
+// the engine of Meliou et al. (VLDB 2010) behind a concurrent JSON API
+// with a database session registry and certificate/lineage caching, so
+// repeated why-so / why-no explanations skip re-parsing, re-lineage,
+// and re-classification.
+//
+// Usage:
+//
+//	querycaused [-addr :8347] [-max-sessions 64] [-session-ttl 30m]
+//	            [-worker-budget N] [-parallel N] [-request-timeout 30s]
+//
+// Endpoints (see internal/server for the full API):
+//
+//	POST /v1/databases                upload a database (parser format)
+//	POST /v1/databases/{db}/queries   prepare a query (classify + rewrite once)
+//	POST /v1/databases/{db}/queries/{q}/whyso | whyno
+//	POST /v1/databases/{db}/batch     ExplainAll over one session
+//	GET  /healthz, GET /v1/stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight explains drain through context cancellation, and the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/querycause/querycause/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		maxSessions  = flag.Int("max-sessions", 64, "max registered databases; adding beyond evicts the LRU session")
+		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction")
+		certCache    = flag.Int("cert-cache", 256, "per-session certificate cache entries")
+		engineCache  = flag.Int("engine-cache", 1024, "per-session engine (lineage) cache entries")
+		workerBudget = flag.Int("worker-budget", 0, "max concurrently computing explain requests (0 = 2*GOMAXPROCS)")
+		parallel     = flag.Int("parallel", 1, "ranking workers per admitted request (0 = GOMAXPROCS)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request timeout, admission queueing included")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight work is canceled")
+	)
+	flag.Parse()
+	if err := run(*addr, server.Config{
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+		CertCacheSize:   *certCache,
+		EngineCacheSize: *engineCache,
+		WorkerBudget:    *workerBudget,
+		Parallelism:     *parallel,
+		RequestTimeout:  *reqTimeout,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "querycaused:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(cfg)
+	defer srv.Close()
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv.Handler(),
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("querycaused: listening on %s", addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight explains finish
+	// within the budget, then hard-close (which cancels their request
+	// contexts — the engine's cancellation plumbing aborts mid-batch).
+	log.Printf("querycaused: signal received, draining (budget %v)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		log.Printf("querycaused: drain budget exceeded, canceling in-flight work: %v", err)
+		if err := httpSrv.Close(); err != nil {
+			return err
+		}
+	}
+	<-errc
+	log.Printf("querycaused: shut down cleanly")
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/querycause/querycause/internal/server"
+)
+
+// freePort reserves an ephemeral port and releases it for the server.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestGracefulShutdown boots the real server loop, waits for liveness,
+// sends SIGTERM to the process, and expects a clean (nil-error, i.e.
+// exit 0) drain within the shutdown budget.
+func TestGracefulShutdown(t *testing.T) {
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, server.Config{}, 10*time.Second)
+	}()
+
+	// Wait for liveness.
+	url := fmt.Sprintf("http://%s/healthz", addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A session survives until shutdown: prove the server was actually
+	// serving, not just listening.
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/databases", addr), "text/plain",
+		strings.NewReader("+R(a,b)\n+S(b)\n"))
+	if err != nil || resp.StatusCode != 201 {
+		t.Fatalf("upload: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; want nil (exit 0)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down within the drain budget")
+	}
+
+	// The listener must actually be gone.
+	if _, err := http.Get(url); err == nil {
+		t.Error("healthz still answering after shutdown")
+	}
+}

@@ -61,11 +61,33 @@
 // entry points honor context cancellation and return rankings
 // byte-identical to the serial Rank for every parallelism degree.
 //
+// # Commands and the explanation server
+//
+// Three commands build on the library:
+//
+//	go run ./cmd/causality    one-shot explanations and classification
+//	go run ./cmd/experiments  every figure/table/construction of the paper
+//	                          (plus a server load generator, -run load)
+//	go run ./cmd/querycaused  the long-running explanation server
+//
+// querycaused (see internal/server and README.md) serves concurrent
+// why-so/why-no/batch explanations over a JSON HTTP API. Databases are
+// uploaded once into a session registry (LRU + idle-TTL eviction);
+// prepared queries are parsed, classified, and rewritten once, with
+// dichotomy certificates and per-answer engines (lineages) cached in
+// LRUs so repeated explains skip straight to responsibility ranking.
+// Client, the thin Go client in this package, speaks that API:
+//
+//	c := querycause.NewClient("http://localhost:8347", nil)
+//	info, _ := c.UploadDB(ctx, db)
+//	prep, _ := c.PrepareQuery(ctx, info.ID, "q(x) :- R(x,y), S(y)")
+//	resp, _ := c.WhySo(ctx, info.ID, prep.ID, querycause.ExplainRequest{Answer: []string{"a4"}})
+//
 // # Fidelity notes
 //
 // The library reproduces every definition, algorithm, worked example
 // and reduction in the paper, and documents two findings made during
-// the reproduction (see DESIGN.md and the tests in internal/core and
+// the reproduction (see the tests in internal/core and
 // internal/rewrite): the domination rule of Definition 4.9 does not
 // always preserve responsibility (Example 4.12b admits a concrete
 // counterexample instance), and the dichotomy machinery of Theorem 4.13

@@ -7,6 +7,10 @@
 // from the repository root with:
 //
 //	go run ./examples/dichotomy
+//
+// The batch API (ExplainAll / RankParallel) and the querycaused
+// explanation server build on the same entry points; see doc.go and
+// cmd/querycaused.
 package main
 
 import (

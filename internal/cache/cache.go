@@ -1,0 +1,155 @@
+// Package cache provides the reusable concurrency-safe LRU cache that
+// backs the explanation server's session registry: dichotomy
+// certificates, prepared queries, and per-answer explanation engines
+// are all query-level artifacts (Meliou et al., VLDB 2010 computes them
+// per query shape, not per request), so a long-running service keeps
+// them hot and skips straight to responsibility ranking on repeats.
+//
+// The cache is a plain mutex-guarded map + doubly linked list. All
+// operations are O(1); hit/miss/eviction counters are maintained for
+// observability (the server's /v1/stats endpoint surfaces them, and the
+// warm-vs-cold integration tests assert on them).
+package cache
+
+import "sync"
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+}
+
+// entry is one node of the intrusive LRU list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// LRU is a fixed-capacity least-recently-used cache safe for concurrent
+// use. The zero value is not usable; call New.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	items   map[K]*entry[K, V]
+	root    entry[K, V] // sentinel: root.next is MRU, root.prev is LRU
+	hits    uint64
+	misses  uint64
+	evicts  uint64
+	onEvict func(K, V)
+}
+
+// New returns an LRU holding at most capacity entries; capacity < 1 is
+// treated as 1. onEvict, if non-nil, is called for every evicted or
+// removed entry; it runs under the cache lock, so keep it cheap and do
+// not reenter the cache from it.
+func New[K comparable, V any](capacity int, onEvict func(K, V)) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &LRU[K, V]{cap: capacity, items: make(map[K]*entry[K, V], capacity), onEvict: onEvict}
+	c.root.next = &c.root
+	c.root.prev = &c.root
+	return c
+}
+
+// Get returns the cached value and moves it to the front.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put inserts or refreshes a key at the front, evicting the
+// least-recently-used entry when over capacity.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		lru := c.root.prev
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.evicts++
+		if c.onEvict != nil {
+			c.onEvict(lru.key, lru.val)
+		}
+	}
+}
+
+// Remove drops a key if present, reporting whether it was held.
+func (c *LRU[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.items, key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.val)
+	}
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *LRU[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Len: len(c.items), Capacity: c.cap}
+}
+
+// Keys returns the cached keys from most- to least-recently used.
+func (c *LRU[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]K, 0, len(c.items))
+	for e := c.root.next; e != &c.root; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+func (c *LRU[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (c *LRU[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *entry[K, V]) {
+	c.unlink(e)
+	c.pushFront(e)
+}

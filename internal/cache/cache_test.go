@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUTable drives the cache through scripted operation sequences
+// and checks the resulting contents, order, and counters.
+func TestLRUTable(t *testing.T) {
+	type op struct {
+		kind string // "get", "put", "remove"
+		key  int
+		val  string
+		ok   bool // expected for get/remove
+	}
+	cases := []struct {
+		name      string
+		capacity  int
+		ops       []op
+		wantKeys  []int // MRU first
+		wantStats Stats
+	}{
+		{
+			name:     "fill-no-eviction",
+			capacity: 3,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"},
+				{kind: "put", key: 3, val: "c"},
+				{kind: "get", key: 1, val: "a", ok: true},
+			},
+			wantKeys:  []int{1, 3, 2},
+			wantStats: Stats{Hits: 1, Misses: 0, Evictions: 0, Len: 3, Capacity: 3},
+		},
+		{
+			name:     "eviction-drops-lru",
+			capacity: 2,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"},
+				{kind: "put", key: 3, val: "c"}, // evicts 1
+				{kind: "get", key: 1, ok: false},
+				{kind: "get", key: 2, val: "b", ok: true},
+				{kind: "get", key: 3, val: "c", ok: true},
+			},
+			wantKeys:  []int{3, 2},
+			wantStats: Stats{Hits: 2, Misses: 1, Evictions: 1, Len: 2, Capacity: 2},
+		},
+		{
+			name:     "get-refreshes-recency",
+			capacity: 2,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"},
+				{kind: "get", key: 1, val: "a", ok: true}, // 1 is now MRU
+				{kind: "put", key: 3, val: "c"},           // evicts 2, not 1
+				{kind: "get", key: 2, ok: false},
+				{kind: "get", key: 1, val: "a", ok: true},
+			},
+			wantKeys:  []int{1, 3},
+			wantStats: Stats{Hits: 2, Misses: 1, Evictions: 1, Len: 2, Capacity: 2},
+		},
+		{
+			name:     "put-overwrites-in-place",
+			capacity: 2,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"},
+				{kind: "put", key: 1, val: "a2"},
+				{kind: "get", key: 1, val: "a2", ok: true},
+				{kind: "get", key: 2, val: "b", ok: true},
+			},
+			wantKeys:  []int{2, 1},
+			wantStats: Stats{Hits: 2, Misses: 0, Evictions: 0, Len: 2, Capacity: 2},
+		},
+		{
+			name:     "remove",
+			capacity: 3,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"},
+				{kind: "remove", key: 1, ok: true},
+				{kind: "remove", key: 1, ok: false},
+				{kind: "get", key: 1, ok: false},
+			},
+			wantKeys:  []int{2},
+			wantStats: Stats{Hits: 0, Misses: 1, Evictions: 0, Len: 1, Capacity: 3},
+		},
+		{
+			name:     "capacity-clamped-to-one",
+			capacity: 0,
+			ops: []op{
+				{kind: "put", key: 1, val: "a"},
+				{kind: "put", key: 2, val: "b"}, // evicts 1
+				{kind: "get", key: 2, val: "b", ok: true},
+			},
+			wantKeys:  []int{2},
+			wantStats: Stats{Hits: 1, Misses: 0, Evictions: 1, Len: 1, Capacity: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New[int, string](tc.capacity, nil)
+			for i, o := range tc.ops {
+				switch o.kind {
+				case "put":
+					c.Put(o.key, o.val)
+				case "get":
+					v, ok := c.Get(o.key)
+					if ok != o.ok || (ok && v != o.val) {
+						t.Fatalf("op %d: Get(%d) = %q,%v; want %q,%v", i, o.key, v, ok, o.val, o.ok)
+					}
+				case "remove":
+					if ok := c.Remove(o.key); ok != o.ok {
+						t.Fatalf("op %d: Remove(%d) = %v; want %v", i, o.key, ok, o.ok)
+					}
+				}
+			}
+			keys := c.Keys()
+			if fmt.Sprint(keys) != fmt.Sprint(tc.wantKeys) {
+				t.Errorf("keys = %v; want %v", keys, tc.wantKeys)
+			}
+			if got := c.Stats(); got != tc.wantStats {
+				t.Errorf("stats = %+v; want %+v", got, tc.wantStats)
+			}
+		})
+	}
+}
+
+// TestLRUOnEvict checks the eviction callback fires for both implicit
+// eviction and explicit removal, with the right pairs.
+func TestLRUOnEvict(t *testing.T) {
+	var gone []string
+	c := New[int, string](2, func(k int, v string) { gone = append(gone, fmt.Sprintf("%d=%s", k, v)) })
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(3, "c") // evicts 1
+	c.Remove(2)
+	want := "[1=a 2=b]"
+	if got := fmt.Sprint(gone); got != want {
+		t.Fatalf("evicted = %v; want %v", got, want)
+	}
+}
+
+// TestLRUConcurrent hammers one cache from many goroutines; run under
+// -race it checks the cache is internally synchronized, and afterwards
+// the invariants (len <= cap, hits+misses == gets) must hold.
+func TestLRUConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		opsPer     = 500
+		capacity   = 32
+	)
+	c := New[int, int](capacity, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := (g*31 + i) % 64
+				if i%3 == 0 {
+					c.Put(k, k*2)
+				} else if v, ok := c.Get(k); ok && v != k*2 {
+					t.Errorf("Get(%d) = %d; want %d", k, v, k*2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Len > capacity {
+		t.Errorf("len %d exceeds capacity %d", st.Len, capacity)
+	}
+	gets := uint64(0)
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < opsPer; i++ {
+			if i%3 != 0 {
+				gets++
+			}
+		}
+	}
+	if st.Hits+st.Misses != gets {
+		t.Errorf("hits+misses = %d; want %d", st.Hits+st.Misses, gets)
+	}
+}

@@ -27,7 +27,7 @@
 // C_R(x̄_j) :- body(N), ¬W_N(all vars). The program has exactly two
 // strata, as Theorem 3.4 states.
 //
-// # Deviation from the paper (documented in DESIGN.md)
+// # Deviation from the paper (see the fidelity notes in doc.go)
 //
 // The paper's Example 3.6 program lacks a strictness guard for
 // valuations whose self-join atoms collapse onto the same tuple: on

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/rewrite"
+)
+
+func chainDB(t *testing.T) (*rel.Database, *rel.Query) {
+	t.Helper()
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "x1", "y2")
+	db.MustAdd("R", true, "x2", "y1")
+	db.MustAdd("S", true, "y2", "z1")
+	db.MustAdd("S", true, "y1", "z1")
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+	)
+	return db, q
+}
+
+// TestPrimeSkipsReclassification checks that a primed engine hands back
+// the seeded certificate object rather than re-running the classifier,
+// and that primed and lazy engines agree on the ranking.
+func TestPrimeSkipsReclassification(t *testing.T) {
+	db, q := chainDB(t)
+
+	lazy, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sound, err := lazy.Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := lazy.PaperClassification()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	primed, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primed.Prime(sound, paper)
+	got, err := primed.Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sound {
+		t.Errorf("Classification() = %p; want the primed certificate %p", got, sound)
+	}
+	gotPaper, err := primed.PaperClassification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPaper != paper {
+		t.Errorf("PaperClassification() = %p; want the primed certificate %p", gotPaper, paper)
+	}
+
+	want, err := lazy.RankAll(ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRank, err := primed.RankAll(ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want) != fmt.Sprint(gotRank) {
+		t.Errorf("primed ranking diverged:\n got %v\nwant %v", gotRank, want)
+	}
+}
+
+// TestPrimeDoesNotOverwrite checks Prime is first-writer-wins: once a
+// certificate is computed or seeded, later Prime calls are no-ops.
+func TestPrimeDoesNotOverwrite(t *testing.T) {
+	db, q := chainDB(t)
+	e, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := &rewrite.Certificate{}
+	e.Prime(other, nil)
+	got, err := e.Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Error("Prime overwrote an already-computed certificate")
+	}
+}
+
+// TestExplainBatchFactory checks that a custom EngineFactory is used
+// for every request (e.g. a server cache handing out shared engines)
+// and that its results match the default factory's.
+func TestExplainBatchFactory(t *testing.T) {
+	db, q := chainDB(t)
+	reqs := []BatchRequest{{Query: q}, {Query: q}, {Query: q, WhyNo: false}}
+
+	def, err := ExplainBatch(context.Background(), db, reqs, BatchRunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	got, err := ExplainBatch(context.Background(), db, reqs, BatchRunOptions{
+		Workers: 2,
+		NewEngine: func(d *rel.Database, i int, r BatchRequest) (*Engine, error) {
+			calls.Add(1)
+			return shared, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != len(reqs) {
+		t.Errorf("factory called %d times; want %d", calls.Load(), len(reqs))
+	}
+	if fmt.Sprint(got) != fmt.Sprint(def) {
+		t.Errorf("factory-backed batch diverged:\n got %v\nwant %v", got, def)
+	}
+}
+
+// TestExplainBatchPerRequestError checks an invalid request fails alone.
+func TestExplainBatchPerRequestError(t *testing.T) {
+	db, q := chainDB(t)
+	bad := rel.NewBoolean(rel.NewAtom("R", rel.V("x"))) // arity mismatch
+	res, err := ExplainBatch(context.Background(), db, []BatchRequest{{Query: q}, {Query: bad}}, BatchRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Errorf("good request failed: %v", res[0].Err)
+	}
+	if res[1].Err == nil {
+		t.Error("bad request did not fail")
+	}
+}

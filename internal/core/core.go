@@ -193,11 +193,13 @@ func (e *Engine) NLineage() lineage.DNF { return e.nlineage }
 // Query returns the bound Boolean query the engine explains.
 func (e *Engine) Query() *rel.Query { return e.q }
 
-// endoShape flags a relation endogenous if it holds any endogenous
-// tuple.
-func (e *Engine) endoShape() *shape.Shape {
-	return shape.FromQuery(e.q, func(name string) bool {
-		r := e.db.Relation(name)
+// EndoFn returns the endogeneity rule the engine classifies under: a
+// relation is endogenous iff it holds at least one endogenous tuple.
+// Anything that computes certificates on the engine's behalf (e.g. a
+// server's certificate cache feeding Prime) must use this same rule.
+func EndoFn(db *rel.Database) func(relName string) bool {
+	return func(name string) bool {
+		r := db.Relation(name)
 		if r == nil {
 			return false
 		}
@@ -207,7 +209,12 @@ func (e *Engine) endoShape() *shape.Shape {
 			}
 		}
 		return false
-	})
+	}
+}
+
+// endoShape flags a relation endogenous per EndoFn.
+func (e *Engine) endoShape() *shape.Shape {
+	return shape.FromQuery(e.q, EndoFn(e.db))
 }
 
 // Classification returns the sound-rule certificate used by ModeAuto.
@@ -245,6 +252,24 @@ func (e *Engine) paperClassificationLocked() (*rewrite.Certificate, error) {
 		e.paperCert = c
 	}
 	return e.paperCert, nil
+}
+
+// Prime seeds the engine's lazily computed certificates with
+// classifications obtained elsewhere (e.g. a server's certificate
+// cache), so the first Responsibility call skips re-classification.
+// Either argument may be nil to leave that slot lazy. The certificates
+// must have been derived from the same query shape and endogenous
+// flags the engine sees (same bound query over the same database);
+// Prime does not re-validate this.
+func (e *Engine) Prime(sound, paper *rewrite.Certificate) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sound != nil && e.soundCert == nil {
+		e.soundCert = sound
+	}
+	if paper != nil && e.paperCert == nil {
+		e.paperCert = paper
+	}
 }
 
 // isCounterfactual reports whether every minimal conjunct contains t.

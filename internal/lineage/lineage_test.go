@@ -177,7 +177,7 @@ func TestBuildFalseQuery(t *testing.T) {
 // TestSelfJoinConjunctSetSemantics: with a self-join, a valuation mapping
 // two atoms to the same tuple yields a singleton conjunct (set
 // semantics), which is what makes it non-redundant (cf. Example 3.6
-// discussion in DESIGN.md).
+// fidelity notes in doc.go).
 func TestSelfJoinConjunctSetSemantics(t *testing.T) {
 	db := rel.NewDatabase()
 	db.MustAdd("R", false, "a4", "a3")

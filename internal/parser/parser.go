@@ -179,6 +179,25 @@ func parseTerm(s string) (rel.Term, error) {
 	return rel.Term{}, fmt.Errorf("cannot parse term %q (variables are lower-case, constants quoted or numeric)", s)
 }
 
+// stripComment removes a trailing '#' comment, ignoring '#' inside
+// quoted values so FormatDatabase output round-trips.
+func stripComment(line string) string {
+	inQuote := rune(0)
+	for i, r := range line {
+		switch {
+		case inQuote != 0:
+			if r == inQuote {
+				inQuote = 0
+			}
+		case r == '\'' || r == '"':
+			inQuote = r
+		case r == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
 // ParseTupleLine parses one database line: +R(a,b) or -R(a,b).
 func ParseTupleLine(line string) (relName string, endo bool, args []rel.Value, err error) {
 	line = strings.TrimSpace(line)
@@ -219,6 +238,60 @@ func ParseTupleLine(line string) (relName string, endo bool, args []rel.Value, e
 	return relName, endo, args, nil
 }
 
+// FormatDatabase renders a database in the textual format ParseDatabase
+// reads: one "+R(a,b)" / "-S(c)" line per tuple in insertion order.
+// Values containing syntax characters (commas, parentheses, quotes,
+// '#', or surrounding whitespace) are quoted. FormatDatabase and
+// ParseDatabase round-trip: parsing the output reproduces the same
+// relations, tuples, IDs, and endo flags. Values the line-oriented,
+// escape-free grammar cannot represent — ones containing a newline, a
+// carriage return, or both quote characters — are reported as an error
+// rather than silently emitted as unparseable text.
+func FormatDatabase(db *rel.Database) (string, error) {
+	var b strings.Builder
+	for _, t := range db.Tuples() {
+		if t.Endo {
+			b.WriteByte('+')
+		} else {
+			b.WriteByte('-')
+		}
+		b.WriteString(t.Rel)
+		b.WriteByte('(')
+		for i, v := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			qv, err := quoteValue(string(v))
+			if err != nil {
+				return "", fmt.Errorf("parser: tuple %v: %w", t, err)
+			}
+			b.WriteString(qv)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String(), nil
+}
+
+// quoteValue quotes a value when the bare form would not survive the
+// tuple-line grammar, choosing the quote character the value does not
+// contain. The grammar has no escapes, so a value containing a line
+// break or both quote characters is not representable.
+func quoteValue(s string) (string, error) {
+	if strings.ContainsAny(s, "\n\r") {
+		return "", fmt.Errorf("value %q contains a line break, which the tuple-line format cannot represent", s)
+	}
+	if s != "" && !strings.ContainsAny(s, ",()'\"# \t") && s == strings.TrimSpace(s) {
+		return s, nil
+	}
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'", nil
+	}
+	if !strings.Contains(s, "\"") {
+		return "\"" + s + "\"", nil
+	}
+	return "", fmt.Errorf("value %q contains both quote characters, which the escape-free tuple-line format cannot represent", s)
+}
+
 // ParseDatabase reads a database file: one tuple per line, comments
 // with '#'.
 func ParseDatabase(r io.Reader) (*rel.Database, error) {
@@ -227,10 +300,7 @@ func ParseDatabase(r io.Reader) (*rel.Database, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
+		line := stripComment(sc.Text())
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue

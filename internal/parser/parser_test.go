@@ -3,6 +3,8 @@ package parser
 import (
 	"strings"
 	"testing"
+
+	"github.com/querycause/querycause/internal/rel"
 )
 
 func TestParseQueryWithHead(t *testing.T) {
@@ -134,5 +136,107 @@ func TestRoundTripWithRel(t *testing.T) {
 	}
 	if bq.Atoms[0].Terms[0].Const != "a" {
 		t.Fatalf("bind failed: %v", bq)
+	}
+}
+
+func TestFormatDatabaseRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		add  func(db *rel.Database)
+	}{
+		{"plain", func(db *rel.Database) {
+			db.MustAdd("R", true, "a1", "a2")
+			db.MustAdd("S", false, "a2")
+		}},
+		{"syntax characters quoted", func(db *rel.Database) {
+			db.MustAdd("R", true, "with space", "comma,inside")
+			db.MustAdd("R", false, "paren(s)", "hash#tag")
+			db.MustAdd("T", true, "double\"quote", "single'quote")
+		}},
+		{"numeric and underscore", func(db *rel.Database) {
+			db.MustAdd("N", true, "42", "_x")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := rel.NewDatabase()
+			tc.add(db)
+			text, err := FormatDatabase(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParseDatabase(strings.NewReader(text))
+			if err != nil {
+				t.Fatalf("parse of formatted output failed: %v\n%s", err, text)
+			}
+			if back.NumTuples() != db.NumTuples() {
+				t.Fatalf("tuple count %d != %d", back.NumTuples(), db.NumTuples())
+			}
+			for i := 0; i < db.NumTuples(); i++ {
+				a, b := db.Tuple(rel.TupleID(i)), back.Tuple(rel.TupleID(i))
+				if a.String() != b.String() || a.Endo != b.Endo {
+					t.Errorf("tuple %d: %v (endo %v) != %v (endo %v)", i, a, a.Endo, b, b.Endo)
+				}
+			}
+		})
+	}
+}
+
+// TestParseDatabaseErrorTable enumerates the malformed inputs the
+// explanation server must answer with 4xx; each must fail cleanly here.
+func TestParseDatabaseErrorTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unterminated args", "+R(a,"},
+		{"no sign", "R(a,b)"},
+		{"lower-case relation", "+r(a)"},
+		{"empty relation name", "+(a)"},
+		{"no arguments", "+R()"},
+		{"arity drift", "+R(a)\n+R(a,b)"},
+		{"garbage line", "hello world"},
+		{"unbalanced quote", "+R('a,b)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDatabase(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ParseDatabase(%q) succeeded; want error", tc.in)
+			}
+		})
+	}
+}
+
+// TestStripCommentQuoteAware: '#' inside a quoted value is data, not a
+// comment delimiter.
+func TestStripCommentQuoteAware(t *testing.T) {
+	db, err := ParseDatabase(strings.NewReader("+R('a#b') # trailing comment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Tuple(0).Args[0]; got != "a#b" {
+		t.Errorf("value = %q; want a#b", got)
+	}
+}
+
+// TestFormatDatabaseUnrepresentable: values the escape-free line format
+// cannot carry must be reported, not silently emitted as garbage.
+func TestFormatDatabaseUnrepresentable(t *testing.T) {
+	cases := []struct {
+		name string
+		val  string
+	}{
+		{"newline", "a\nb"},
+		{"carriage return", "a\rb"},
+		{"both quote characters", "both'and\"quotes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := rel.NewDatabase()
+			db.MustAdd("R", true, rel.Value(tc.val))
+			if out, err := FormatDatabase(db); err == nil {
+				t.Errorf("FormatDatabase succeeded with %q; output:\n%s", tc.val, out)
+			}
+		})
 	}
 }

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Value is a constant in the active domain. Values compare by string
@@ -53,26 +55,48 @@ type Relation struct {
 	Arity  int
 	Tuples []*Tuple
 
-	// index[col][value] lists positions in Tuples whose col-th argument
-	// equals value. Built lazily by ensureIndex.
-	index map[int]map[Value][]int
+	// index holds a map[int]map[Value][]int listing, per column, the
+	// positions in Tuples whose col-th argument equals a value. Built
+	// lazily by ensureIndex with copy-on-write under indexMu and
+	// published atomically, so any number of goroutines may evaluate
+	// queries over a frozen relation concurrently without locking on
+	// the read path.
+	index   atomic.Pointer[map[int]map[Value][]int]
+	indexMu sync.Mutex
 }
 
 // ensureIndex returns a hash index on the given column, building it on
 // first use. Database.Add invalidates all indexes of the relation, so an
-// existing index is always current.
+// existing index is always current. Concurrent callers are safe as long
+// as no tuple is added concurrently (databases are frozen after load in
+// concurrent settings, e.g. the explanation server's session registry).
 func (r *Relation) ensureIndex(col int) map[Value][]int {
-	if r.index == nil {
-		r.index = make(map[int]map[Value][]int)
-	}
-	idx, ok := r.index[col]
-	if !ok {
-		idx = make(map[Value][]int, len(r.Tuples))
-		for i, t := range r.Tuples {
-			idx[t.Args[col]] = append(idx[t.Args[col]], i)
+	if tbl := r.index.Load(); tbl != nil {
+		if idx, ok := (*tbl)[col]; ok {
+			return idx
 		}
-		r.index[col] = idx
 	}
+	r.indexMu.Lock()
+	defer r.indexMu.Unlock()
+	// Re-check under the lock: a racing caller may have published col.
+	old := r.index.Load()
+	if old != nil {
+		if idx, ok := (*old)[col]; ok {
+			return idx
+		}
+	}
+	idx := make(map[Value][]int, len(r.Tuples))
+	for i, t := range r.Tuples {
+		idx[t.Args[col]] = append(idx[t.Args[col]], i)
+	}
+	next := make(map[int]map[Value][]int)
+	if old != nil {
+		for c, m := range *old {
+			next[c] = m
+		}
+	}
+	next[col] = idx
+	r.index.Store(&next)
 	return idx
 }
 
@@ -106,7 +130,7 @@ func (db *Database) Add(rel string, endo bool, args ...Value) (TupleID, error) {
 	}
 	t := &Tuple{ID: TupleID(len(db.byID)), Rel: rel, Args: append([]Value(nil), args...), Endo: endo}
 	r.Tuples = append(r.Tuples, t)
-	r.index = nil // invalidate
+	r.index.Store(nil) // invalidate
 	db.byID = append(db.byID, t)
 	return t.ID, nil
 }

@@ -1,0 +1,162 @@
+// JSON request/response types of the querycaused HTTP API. The module
+// root re-exports them (see client.go at the repository root), so a Go
+// client and the server share one wire vocabulary.
+package server
+
+import "github.com/querycause/querycause/internal/cache"
+
+// CreateDatabaseRequest uploads a database in the parser's textual
+// format ("+R(a,b)" endogenous, "-S(c)" exogenous, '#' comments). The
+// same payload may instead be POSTed as a raw text body.
+type CreateDatabaseRequest struct {
+	Database string `json:"database"`
+}
+
+// DatabaseInfo describes one registered session.
+type DatabaseInfo struct {
+	ID          string `json:"id"`
+	Tuples      int    `json:"tuples"`
+	Endogenous  int    `json:"endogenous"`
+	Relations   int    `json:"relations"`
+	Prepared    int    `json:"prepared_queries"`
+	IdleSeconds int64  `json:"idle_seconds"`
+}
+
+// PrepareQueryRequest registers a conjunctive query against a session.
+type PrepareQueryRequest struct {
+	Query string `json:"query"`
+}
+
+// PrepareQueryResponse describes a prepared query: the canonical form,
+// its dichotomy classification under both domination rules, and the
+// Theorem 3.4 Datalog¬ cause program, all computed once and cached.
+type PrepareQueryResponse struct {
+	ID         string `json:"id"`
+	Database   string `json:"database"`
+	Query      string `json:"query"`
+	Class      string `json:"class"`       // sound rule (what ModeAuto dispatches on)
+	ClassPaper string `json:"class_paper"` // the paper's Fig. 3 rule
+	// Program is the generated stratified Datalog¬ cause program.
+	Program string `json:"program,omitempty"`
+	// CertificateCached reports whether classification was served from
+	// the session's certificate cache (an equal-shape query was already
+	// prepared or explained).
+	CertificateCached bool `json:"certificate_cached"`
+}
+
+// ExplainRequest asks why an answer is (whyso) or is not (whyno)
+// returned. Exactly one of the URL-addressed prepared query or the
+// inline Query must identify the query.
+type ExplainRequest struct {
+	// Query is an inline conjunctive query, for one-shot explains
+	// without preparation.
+	Query string `json:"query,omitempty"`
+	// Answer is the (non-)answer tuple bound into the query head; empty
+	// for Boolean queries.
+	Answer []string `json:"answer,omitempty"`
+	// Mode selects the responsibility strategy: "auto" (default),
+	// "exact", or "paper".
+	Mode string `json:"mode,omitempty"`
+}
+
+// ExplanationDTO is one ranked cause.
+type ExplanationDTO struct {
+	TupleID int     `json:"tuple_id"`
+	Tuple   string  `json:"tuple"`
+	Rho     float64 `json:"rho"`
+	// ContingencySize is min|Γ|; -1 when the tuple is not a cause.
+	ContingencySize int      `json:"contingency_size"`
+	Contingency     []string `json:"contingency,omitempty"`
+	Method          string   `json:"method"`
+}
+
+// ExplainResponse is the ranking for one answer or non-answer.
+type ExplainResponse struct {
+	Database string   `json:"database"`
+	QueryID  string   `json:"query_id,omitempty"`
+	Query    string   `json:"query"`
+	Answer   []string `json:"answer,omitempty"`
+	WhyNo    bool     `json:"why_no"`
+	// EngineCached reports whether the per-answer engine (lineage and
+	// causes already computed) was served from the session cache: the
+	// request skipped straight to responsibility ranking.
+	EngineCached bool `json:"engine_cached"`
+	// CertificateCached reports whether the dichotomy certificate came
+	// from the session cache (classification skipped). Implied by
+	// EngineCached.
+	CertificateCached bool             `json:"certificate_cached"`
+	Causes            int              `json:"causes"`
+	Explanations      []ExplanationDTO `json:"explanations"`
+	ElapsedMicros     int64            `json:"elapsed_micros"`
+}
+
+// BatchExplainRequest explains many answers/non-answers in one call; it
+// maps onto the library's ExplainAll fan-out.
+type BatchExplainRequest struct {
+	Requests []BatchItem `json:"requests"`
+	// Mode applies to every item: "auto" (default), "exact", "paper".
+	Mode string `json:"mode,omitempty"`
+	// Parallelism overrides the server's per-request worker budget for
+	// this batch (values <= 0 mean the server default).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// BatchItem is one request of a batch: either a prepared QueryID or an
+// inline Query.
+type BatchItem struct {
+	QueryID string   `json:"query_id,omitempty"`
+	Query   string   `json:"query,omitempty"`
+	Answer  []string `json:"answer,omitempty"`
+	WhyNo   bool     `json:"why_no,omitempty"`
+}
+
+// BatchExplainResponse returns per-item results in request order;
+// per-item failures (Error != "") do not abort the rest of the batch.
+type BatchExplainResponse struct {
+	Database string            `json:"database"`
+	Results  []BatchItemResult `json:"results"`
+}
+
+// BatchItemResult is the outcome of one batch item.
+type BatchItemResult struct {
+	Error        string           `json:"error,omitempty"`
+	EngineCached bool             `json:"engine_cached"`
+	Causes       int              `json:"causes"`
+	Explanations []ExplanationDTO `json:"explanations,omitempty"`
+}
+
+// StatsResponse is the /v1/stats payload: session registry occupancy,
+// cache effectiveness, and request gauges. The integration tests assert
+// warm-certificate explains through CertCache.Hits, and the CI smoke
+// test asserts Inflight == 0 after the load generator drains.
+type StatsResponse struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Sessions        int     `json:"sessions"`
+	MaxSessions     int     `json:"max_sessions"`
+	SessionsEvicted uint64  `json:"sessions_evicted"`
+	PreparedQueries int     `json:"prepared_queries"`
+	// Inflight counts explain/batch requests currently inside the
+	// handler (queued for admission or computing); PeakInflight is the
+	// high-water mark.
+	Inflight     int64 `json:"inflight"`
+	PeakInflight int64 `json:"peak_inflight"`
+	// WorkerBudget is the admission limit on concurrently computing
+	// explain requests.
+	WorkerBudget     int         `json:"worker_budget"`
+	RequestsTotal    uint64      `json:"requests_total"`
+	ExplainsTotal    uint64      `json:"explains_total"`
+	AdmissionRejects uint64      `json:"admission_rejects"`
+	CertCache        cache.Stats `json:"cert_cache"`
+	EngineCache      cache.Stats `json:"engine_cache"`
+}
+
+// ErrorResponse is the uniform error payload.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

@@ -1,0 +1,690 @@
+// Package server implements querycaused, the long-running causality
+// explanation service over the engine of Meliou et al. (VLDB 2010).
+//
+// The paper's central observation for a serving system is that the
+// expensive artifacts are query-level, not request-level: the dichotomy
+// certificate (Corollary 4.14), the rewritten Datalog¬ cause program
+// (Theorem 3.4), and each answer's DNF lineage (Theorem 3.2) are all
+// reusable across requests. The server therefore keeps a session
+// registry of uploaded databases, prepared queries classified once, and
+// LRU caches of certificates and per-answer engines, so a warm explain
+// skips straight to responsibility ranking.
+//
+// API (JSON over HTTP):
+//
+//	POST   /v1/databases                      upload a database, get a session id
+//	GET    /v1/databases                      list sessions
+//	DELETE /v1/databases/{db}                 drop a session
+//	POST   /v1/databases/{db}/queries         prepare (parse + classify + rewrite) a query
+//	POST   /v1/databases/{db}/queries/{q}/whyso   explain an answer
+//	POST   /v1/databases/{db}/queries/{q}/whyno   explain a non-answer
+//	POST   /v1/databases/{db}/whyso           one-shot explain with an inline query
+//	POST   /v1/databases/{db}/whyno
+//	POST   /v1/databases/{db}/batch           many explains in one call (ExplainAll fan-out)
+//	GET    /v1/stats                          cache hit rates, in-flight gauge, session counts
+//	GET    /healthz
+//
+// Explain endpoints run under a server-wide worker budget (admission
+// control): at most WorkerBudget requests compute concurrently, the
+// rest queue until their request context — bounded by RequestTimeout —
+// expires. Malformed inputs (bad tuples, bad query syntax, invalid
+// why-no instances) are 4xx; only engine invariant violations are 5xx.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Config tunes the server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// MaxSessions bounds the session registry; adding beyond it evicts
+	// the least-recently-used session. Default 64.
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session; the background
+	// reaper evicts sessions idle longer. Default 30m.
+	SessionTTL time.Duration
+	// ReapInterval is how often the reaper sweeps. Default SessionTTL/4
+	// (capped at 1m); <0 disables the reaper (tests drive EvictIdle
+	// directly).
+	ReapInterval time.Duration
+	// PreparedCacheSize, CertCacheSize, and EngineCacheSize bound the
+	// per-session LRUs (prepared queries, certificate pairs, per-answer
+	// engines). Defaults 256, 256, and 1024.
+	PreparedCacheSize int
+	CertCacheSize     int
+	EngineCacheSize   int
+	// WorkerBudget is the admission limit: how many explain/batch
+	// requests may compute concurrently. Excess requests queue until
+	// admitted or their context expires (503). Default
+	// 2*GOMAXPROCS, minimum 2.
+	WorkerBudget int
+	// Parallelism is the ranking worker count per admitted request
+	// (core.ResolveWorkers semantics; default 1, i.e. the worker budget
+	// is the only source of concurrency).
+	Parallelism int
+	// RequestTimeout bounds each explain/batch request, queueing
+	// included. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds uploaded request bodies. Default 32 MiB.
+	MaxBodyBytes int64
+	// Clock overrides time.Now, for eviction tests.
+	Clock func() time.Time
+
+	// testHookAdmitted, when non-nil, runs in every explain/batch
+	// handler right after the request clears worker-budget admission
+	// (slot held, in-flight gauge already bumped). Tests use it as a
+	// barrier to hold requests/slots deterministically.
+	testHookAdmitted func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
+	if c.ReapInterval == 0 {
+		c.ReapInterval = c.SessionTTL / 4
+		if c.ReapInterval > time.Minute {
+			c.ReapInterval = time.Minute
+		}
+	}
+	if c.PreparedCacheSize <= 0 {
+		c.PreparedCacheSize = 256
+	}
+	if c.CertCacheSize <= 0 {
+		c.CertCacheSize = 256
+	}
+	if c.EngineCacheSize <= 0 {
+		c.EngineCacheSize = 1024
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = 2 * runtime.GOMAXPROCS(0)
+		if c.WorkerBudget < 2 {
+			c.WorkerBudget = 2
+		}
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Server is the querycaused HTTP service. Create with New, expose with
+// Handler, stop the background reaper with Close.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	mux   *http.ServeMux
+	start time.Time
+
+	sem chan struct{} // worker-budget admission
+
+	inflight     atomic.Int64
+	peakInflight atomic.Int64
+	requests     atomic.Uint64
+	explains     atomic.Uint64
+	rejects      atomic.Uint64
+
+	reaperDone chan struct{}
+	closed     atomic.Bool
+}
+
+// New builds a server and starts its idle-session reaper (unless
+// disabled).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		reg:        newRegistry(cfg.MaxSessions, cfg.PreparedCacheSize, cfg.CertCacheSize, cfg.EngineCacheSize, cfg.Clock),
+		mux:        http.NewServeMux(),
+		start:      cfg.Clock(),
+		sem:        make(chan struct{}, cfg.WorkerBudget),
+		reaperDone: make(chan struct{}),
+	}
+	s.routes()
+	if cfg.ReapInterval > 0 {
+		go s.reap()
+	} else {
+		close(s.reaperDone)
+	}
+	return s
+}
+
+// Close stops the background reaper. In-flight requests are unaffected;
+// use http.Server.Shutdown to drain those.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) && s.cfg.ReapInterval > 0 {
+		close(s.reaperDone)
+	}
+}
+
+// Handler returns the HTTP handler for the full API surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// EvictIdle evicts sessions idle longer than the configured TTL and
+// returns their ids. The reaper calls this; tests may call it directly.
+func (s *Server) EvictIdle() []string { return s.reg.evictIdle(s.cfg.SessionTTL) }
+
+func (s *Server) reap() {
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.reg.evictIdle(s.cfg.SessionTTL)
+		case <-s.reaperDone:
+			return
+		}
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/databases", s.handleCreateDB)
+	s.mux.HandleFunc("GET /v1/databases", s.handleListDBs)
+	s.mux.HandleFunc("DELETE /v1/databases/{db}", s.handleDeleteDB)
+	s.mux.HandleFunc("POST /v1/databases/{db}/queries", s.handlePrepare)
+	s.mux.HandleFunc("POST /v1/databases/{db}/queries/{q}/whyso", s.explainHandler(false, true))
+	s.mux.HandleFunc("POST /v1/databases/{db}/queries/{q}/whyno", s.explainHandler(true, true))
+	s.mux.HandleFunc("POST /v1/databases/{db}/whyso", s.explainHandler(false, false))
+	s.mux.HandleFunc("POST /v1/databases/{db}/whyno", s.explainHandler(true, false))
+	s.mux.HandleFunc("POST /v1/databases/{db}/batch", s.handleBatch)
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly decodes the request body into v; errors are the
+// caller's 400.
+func decodeJSON(r *http.Request, maxBytes int64, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// admit applies the worker budget: it blocks until a computation slot
+// frees or ctx expires. The returned release must be called when the
+// computation finishes; ok=false means the request's context died
+// queueing (timeout or client disconnect). A request whose context is
+// already dead when a slot frees is rejected rather than computed.
+func (s *Server) admit(ctx context.Context) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		if ctx.Err() != nil {
+			<-s.sem
+			s.rejects.Add(1)
+			return nil, false
+		}
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		s.rejects.Add(1)
+		return nil, false
+	}
+}
+
+// trackInflight maintains the in-flight gauge and its high-water mark
+// for one explain/batch request; call the returned func on completion.
+func (s *Server) trackInflight() func() {
+	n := s.inflight.Add(1)
+	for {
+		peak := s.peakInflight.Load()
+		if n <= peak || s.peakInflight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return func() { s.inflight.Add(-1) }
+}
+
+func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("db")
+	sess, ok := s.reg.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown database session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "", "auto":
+		return core.ModeAuto, nil
+	case "exact":
+		return core.ModeExact, nil
+	case "paper":
+		return core.ModePaper, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want auto, exact, or paper)", s)
+}
+
+func toValues(ss []string) []rel.Value {
+	out := make([]rel.Value, len(ss))
+	for i, v := range ss {
+		out[i] = rel.Value(v)
+	}
+	return out
+}
+
+func explanationDTOs(db *rel.Database, exps []core.Explanation) []ExplanationDTO {
+	out := make([]ExplanationDTO, len(exps))
+	for i, e := range exps {
+		d := ExplanationDTO{
+			TupleID:         int(e.Tuple),
+			Tuple:           db.Tuple(e.Tuple).String(),
+			Rho:             e.Rho,
+			ContingencySize: e.ContingencySize,
+			Method:          e.Method.String(),
+		}
+		for _, id := range e.Contingency {
+			d.Contingency = append(d.Contingency, db.Tuple(id).String())
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// statusOf maps an engine-construction error to an HTTP status: inputs
+// the client got wrong are 4xx, never 5xx. Syntax problems (parser:)
+// are 400; semantically invalid instances — bad binding arity, arity
+// mismatches against the session database, invalid why-no instances
+// (rel:, whyno:, core:) — are 422.
+func statusOf(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "parser:"):
+		return http.StatusBadRequest
+	case strings.Contains(msg, "rel:"),
+		strings.Contains(msg, "whyno:"),
+		strings.Contains(msg, "core:"):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeSeconds: s.cfg.Clock().Sub(s.start).Seconds()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	certs, engines := s.reg.cacheStats()
+	prepared := 0
+	for _, sess := range s.reg.list() {
+		prepared += sess.preparedCount()
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:    s.cfg.Clock().Sub(s.start).Seconds(),
+		Sessions:         s.reg.len(),
+		MaxSessions:      s.cfg.MaxSessions,
+		SessionsEvicted:  s.reg.evicted.Load(),
+		PreparedQueries:  prepared,
+		Inflight:         s.inflight.Load(),
+		PeakInflight:     s.peakInflight.Load(),
+		WorkerBudget:     s.cfg.WorkerBudget,
+		RequestsTotal:    s.requests.Load(),
+		ExplainsTotal:    s.explains.Load(),
+		AdmissionRejects: s.rejects.Load(),
+		CertCache:        certs,
+		EngineCache:      engines,
+	})
+}
+
+func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var text string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req CreateDatabaseRequest
+		if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		text = req.Database
+	} else {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		text = string(raw)
+	}
+	db, err := parser.ParseDatabase(strings.NewReader(text))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing database: %v", err)
+		return
+	}
+	if db.NumTuples() == 0 {
+		writeError(w, http.StatusBadRequest, "empty database: no tuples parsed")
+		return
+	}
+	sess := s.reg.add(db)
+	writeJSON(w, http.StatusCreated, s.infoOf(sess))
+}
+
+func (s *Server) infoOf(sess *session) DatabaseInfo {
+	return DatabaseInfo{
+		ID:          sess.id,
+		Tuples:      sess.db.NumTuples(),
+		Endogenous:  sess.endo,
+		Relations:   len(sess.db.Relations),
+		Prepared:    sess.preparedCount(),
+		IdleSeconds: int64(sess.idle(s.cfg.Clock()).Seconds()),
+	}
+}
+
+func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	sessions := s.reg.list()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]DatabaseInfo, len(sessions))
+	for i, sess := range sessions {
+		out[i] = s.infoOf(sess)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if !s.reg.remove(r.PathValue("db")) {
+		writeError(w, http.StatusNotFound, "unknown database session %q", r.PathValue("db"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	sess, ok := s.sessionOf(w, r)
+	if !ok {
+		return
+	}
+	var req PrepareQueryRequest
+	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, err := parser.ParseQuery(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := q.Validate(sess.db); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	pq, certHit, err := sess.prepare(q, func() string {
+		// Cause programs (Theorem 3.4) exist for Boolean queries; a
+		// failed generation just leaves the field empty.
+		prog, err := causegen.Generate(q, causegen.HintsFromDB(sess.db))
+		if err != nil {
+			return ""
+		}
+		return prog.String()
+	})
+	if err != nil {
+		writeError(w, statusOf(err), "classifying query: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, PrepareQueryResponse{
+		ID:                pq.id,
+		Database:          sess.id,
+		Query:             q.String(),
+		Class:             pq.certs.sound.Class.String(),
+		ClassPaper:        pq.certs.paper.Class.String(),
+		Program:           pq.program,
+		CertificateCached: certHit,
+	})
+}
+
+// explainHandler builds the whyso/whyno handler; prepared selects the
+// /queries/{q}/ variant over the inline-query variant.
+func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.explains.Add(1)
+		done := s.trackInflight()
+		defer done()
+		sess, ok := s.sessionOf(w, r)
+		if !ok {
+			return
+		}
+		var req ExplainRequest
+		if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		mode, err := parseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+
+		var q *rel.Query
+		qID := ""
+		if prepared {
+			pq, ok := sess.lookupQuery(r.PathValue("q"))
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown prepared query %q", r.PathValue("q"))
+				return
+			}
+			if req.Query != "" {
+				writeError(w, http.StatusBadRequest, "inline query not allowed on a prepared-query endpoint")
+				return
+			}
+			q, qID = pq.q, pq.id
+		} else {
+			if req.Query == "" {
+				writeError(w, http.StatusBadRequest, "missing query")
+				return
+			}
+			q, err = parser.ParseQuery(req.Query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if err := q.Validate(sess.db); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, "%v", err)
+				return
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		release, ok := s.admit(ctx)
+		if !ok {
+			writeError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+			return
+		}
+		defer release()
+		if s.cfg.testHookAdmitted != nil {
+			s.cfg.testHookAdmitted()
+		}
+
+		started := time.Now()
+		eng, engineHit, certHit, err := sess.engineFor(q, qID, toValues(req.Answer), whyNo)
+		if err != nil {
+			writeError(w, statusOf(err), "%v", err)
+			return
+		}
+		exps, err := eng.RankAllParallel(ctx, mode, core.ParallelOptions{Workers: s.cfg.Parallelism})
+		if err != nil {
+			if ctx.Err() != nil {
+				writeError(w, http.StatusServiceUnavailable, "request canceled: %v", ctx.Err())
+			} else {
+				writeError(w, http.StatusInternalServerError, "ranking: %v", err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, ExplainResponse{
+			Database:          sess.id,
+			QueryID:           qID,
+			Query:             q.String(),
+			Answer:            req.Answer,
+			WhyNo:             whyNo,
+			EngineCached:      engineHit,
+			CertificateCached: certHit,
+			Causes:            len(eng.Causes()),
+			Explanations:      explanationDTOs(sess.db, exps),
+			ElapsedMicros:     time.Since(started).Microseconds(),
+		})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.explains.Add(1)
+	done := s.trackInflight()
+	defer done()
+	sess, ok := s.sessionOf(w, r)
+	if !ok {
+		return
+	}
+	var req BatchExplainRequest
+	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Resolve every item to a query up front so URL-level errors (bad
+	// syntax, unknown prepared id) surface per-item without spending
+	// worker budget.
+	type resolved struct {
+		q   *rel.Query
+		qID string
+		err error
+	}
+	items := make([]resolved, len(req.Requests))
+	creqs := make([]core.BatchRequest, len(req.Requests))
+	for i, item := range req.Requests {
+		switch {
+		case item.QueryID != "" && item.Query != "":
+			items[i].err = fmt.Errorf("item %d: query and query_id are mutually exclusive", i)
+		case item.QueryID != "":
+			pq, ok := sess.lookupQuery(item.QueryID)
+			if !ok {
+				items[i].err = fmt.Errorf("item %d: unknown prepared query %q", i, item.QueryID)
+				break
+			}
+			items[i].q, items[i].qID = pq.q, pq.id
+		case item.Query != "":
+			q, err := parser.ParseQuery(item.Query)
+			if err != nil {
+				items[i].err = fmt.Errorf("item %d: %w", i, err)
+				break
+			}
+			if err := q.Validate(sess.db); err != nil {
+				items[i].err = fmt.Errorf("item %d: %w", i, err)
+				break
+			}
+			items[i].q = q
+		default:
+			items[i].err = fmt.Errorf("item %d: missing query or query_id", i)
+		}
+		creqs[i] = core.BatchRequest{Query: items[i].q, Answer: toValues(item.Answer), WhyNo: item.WhyNo}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, ok := s.admit(ctx)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+		return
+	}
+	defer release()
+	if s.cfg.testHookAdmitted != nil {
+		s.cfg.testHookAdmitted()
+	}
+
+	// A client may lower its batch's parallelism or raise it up to the
+	// server's worker budget — never beyond, so one admitted request
+	// cannot spawn more compute concurrency than admission control
+	// allows in total.
+	workers := req.Parallelism
+	if workers <= 0 {
+		workers = s.cfg.Parallelism
+	}
+	if workers > s.cfg.WorkerBudget {
+		workers = s.cfg.WorkerBudget
+	}
+	hits := make([]bool, len(creqs))
+	results, err := core.ExplainBatch(ctx, sess.db, creqs, core.BatchRunOptions{
+		Workers: workers,
+		Mode:    mode,
+		NewEngine: func(db *rel.Database, i int, creq core.BatchRequest) (*core.Engine, error) {
+			if items[i].err != nil {
+				return nil, items[i].err
+			}
+			eng, engineHit, _, err := sess.engineFor(items[i].q, items[i].qID, creq.Answer, creq.WhyNo)
+			hits[i] = engineHit
+			return eng, err
+		},
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "batch canceled: %v", err)
+		return
+	}
+	resp := BatchExplainResponse{Database: sess.id, Results: make([]BatchItemResult, len(results))}
+	for i, res := range results {
+		out := BatchItemResult{EngineCached: hits[i]}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		} else {
+			out.Causes = len(res.Explanations)
+			out.Explanations = explanationDTOs(sess.db, res.Explanations)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

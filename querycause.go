@@ -57,7 +57,8 @@ const (
 	// ModeExact always uses exact branch-and-bound search.
 	ModeExact = core.ModeExact
 	// ModePaper follows the paper's Definition 4.9 weakening literally;
-	// see DESIGN.md for where this can diverge from Definition 2.3.
+	// see the fidelity notes in doc.go for where this can diverge from
+	// Definition 2.3.
 	ModePaper = core.ModePaper
 )
 
@@ -198,7 +199,7 @@ func Classify(q *Query, endo func(relName string) bool) (*Certificate, error) {
 }
 
 // ClassifySound is Classify under the sound domination rule used by
-// ModeAuto (see DESIGN.md).
+// ModeAuto (see the fidelity notes in doc.go).
 func ClassifySound(q *Query, endo func(relName string) bool) (*Certificate, error) {
 	return rewrite.ClassifySound(shape.FromQuery(q, endo))
 }
