@@ -1,0 +1,291 @@
+// fuzzcause is the differential soak driver: it hammers the causality
+// engines against the exact oracles and the HTTP server over seeded
+// random workloads (internal/difftest), prints throughput, and on any
+// mismatch writes the minimized failing instance and the one-command
+// replay before exiting non-zero. CI runs a short sweep on every push
+// and a long soak nightly; locally:
+//
+//	go run ./cmd/fuzzcause -n 100000
+//	go run ./cmd/fuzzcause -duration 5m -seed 42
+//	go run ./cmd/fuzzcause -bench BENCH_difftest.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/difftest"
+	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fuzzcause", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed        = fs.Int64("seed", 1, "base seed (instance i uses seed+i)")
+		n           = fs.Int("n", 10000, "instances per sweep")
+		duration    = fs.Duration("duration", 0, "keep sweeping in -n chunks until this much time passed (0 = one sweep)")
+		workers     = fs.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		maxAtoms    = fs.Int("max-atoms", 4, "max query atoms")
+		maxArity    = fs.Int("max-arity", 3, "max relation arity")
+		maxVars     = fs.Int("max-vars", 4, "variable pool size")
+		domain      = fs.Int("domain", 4, "constant domain size")
+		tuples      = fs.Int("tuples", 7, "max noise tuples per relation")
+		exoProb     = fs.Float64("exo-prob", 0.3, "per-tuple exogenous probability (0 disables)")
+		constProb   = fs.Float64("const-prob", 0.15, "per-term constant probability (0 disables)")
+		whyNoProb   = fs.Float64("whyno-prob", 0.3, "fraction of why-no instances (0 disables)")
+		selfJoin    = fs.Float64("selfjoin-prob", 0.15, "per-atom self-join probability (0 disables)")
+		serverDiff  = fs.Bool("server-diff", true, "also replay instances through an in-process HTTP server")
+		serverEvery = fs.Int("server-every", 8, "replay every k-th instance through the server")
+		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
+		reproDir    = fs.String("repro", "", "directory for minimized failing instances (default: print only)")
+		benchOut    = fs.String("bench", "", "write the BENCH_difftest.json baseline to this path and exit")
+		benchQuick  = fs.Bool("bench-quick", false, "scale the bench down ~10x (format smoke test, not a comparable baseline)")
+		progress    = fs.Int("progress", 10000, "progress line interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// GenConfig treats probability 0 as "default" and negative as
+	// literal zero; on the flag surface, an explicit 0 means zero.
+	flagProb := func(v float64) float64 {
+		if v == 0 {
+			return -1
+		}
+		return v
+	}
+	gen := causegen.GenConfig{
+		MaxAtoms:          *maxAtoms,
+		MaxArity:          *maxArity,
+		MaxVars:           *maxVars,
+		DomainSize:        *domain,
+		TuplesPerRelation: *tuples,
+		ExoProb:           flagProb(*exoProb),
+		ConstProb:         flagProb(*constProb),
+		WhyNoProb:         flagProb(*whyNoProb),
+		SelfJoinProb:      flagProb(*selfJoin),
+	}
+	if *benchOut != "" {
+		return runBench(*benchOut, *workers, *benchQuick, stdout, stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := difftest.Options{
+		Seed:             *seed,
+		N:                *n,
+		Workers:          *workers,
+		Gen:              gen,
+		ServerEvery:      *serverEvery,
+		MetamorphicEvery: *metaEvery,
+		ProgressEvery:    *progress,
+	}
+	if *serverDiff {
+		sd := difftest.NewServerDiff()
+		defer sd.Close()
+		opts.Server = sd
+	}
+
+	start := time.Now()
+	total := 0
+	sweep := 0
+	for {
+		opts.Seed = *seed + int64(sweep)*int64(*n)
+		opts.Progress = func(done int) {
+			fmt.Fprintf(stdout, "fuzzcause: %d instances (%.0f/sec)\n",
+				total+done, float64(total+done)/time.Since(start).Seconds())
+		}
+		rep, err := difftest.Run(ctx, opts)
+		total += rep.Instances
+		fmt.Fprintf(stdout, "%v\n", rep)
+		if len(rep.Mismatches) > 0 {
+			reportMismatches(rep.Mismatches, opts, *reproDir, stderr)
+			return 1
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "fuzzcause: interrupted: %v (%d instances clean)\n", err, total)
+			return 0
+		}
+		sweep++
+		if *duration <= 0 || time.Since(start) >= *duration {
+			break
+		}
+	}
+	fmt.Fprintf(stdout, "fuzzcause: OK — %d instances, zero mismatches in %v\n", total, time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// reportMismatches shrinks each failing instance, prints the replay
+// command, and optionally writes the minimized instance for testdata/.
+func reportMismatches(ms []difftest.Mismatch, opts difftest.Options, reproDir string, stderr io.Writer) {
+	// Shrink under the sweep's full predicate (metamorphic + server
+	// included) so mismatches those layers found still reproduce while
+	// minimizing.
+	chk := opts.ShrinkCheck()
+	for i, m := range ms {
+		shrunk := difftest.Shrink(m.Instance, difftest.Fails(chk))
+		_, shrunkErr := difftest.CheckInstance(shrunk, chk)
+		enc, err := difftest.Encode(shrunk)
+		if err != nil {
+			enc = fmt.Sprintf("(encode failed: %v)", err)
+		}
+		fmt.Fprintf(stderr, "\nMISMATCH %d: %v\nminimized to %d tuples (%v):\n%s\n", i+1, m, shrunk.DB.NumTuples(), shrunkErr, enc)
+		if reproDir != "" {
+			path := filepath.Join(reproDir, fmt.Sprintf("mismatch_seed%d.inst", m.Seed))
+			if mkerr := os.MkdirAll(reproDir, 0o755); mkerr != nil {
+				fmt.Fprintf(stderr, "cannot create repro dir %s: %v; instance printed above only\n", reproDir, mkerr)
+			} else if werr := os.WriteFile(path, []byte(enc), 0o644); werr != nil {
+				fmt.Fprintf(stderr, "cannot write %s: %v; instance printed above only\n", path, werr)
+			} else {
+				fmt.Fprintf(stderr, "minimized instance written to %s\n", path)
+			}
+		}
+	}
+}
+
+// ---- bench baseline ----
+
+type benchSweep struct {
+	Config          string  `json:"config"`
+	Instances       int     `json:"instances"`
+	Seconds         float64 `json:"seconds"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	FlowRanked      int     `json:"flow_ranked"`
+	ExactRanked     int     `json:"exact_ranked"`
+	BruteChecked    int     `json:"brute_checked"`
+	ServerChecked   int     `json:"server_checked"`
+}
+
+type benchOracle struct {
+	Family           string  `json:"family"`
+	Size             int     `json:"size"`
+	LineageWidth     int     `json:"lineage_width"`
+	LineageConjuncts int     `json:"lineage_conjuncts"`
+	CausesTimed      int     `json:"causes_timed"`
+	NsPerCall        float64 `json:"ns_per_min_contingency"`
+}
+
+type benchReport struct {
+	Bench       string        `json:"bench"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	CPUs        int           `json:"cpus"`
+	Sweeps      []benchSweep  `json:"sweeps"`
+	OracleCurve []benchOracle `json:"exact_oracle_curve"`
+	Note        string        `json:"note"`
+}
+
+// runBench records the differential-sweep throughput baseline and the
+// exact-oracle cost curve by lineage width, so later PRs can detect
+// oracle or harness slowdowns.
+func runBench(path string, workers int, quick bool, stdout, stderr io.Writer) int {
+	rep := benchReport{
+		Bench:  "difftest",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Note:   "sweep throughput includes generation + all oracles; oracle curve times exact.MinContingencySet on star h1* lineages of growing width",
+	}
+	scale := 1
+	starSizes := []int{4, 8, 12, 16, 24, 32}
+	if quick {
+		rep.Note += " (QUICK mode: ~10x scaled down, not a comparable baseline)"
+		scale = 10
+		starSizes = []int{4, 8, 12}
+	}
+	configs := []struct {
+		name   string
+		gen    causegen.GenConfig
+		n      int
+		server bool
+	}{
+		{"default", causegen.GenConfig{}, 6000 / scale, false},
+		{"wide-4atom", causegen.GenConfig{MaxAtoms: 4, MaxArity: 3, TuplesPerRelation: 8}, 4000 / scale, false},
+		{"server-diff", causegen.GenConfig{}, 2000 / scale, true},
+	}
+	for _, c := range configs {
+		opts := difftest.Options{Seed: 1, N: c.n, Workers: workers, Gen: c.gen, MetamorphicEvery: 1}
+		if c.server {
+			sd := difftest.NewServerDiff()
+			opts.Server = sd
+			opts.ServerEvery = 1
+		}
+		r, err := difftest.Run(context.Background(), opts)
+		if opts.Server != nil {
+			opts.Server.Close()
+		}
+		if err != nil || len(r.Mismatches) > 0 {
+			fmt.Fprintf(stderr, "fuzzcause bench: sweep %s failed: err=%v mismatches=%d\n", c.name, err, len(r.Mismatches))
+			return 1
+		}
+		fmt.Fprintf(stdout, "bench sweep %-12s %v\n", c.name, r)
+		rep.Sweeps = append(rep.Sweeps, benchSweep{
+			Config: c.name, Instances: r.Instances, Seconds: r.Elapsed.Seconds(),
+			InstancesPerSec: r.InstancesPerSec(), FlowRanked: r.FlowRanked,
+			ExactRanked: r.ExactRanked, BruteChecked: r.BruteChecked, ServerChecked: r.ServerChecked,
+		})
+	}
+
+	// Responsibility on h₁* is NP-hard: the branch-and-bound cost grows
+	// ~4x per 8 tuples of width, so the curve stops where a single call
+	// is still sub-second (n=64 would run for minutes).
+	for _, n := range starSizes {
+		db, q, _ := workload.Star(1, n)
+		eng, err := core.NewWhySo(db, q)
+		if err != nil {
+			fmt.Fprintf(stderr, "fuzzcause bench: star(%d): %v\n", n, err)
+			return 1
+		}
+		nl := eng.NLineage()
+		causes := eng.Causes()
+		timed := 0
+		start := time.Now()
+		for _, id := range causes {
+			if timed >= 8 {
+				break
+			}
+			exact.MinContingencySet(nl, id)
+			timed++
+		}
+		elapsed := time.Since(start)
+		if timed == 0 {
+			continue
+		}
+		e := benchOracle{
+			Family: "star", Size: n, LineageWidth: len(nl.Vars()),
+			LineageConjuncts: len(nl.Conjuncts), CausesTimed: timed,
+			NsPerCall: float64(elapsed.Nanoseconds()) / float64(timed),
+		}
+		fmt.Fprintf(stdout, "bench oracle star n=%-3d width=%-3d conjuncts=%-4d %.0f ns/call\n", n, e.LineageWidth, e.LineageConjuncts, e.NsPerCall)
+		rep.OracleCurve = append(rep.OracleCurve, e)
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "fuzzcause bench: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(stderr, "fuzzcause bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "fuzzcause: baseline written to %s\n", path)
+	return 0
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "300", "-seed", "21", "-server-every", "32"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "zero mismatches") {
+		t.Fatalf("missing success line:\n%s", out.String())
+	}
+}
+
+func TestRunBenchWritesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_difftest.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-bench", path, "-bench-quick"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Bench  string `json:"bench"`
+		Sweeps []struct {
+			InstancesPerSec float64 `json:"instances_per_sec"`
+		} `json:"sweeps"`
+		OracleCurve []struct {
+			LineageWidth float64 `json:"lineage_width"`
+			NsPerCall    float64 `json:"ns_per_min_contingency"`
+		} `json:"exact_oracle_curve"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if rep.Bench != "difftest" || len(rep.Sweeps) == 0 || len(rep.OracleCurve) == 0 {
+		t.Fatalf("incomplete baseline: %s", raw)
+	}
+	for _, s := range rep.Sweeps {
+		if s.InstancesPerSec <= 0 {
+			t.Fatalf("non-positive sweep throughput: %s", raw)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/workload"
+)
+
+// cancelBatch builds a sizeable batch over a star instance (many
+// causes per request, so workers stay busy between cancellation
+// checks).
+func cancelBatch(t *testing.T) (*rel.Database, []BatchRequest) {
+	t.Helper()
+	db, q, _ := workload.Star(11, 12)
+	reqs := make([]BatchRequest, 512)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Query: q}
+	}
+	return db, reqs
+}
+
+// TestExplainBatchCancelMidRun: canceling mid-batch must return
+// promptly with the context's error and leave no worker goroutines
+// behind (a done-channel barrier plus a goroutine-count check, per
+// the harness's leak policy).
+func TestExplainBatchCancelMidRun(t *testing.T) {
+	db, reqs := cancelBatch(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Bool
+	factory := func(db *rel.Database, _ int, req BatchRequest) (*Engine, error) {
+		started.Store(true)
+		return NewRequestEngine(db, req)
+	}
+
+	type outcome struct {
+		results []BatchResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := ExplainBatch(ctx, db, reqs, BatchRunOptions{Workers: 4, NewEngine: factory})
+		done <- outcome{res, err}
+	}()
+	// Wait for the batch to actually be in flight, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for !started.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", out.err)
+		}
+		if out.results != nil {
+			t.Fatalf("canceled batch returned results (%d)", len(out.results))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ExplainBatch did not return after cancellation")
+	}
+
+	// All pool goroutines must drain back to baseline.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExplainBatchPreCanceled: an already-dead context must fail fast
+// without spawning any work.
+func TestExplainBatchPreCanceled(t *testing.T) {
+	db, reqs := cancelBatch(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	start := time.Now()
+	_, err := ExplainBatch(ctx, db, reqs, BatchRunOptions{
+		NewEngine: func(db *rel.Database, _ int, req BatchRequest) (*Engine, error) {
+			called = true
+			return NewRequestEngine(db, req)
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("engine factory ran despite pre-canceled context")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-canceled batch took %v", elapsed)
+	}
+}

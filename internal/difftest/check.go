@@ -1,0 +1,415 @@
+// Per-instance differential checking: one generated instance run
+// through every engine layer and compared against every applicable
+// oracle. All checks are deterministic, so a failing seed reproduces
+// the identical mismatch.
+
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/whyno"
+)
+
+// CheckOptions tunes the per-instance oracles. Zero values get
+// defaults; the caps bound the exponential oracles so sweeps stay
+// fast — instances over a cap simply skip that oracle (the Report's
+// coverage counters make skipped oracles visible).
+type CheckOptions struct {
+	// BruteVarCap: run the lineage-level brute-force oracle on Why-So
+	// causes when the minimal lineage has at most this many variables.
+	// Default 12.
+	BruteVarCap int
+	// NonCauseBruteCap: confirm non-causes by brute force (a full
+	// subset enumeration) when the lineage has at most this many
+	// variables. Default 9.
+	NonCauseBruteCap int
+	// NonCauseSample bounds how many non-causes per instance get the
+	// brute-force confirmation. Default 3.
+	NonCauseSample int
+	// WhyNoBruteEndoCap: run the Why-No database-level brute-force
+	// oracle when the instance has at most this many candidate tuples.
+	// Default 10.
+	WhyNoBruteEndoCap int
+	// DatalogAtomCap / DatalogTupleCap gate the Theorem 3.4 cause
+	// program cross-check (the program is exponential in the atom
+	// count). Defaults 3 and 40.
+	DatalogAtomCap  int
+	DatalogTupleCap int
+	// Metamorphic applies the mutation invariants.
+	Metamorphic bool
+	// Server, when non-nil, replays the instance through the HTTP
+	// server and requires byte-identical rankings.
+	Server *ServerDiff
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.BruteVarCap <= 0 {
+		o.BruteVarCap = 12
+	}
+	if o.NonCauseBruteCap <= 0 {
+		o.NonCauseBruteCap = 9
+	}
+	if o.NonCauseSample <= 0 {
+		o.NonCauseSample = 3
+	}
+	if o.WhyNoBruteEndoCap <= 0 {
+		o.WhyNoBruteEndoCap = 10
+	}
+	if o.DatalogAtomCap <= 0 {
+		o.DatalogAtomCap = 3
+	}
+	if o.DatalogTupleCap <= 0 {
+		o.DatalogTupleCap = 40
+	}
+	return o
+}
+
+// CheckStats reports which oracles a CheckInstance call exercised.
+type CheckStats struct {
+	FlowRanked         bool
+	ExactRanked        bool
+	BruteChecked       int
+	DatalogChecked     int
+	MetamorphicChecked int
+	ServerChecked      int
+}
+
+// CheckInstance runs the full differential battery on one instance.
+// A nil error means every layer agreed; a non-nil error describes the
+// first mismatch found.
+func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, error) {
+	opts = opts.withDefaults()
+	var stats CheckStats
+
+	eng, err := newEngine(inst)
+	if err != nil {
+		return stats, fmt.Errorf("%w: %v", ErrInvalidInstance, err)
+	}
+	causes := eng.Causes()
+	nl := eng.NLineage()
+	causeSet := make(map[rel.TupleID]bool, len(causes))
+	for _, id := range causes {
+		causeSet[id] = true
+	}
+
+	// Rankings under both modes must agree on (tuple, ρ, min|Γ|):
+	// wherever ModeAuto dispatches to the flow algorithm, this is the
+	// dichotomy's flow-vs-exact differential.
+	rankAuto, err := eng.RankAll(core.ModeAuto)
+	if err != nil {
+		return stats, fmt.Errorf("RankAll(auto): %v", err)
+	}
+	rankExact, err := eng.RankAll(core.ModeExact)
+	if err != nil {
+		return stats, fmt.Errorf("RankAll(exact): %v", err)
+	}
+	if err := equalSignatures("auto-vs-exact ranking", rankAuto, rankExact); err != nil {
+		return stats, err
+	}
+	for _, ex := range rankAuto {
+		switch ex.Method {
+		case core.MethodFlow:
+			stats.FlowRanked = true
+		case core.MethodExact:
+			stats.ExactRanked = true
+		}
+	}
+
+	// Well-formedness + definitional witness validation of every
+	// explanation.
+	if err := checkRankingShape(inst, causes, rankAuto); err != nil {
+		return stats, err
+	}
+	for _, ex := range rankAuto {
+		if err := validateWitness(inst, ex); err != nil {
+			return stats, err
+		}
+	}
+
+	// Dichotomy consistency: sound-classified PTIME and self-join-free
+	// means every non-counterfactual Why-So cause takes the flow path
+	// (no silent fallback to exact search).
+	if !inst.WhyNo && !inst.Query.HasSelfJoin() {
+		if cert, cerr := eng.Classification(); cerr == nil && cert.Class.PTime() {
+			for _, ex := range rankAuto {
+				if ex.ContingencySize > 0 && ex.Method != core.MethodFlow {
+					return stats, fmt.Errorf("dichotomy: query %v classified %v but cause %d used %v, not max-flow",
+						inst.Query, cert.Class, ex.Tuple, ex.Method)
+				}
+			}
+		}
+	}
+
+	// Brute-force oracles and the greedy upper bound.
+	n, err := checkOracles(inst, nl, causeSet, rankAuto, opts)
+	stats.BruteChecked += n
+	if err != nil {
+		return stats, err
+	}
+
+	// Theorem 3.4: the Datalog¬ cause program derives exactly the
+	// engine's cause set.
+	if len(inst.Query.Atoms) <= opts.DatalogAtomCap && inst.DB.NumTuples() <= opts.DatalogTupleCap {
+		dlCauses, _, derr := causegen.Causes(inst.DB, inst.Query)
+		if derr != nil {
+			return stats, fmt.Errorf("datalog cause program: %v", derr)
+		}
+		if !equalIDs(causes, dlCauses) {
+			return stats, fmt.Errorf("cause sets disagree: lineage says %v, Theorem 3.4 program says %v", causes, dlCauses)
+		}
+		stats.DatalogChecked++
+	}
+
+	if opts.Metamorphic {
+		n, err := checkMetamorphic(inst, rankAuto)
+		stats.MetamorphicChecked += n
+		if err != nil {
+			return stats, err
+		}
+	}
+
+	if opts.Server != nil {
+		if err := opts.Server.Check(inst, rankAuto); err != nil {
+			return stats, err
+		}
+		stats.ServerChecked++
+	}
+	return stats, nil
+}
+
+func newEngine(inst *causegen.Instance) (*core.Engine, error) {
+	if inst.WhyNo {
+		return core.NewWhyNo(inst.DB, inst.Query)
+	}
+	return core.NewWhySo(inst.DB, inst.Query)
+}
+
+// checkRankingShape validates the ranking's structural invariants:
+// exactly the cause set is ranked, ρ = 1/(1+min|Γ|) ∈ (0,1], the
+// contingency slice witnesses its size, and the order is the paper's
+// Fig. 2b ranking (descending ρ, ties by ascending tuple id).
+func checkRankingShape(inst *causegen.Instance, causes []rel.TupleID, rank []core.Explanation) error {
+	if len(rank) != len(causes) {
+		return fmt.Errorf("ranking has %d entries for %d causes", len(rank), len(causes))
+	}
+	ranked := make(map[rel.TupleID]bool, len(rank))
+	for i, ex := range rank {
+		if ranked[ex.Tuple] {
+			return fmt.Errorf("tuple %d ranked twice", ex.Tuple)
+		}
+		ranked[ex.Tuple] = true
+		if int(ex.Tuple) < 0 || int(ex.Tuple) >= inst.DB.NumTuples() || !inst.DB.Tuple(ex.Tuple).Endo {
+			return fmt.Errorf("ranked tuple %d is not an endogenous tuple", ex.Tuple)
+		}
+		if ex.ContingencySize < 0 || ex.Rho <= 0 {
+			return fmt.Errorf("cause %d reported as non-cause (ρ=%v, size=%d)", ex.Tuple, ex.Rho, ex.ContingencySize)
+		}
+		if want := 1 / (1 + float64(ex.ContingencySize)); math.Abs(ex.Rho-want) > 1e-12 {
+			return fmt.Errorf("cause %d: ρ=%v but min|Γ|=%d implies %v", ex.Tuple, ex.Rho, ex.ContingencySize, want)
+		}
+		if len(ex.Contingency) != ex.ContingencySize {
+			return fmt.Errorf("cause %d: contingency %v does not witness size %d", ex.Tuple, ex.Contingency, ex.ContingencySize)
+		}
+		if (ex.Rho == 1) != (ex.ContingencySize == 0) {
+			return fmt.Errorf("cause %d: counterfactual iff ρ=1 violated (ρ=%v, size=%d)", ex.Tuple, ex.Rho, ex.ContingencySize)
+		}
+		seen := make(map[rel.TupleID]bool, len(ex.Contingency))
+		for _, id := range ex.Contingency {
+			if id == ex.Tuple {
+				return fmt.Errorf("cause %d: contingency contains the cause itself", ex.Tuple)
+			}
+			if seen[id] {
+				return fmt.Errorf("cause %d: duplicate %d in contingency", ex.Tuple, id)
+			}
+			seen[id] = true
+			if int(id) < 0 || int(id) >= inst.DB.NumTuples() || !inst.DB.Tuple(id).Endo {
+				return fmt.Errorf("cause %d: contingency member %d is not endogenous", ex.Tuple, id)
+			}
+		}
+		if i > 0 {
+			prev := rank[i-1]
+			if ex.Rho > prev.Rho || (ex.Rho == prev.Rho && ex.Tuple < prev.Tuple) {
+				return fmt.Errorf("ranking out of order at %d: (%v,%d) after (%v,%d)", i, ex.Rho, ex.Tuple, prev.Rho, prev.Tuple)
+			}
+		}
+	}
+	for _, id := range causes {
+		if !ranked[id] {
+			return fmt.Errorf("cause %d missing from ranking", id)
+		}
+	}
+	return nil
+}
+
+// validateWitness checks the returned contingency set against the
+// database by definition, independently of the lineage machinery.
+//
+// Why-So (Definition 2.3): q must still hold after removing Γ and
+// fail after removing Γ ∪ {t}.
+//
+// Why-No (Theorem 4.17, insertion semantics): q must fail on
+// Dˣ ∪ Γ and hold on Dˣ ∪ Γ ∪ {t}.
+func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
+	if inst.WhyNo {
+		absent := make(map[rel.TupleID]bool)
+		inΓ := make(map[rel.TupleID]bool, len(ex.Contingency))
+		for _, id := range ex.Contingency {
+			inΓ[id] = true
+		}
+		for _, id := range inst.DB.EndoIDs() {
+			if !inΓ[id] {
+				absent[id] = true
+			}
+		}
+		// Dˣ ∪ Γ: every candidate outside Γ (t included) removed.
+		held, err := rel.HoldsWithout(inst.DB, inst.Query, absent)
+		if err != nil {
+			return err
+		}
+		if held {
+			return fmt.Errorf("whyno cause %d: q already holds on Dˣ ∪ Γ for Γ=%v", ex.Tuple, ex.Contingency)
+		}
+		delete(absent, ex.Tuple)
+		held, err = rel.HoldsWithout(inst.DB, inst.Query, absent)
+		if err != nil {
+			return err
+		}
+		if !held {
+			return fmt.Errorf("whyno cause %d: q does not hold on Dˣ ∪ Γ ∪ {t} for Γ=%v", ex.Tuple, ex.Contingency)
+		}
+		return nil
+	}
+	removed := make(map[rel.TupleID]bool, len(ex.Contingency)+1)
+	for _, id := range ex.Contingency {
+		removed[id] = true
+	}
+	held, err := rel.HoldsWithout(inst.DB, inst.Query, removed)
+	if err != nil {
+		return err
+	}
+	if !held {
+		return fmt.Errorf("whyso cause %d: q fails after removing Γ=%v alone", ex.Tuple, ex.Contingency)
+	}
+	removed[ex.Tuple] = true
+	held, err = rel.HoldsWithout(inst.DB, inst.Query, removed)
+	if err != nil {
+		return err
+	}
+	if held {
+		return fmt.Errorf("whyso cause %d: q still holds after removing Γ ∪ {t}, Γ=%v", ex.Tuple, ex.Contingency)
+	}
+	return nil
+}
+
+// checkOracles confirms every reported minimum against the
+// definition-level brute-force searches and the greedy upper bound,
+// and spot-checks that non-causes admit no contingency at all.
+// Returns the number of brute-force comparisons performed.
+func checkOracles(inst *causegen.Instance, nl lineage.DNF, causeSet map[rel.TupleID]bool, rank []core.Explanation, opts CheckOptions) (int, error) {
+	checked := 0
+	if inst.WhyNo {
+		if len(inst.DB.EndoIDs()) > opts.WhyNoBruteEndoCap {
+			return 0, nil
+		}
+		for _, ex := range rank {
+			size, ok, err := whyno.BruteForceMinContingency(inst.DB, inst.Query, ex.Tuple)
+			if err != nil {
+				return checked, err
+			}
+			checked++
+			if !ok || size != ex.ContingencySize {
+				return checked, fmt.Errorf("whyno cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
+					ex.Tuple, ex.ContingencySize, size, ok)
+			}
+		}
+		sampled := 0
+		for _, id := range inst.DB.EndoIDs() {
+			if causeSet[id] || sampled >= opts.NonCauseSample {
+				continue
+			}
+			sampled++
+			size, ok, err := whyno.BruteForceMinContingency(inst.DB, inst.Query, id)
+			if err != nil {
+				return checked, err
+			}
+			checked++
+			if ok {
+				return checked, fmt.Errorf("whyno non-cause %d: brute force found contingency of size %d", id, size)
+			}
+		}
+		return checked, nil
+	}
+
+	vars := nl.Vars()
+	for _, ex := range rank {
+		if len(vars) <= opts.BruteVarCap {
+			size, ok := exact.BruteForceMinContingency(nl, ex.Tuple)
+			checked++
+			if !ok || size != ex.ContingencySize {
+				return checked, fmt.Errorf("whyso cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
+					ex.Tuple, ex.ContingencySize, size, ok)
+			}
+		}
+		g, gOK := exact.GreedyMinContingency(nl, ex.Tuple)
+		if !gOK {
+			return checked, fmt.Errorf("whyso cause %d: greedy misreports a cause as a non-cause", ex.Tuple)
+		}
+		if g < ex.ContingencySize {
+			return checked, fmt.Errorf("whyso cause %d: greedy %d undercuts exact minimum %d", ex.Tuple, g, ex.ContingencySize)
+		}
+	}
+	if len(vars) <= opts.NonCauseBruteCap {
+		sampled := 0
+		for _, id := range inst.DB.EndoIDs() {
+			if causeSet[id] || sampled >= opts.NonCauseSample {
+				continue
+			}
+			sampled++
+			size, ok := exact.BruteForceMinContingency(nl, id)
+			checked++
+			if ok {
+				return checked, fmt.Errorf("whyso non-cause %d: brute force found contingency of size %d", id, size)
+			}
+			if g, gOK := exact.GreedyMinContingency(nl, id); gOK {
+				return checked, fmt.Errorf("whyso non-cause %d: greedy claims a contingency of size %d", id, g)
+			}
+		}
+	}
+	return checked, nil
+}
+
+func equalIDs(a, b []rel.TupleID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalSignatures compares two rankings on (tuple, ρ, min|Γ|) — the
+// values the dichotomy theorem pins down, independent of which
+// algorithm computed them or which of several minimum contingency
+// sets it returned.
+func equalSignatures(what string, a, b []core.Explanation) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s: %d vs %d entries", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Tuple != b[i].Tuple || a[i].Rho != b[i].Rho || a[i].ContingencySize != b[i].ContingencySize {
+			return fmt.Errorf("%s: entry %d differs: (%d, ρ=%v, |Γ|=%d) vs (%d, ρ=%v, |Γ|=%d)",
+				what, i, a[i].Tuple, a[i].Rho, a[i].ContingencySize, b[i].Tuple, b[i].Rho, b[i].ContingencySize)
+		}
+	}
+	return nil
+}

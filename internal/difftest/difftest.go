@@ -1,0 +1,303 @@
+// Package difftest is the differential and metamorphic testing harness
+// that backs the repository's correctness story for the paper's
+// dichotomy (Corollary 4.14): on the PTIME side the max-flow engine
+// must agree *exactly* with brute-force search on every instance, and
+// on the NP-hard side the exact solvers must agree with the
+// definition-level oracles.
+//
+// The harness generates seeded random workloads (internal/causegen's
+// RandomInstance), runs every engine layer against every applicable
+// oracle, and checks paper-derived metamorphic invariants:
+//
+//   - ModeAuto vs ModeExact rankings agree on (tuple, ρ, min|Γ|) for
+//     every instance (flow == exact wherever flow dispatches).
+//   - Every returned contingency set is witness-validated against the
+//     database by definition: removing Γ keeps the query true and
+//     removing Γ ∪ {t} falsifies it (Why-So), resp. the insertion
+//     semantics of Theorem 4.17 (Why-No).
+//   - ρ = 1 ⇔ min|Γ| = 0 ⇔ t is counterfactual.
+//   - Brute-force oracles (exact.BruteForceMinContingency on the
+//     lineage, whyno.BruteForceMinContingency on the database) confirm
+//     every reported minimum on small instances, and confirm that
+//     non-causes have no contingency at all.
+//   - exact.GreedyMinContingency only over-approximates: it agrees on
+//     causehood and never undercuts the minimum.
+//   - The Theorem 3.4 Datalog¬ cause program derives exactly the
+//     engine's cause set on small instances.
+//   - Dichotomy consistency: a query the sound classifier calls
+//     (weakly) linear with no self-join takes the flow path for every
+//     non-counterfactual cause.
+//   - Metamorphic invariances: duplicating an exogenous tuple,
+//     marking a non-cause endogenous tuple exogenous, and growing the
+//     database by a relation the query never mentions all leave the
+//     ranking's (tuple, ρ, min|Γ|) signature unchanged.
+//   - Server differential: the same instance replayed through
+//     internal/server over httptest yields byte-identical rankings.
+//
+// Every instance derives from a single int64 seed, so any CI failure
+// reproduces with one command (printed on failure):
+//
+//	go test ./internal/difftest -run 'TestDifferentialSweep$' -args -seed=<N> -n=1
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+)
+
+// Options configures a differential sweep.
+type Options struct {
+	// Seed is the base seed; instance i uses seed Seed+i, so replaying
+	// a failure needs only the failing instance's derived seed with
+	// N=1.
+	Seed int64
+	// N is the number of instances to generate and check.
+	N int
+	// Workers bounds the sweep's parallelism (core.ResolveWorkers
+	// semantics; <= 0 means GOMAXPROCS).
+	Workers int
+	// Gen bounds the workload generator (zero value = defaults).
+	Gen causegen.GenConfig
+	// Check tunes the per-instance oracles (zero value = defaults).
+	Check CheckOptions
+	// Server, when non-nil, replays instances through the HTTP server
+	// and compares rankings byte-for-byte.
+	Server *ServerDiff
+	// ServerEvery replays every k-th instance through Server (default
+	// 8; 1 = every instance). Ignored when Server is nil.
+	ServerEvery int
+	// MetamorphicEvery applies the metamorphic invariants to every
+	// k-th instance (default 1 = every instance; <0 disables).
+	MetamorphicEvery int
+	// MaxMismatches stops the sweep early once this many mismatches
+	// are collected (default 5).
+	MaxMismatches int
+	// Progress, when non-nil, receives the running instance count
+	// roughly every ProgressEvery instances (default 1000). Callbacks
+	// are serialized; the writer behind them needs no locking.
+	Progress      func(done int)
+	ProgressEvery int
+}
+
+// ShrinkCheck returns the per-instance CheckOptions matching what the
+// sweep actually applied — metamorphic and server checks included —
+// so shrinking and re-checking a mismatch uses the same predicate
+// that found it.
+func (o Options) ShrinkCheck() CheckOptions {
+	o = o.withDefaults()
+	chk := o.Check
+	chk.Metamorphic = o.MetamorphicEvery > 0
+	chk.Server = o.Server
+	return chk
+}
+
+func (o Options) withDefaults() Options {
+	if o.ServerEvery <= 0 {
+		o.ServerEvery = 8
+	}
+	if o.MetamorphicEvery == 0 {
+		o.MetamorphicEvery = 1
+	}
+	if o.MaxMismatches <= 0 {
+		o.MaxMismatches = 5
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 1000
+	}
+	return o
+}
+
+// SweepGen is the canonical generator configuration: the one
+// TestDifferentialSweep, FuzzDifferential, and cmd/fuzzcause's default
+// flags all use, and the one the bare go-test replay command
+// reproduces. Sweeps under any other configuration get a fuzzcause
+// replay command spelling the full configuration out.
+var SweepGen = causegen.GenConfig{MaxAtoms: 4, MaxArity: 3, TuplesPerRelation: 7}
+
+// Mismatch is one instance on which two layers disagreed.
+type Mismatch struct {
+	// Seed replays the instance: RandomInstance(Seed, Gen), or the
+	// ReplayCommand below.
+	Seed int64
+	// Gen is the generator configuration the instance was drawn under;
+	// replaying with a different configuration yields a different
+	// instance.
+	Gen causegen.GenConfig
+	// Check is the per-instance oracle configuration the sweep ran
+	// with; non-default caps can widen what counts as a mismatch.
+	Check    CheckOptions
+	Index    int
+	Err      error
+	Instance *causegen.Instance
+}
+
+// ReplayCommand returns the one-command reproduction for this
+// mismatch. Instance generation depends on (seed, config), so a sweep
+// run under a non-canonical configuration replays through fuzzcause
+// with every generator knob pinned.
+func (m Mismatch) ReplayCommand() string {
+	if m.Gen.Normalize() == SweepGen.Normalize() {
+		return fmt.Sprintf("go test ./internal/difftest -run 'TestDifferentialSweep$' -args -seed=%d -n=1", m.Seed) + m.checkCaveat()
+	}
+	// Normalized probabilities are never 0 (zero means "default" on the
+	// config surface; disabled ones stay negative), so the rendered
+	// flags survive fuzzcause's own 0-means-default translation.
+	g := m.Gen.Normalize()
+	cmd := fmt.Sprintf("go run ./cmd/fuzzcause -seed %d -n 1 -max-atoms %d -max-arity %d -max-vars %d -domain %d -tuples %d -exo-prob %g -const-prob %g -whyno-prob %g -selfjoin-prob %g",
+		m.Seed, g.MaxAtoms, g.MaxArity, g.MaxVars, g.DomainSize, g.TuplesPerRelation,
+		g.ExoProb, g.ConstProb, g.WhyNoProb, g.SelfJoinProb)
+	return cmd + m.checkCaveat()
+}
+
+// checkCaveat flags replay commands that cannot pin non-default
+// oracle caps: the command regenerates the identical instance, but a
+// mismatch only visible under widened caps (e.g. a raised BruteVarCap
+// admitting a bigger brute-force oracle) needs the original
+// CheckOptions re-applied through the library API.
+func (m Mismatch) checkCaveat() string {
+	if m.Check == (CheckOptions{}) || m.Check == (CheckOptions{}).withDefaults() {
+		return ""
+	}
+	return "  # non-default CheckOptions were in effect; replay via difftest.CheckInstance with the sweep's Options.Check"
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("instance %d (seed %d): %v\nreplay: %s", m.Index, m.Seed, m.Err, m.ReplayCommand())
+}
+
+// Report summarizes a sweep. The coverage counters let callers assert
+// the sweep actually exercised each oracle (a harness that silently
+// skips its oracles reads as green).
+type Report struct {
+	Instances int
+	WhySo     int
+	WhyNo     int
+	// FlowRanked counts instances where at least one cause took the
+	// max-flow path (the dichotomy's PTIME side under test).
+	FlowRanked int
+	// ExactRanked counts instances where at least one cause took the
+	// exact branch-and-bound path (the NP-hard side).
+	ExactRanked int
+	// BruteChecked counts brute-force oracle comparisons performed.
+	BruteChecked int
+	// DatalogChecked counts instances cross-checked against the
+	// Theorem 3.4 cause program.
+	DatalogChecked int
+	// MetamorphicChecked counts metamorphic mutations validated.
+	MetamorphicChecked int
+	// ServerChecked counts instances replayed through the server.
+	ServerChecked int
+	Mismatches    []Mismatch
+	Elapsed       time.Duration
+}
+
+// InstancesPerSec is the sweep throughput.
+func (r *Report) InstancesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Instances) / r.Elapsed.Seconds()
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d datalog=%d metamorphic=%d server=%d; mismatches=%d",
+		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked,
+		len(r.Mismatches))
+}
+
+// Run executes a differential sweep: N seeded instances generated,
+// checked against every oracle, fanned out across a worker pool.
+// Mismatches are collected in the report (up to MaxMismatches, then
+// the sweep stops early); Run returns a non-nil error only when ctx is
+// canceled before completion.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{}
+	if opts.N <= 0 {
+		return rep, ctx.Err()
+	}
+	start := time.Now()
+
+	var (
+		mu        sync.Mutex
+		whySo     atomic.Int64
+		whyNo     atomic.Int64
+		flow      atomic.Int64
+		exactN    atomic.Int64
+		brute     atomic.Int64
+		datalog   atomic.Int64
+		metamorph atomic.Int64
+		serverN   atomic.Int64
+		done      atomic.Int64
+	)
+	sweepCtx, stop := context.WithCancel(ctx)
+	defer stop()
+
+	workers := core.ResolveWorkers(opts.Workers)
+	core.ForEachIndex(sweepCtx, opts.N, workers, func() func(int) {
+		return func(i int) {
+			seed := opts.Seed + int64(i)
+			inst := causegen.RandomInstance(seed, opts.Gen)
+			if inst.WhyNo {
+				whyNo.Add(1)
+			} else {
+				whySo.Add(1)
+			}
+			chk := opts.Check
+			chk.Metamorphic = opts.MetamorphicEvery > 0 && i%opts.MetamorphicEvery == 0
+			if opts.Server != nil && i%opts.ServerEvery == 0 {
+				chk.Server = opts.Server
+			}
+			stats, err := CheckInstance(inst, chk)
+			if stats.FlowRanked {
+				flow.Add(1)
+			}
+			if stats.ExactRanked {
+				exactN.Add(1)
+			}
+			brute.Add(int64(stats.BruteChecked))
+			datalog.Add(int64(stats.DatalogChecked))
+			metamorph.Add(int64(stats.MetamorphicChecked))
+			serverN.Add(int64(stats.ServerChecked))
+			if err != nil {
+				mu.Lock()
+				rep.Mismatches = append(rep.Mismatches, Mismatch{Seed: seed, Gen: opts.Gen, Check: opts.Check, Index: i, Err: err, Instance: inst})
+				if len(rep.Mismatches) >= opts.MaxMismatches {
+					stop()
+				}
+				mu.Unlock()
+			}
+			if n := done.Add(1); opts.Progress != nil && n%int64(opts.ProgressEvery) == 0 {
+				// Serialize callbacks: workers may cross interval
+				// boundaries simultaneously, and callers pass unguarded
+				// writers.
+				mu.Lock()
+				opts.Progress(int(n))
+				mu.Unlock()
+			}
+		}
+	})
+	rep.Instances = int(done.Load())
+	rep.WhySo = int(whySo.Load())
+	rep.WhyNo = int(whyNo.Load())
+	rep.FlowRanked = int(flow.Load())
+	rep.ExactRanked = int(exactN.Load())
+	rep.BruteChecked = int(brute.Load())
+	rep.DatalogChecked = int(datalog.Load())
+	rep.MetamorphicChecked = int(metamorph.Load())
+	rep.ServerChecked = int(serverN.Load())
+	rep.Elapsed = time.Since(start)
+	// Early stop on mismatch budget is not a caller error; only the
+	// caller's own cancellation is.
+	if err := ctx.Err(); err != nil && len(rep.Mismatches) < opts.MaxMismatches {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+// Textual instance serialization, so minimized failing instances can
+// be checked into testdata/ as regression tests and replayed without
+// their generating seed.
+//
+// Format: a "query:" line (parser query syntax), a "whyno:" line, and
+// the database in the parser's tuple-line format:
+//
+//	query: q :- R0(x0,x1), R1(x1)
+//	whyno: false
+//	+R0(d0, d1)
+//	-R1(d1)
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/parser"
+)
+
+// Encode renders the instance in the textual regression format.
+func Encode(inst *causegen.Instance) (string, error) {
+	db, err := parser.FormatDatabase(inst.DB)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("query: %s\nwhyno: %v\n%s", inst.Query, inst.WhyNo, db), nil
+}
+
+// Decode parses the regression format back into an instance. '#'
+// comment lines and blank lines are ignored.
+func Decode(s string) (*causegen.Instance, error) {
+	inst := &causegen.Instance{}
+	var dbLines []string
+	sawQuery := false
+	for i, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+		case strings.HasPrefix(trimmed, "query:"):
+			q, err := parser.ParseQuery(strings.TrimSpace(strings.TrimPrefix(trimmed, "query:")))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			inst.Query = q
+			sawQuery = true
+		case strings.HasPrefix(trimmed, "whyno:"):
+			switch v := strings.TrimSpace(strings.TrimPrefix(trimmed, "whyno:")); v {
+			case "true":
+				inst.WhyNo = true
+			case "false":
+				inst.WhyNo = false
+			default:
+				return nil, fmt.Errorf("line %d: whyno must be true or false, got %q", i+1, v)
+			}
+		default:
+			dbLines = append(dbLines, line)
+		}
+	}
+	if !sawQuery {
+		return nil, fmt.Errorf("difftest: instance has no query: line")
+	}
+	db, err := parser.ParseDatabase(strings.NewReader(strings.Join(dbLines, "\n")))
+	if err != nil {
+		return nil, err
+	}
+	inst.DB = db
+	if inst.Query.IsBoolean() {
+		return inst, nil
+	}
+	return nil, fmt.Errorf("difftest: instance query %v is not Boolean", inst.Query)
+}

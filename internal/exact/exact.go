@@ -267,11 +267,21 @@ func BruteForceMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 }
 
 // GreedyMinContingency computes an upper bound on the minimum
-// contingency by greedy hitting: protect the smallest conjunct
-// containing t, then repeatedly pick the allowed element covering the
-// most uncovered targets. Used as a polynomial-time baseline in
-// benchmarks; not exact.
+// contingency by greedy hitting: protect a conjunct containing t, then
+// repeatedly pick the allowed element covering the most uncovered
+// targets. Used as a polynomial-time baseline in benchmarks; not exact
+// — but it over-approximates only: it reports ok on exactly the actual
+// causes, and its size is never below the true minimum.
+//
+// The input is minimized first (RemoveRedundant). On a non-minimal
+// DNF, a conjunct containing t may strictly contain a target conjunct,
+// which would make that protection choice infeasible; minimization
+// rules this out, and every remaining protection choice is tried so a
+// single unlucky pick cannot misreport a cause as a non-cause (a bug
+// the differential harness's DNF fuzzing surfaced; see
+// internal/difftest/testdata/greedy_nonminimal.dnf).
 func GreedyMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
+	d = lineage.RemoveRedundant(d)
 	if d.True {
 		return 0, false
 	}
@@ -280,7 +290,28 @@ func GreedyMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 		return 0, false
 	}
 	sort.Slice(protectable, func(i, j int) bool { return len(protectable[i]) < len(protectable[j]) })
-	p := protectable[0]
+	best := -1
+	for _, p := range protectable {
+		size, ok := greedyHit(d, t, p)
+		if ok && (best < 0 || size < best) {
+			best = size
+			if best == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// greedyHit runs one greedy hitting pass with conjunct p protected:
+// every conjunct not containing t must be hit by elements outside
+// p ∪ {t}. ok=false when some target consists solely of forbidden
+// elements (impossible on minimal DNFs, where no target is a subset of
+// a protected conjunct).
+func greedyHit(d lineage.DNF, t rel.TupleID, p lineage.Conjunct) (int, bool) {
 	forbidden := make(map[rel.TupleID]bool, len(p)+1)
 	for _, id := range p {
 		forbidden[id] = true

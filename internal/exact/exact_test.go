@@ -159,19 +159,42 @@ func TestGreedyIsUpperBound(t *testing.T) {
 				continue
 			}
 			if !gOK {
-				// Greedy protects only the smallest conjunct; it may
-				// declare infeasible where another protected conjunct
-				// works. That is allowed for a baseline, but must not
-				// happen when the optimum is 0 (counterfactual).
-				if opt == 0 {
-					t.Fatalf("greedy missed counterfactual: DNF %v var %d", d, v)
-				}
-				continue
+				// Greedy now tries every protection choice, so it must
+				// agree with the exact solver on causehood.
+				t.Fatalf("greedy misreported cause as non-cause: DNF %v var %d (optimum %d)", d, v, opt)
 			}
 			if g < opt {
 				t.Fatalf("greedy %d < optimum %d for DNF %v var %d", g, opt, d, v)
 			}
 		}
+	}
+}
+
+// Regression (surfaced by the differential harness's DNF fuzzing, see
+// internal/difftest): on a non-minimal DNF the old greedy protected
+// only the smallest conjunct containing t. With d = ta ∨ a ∨ tcd and
+// t=0, the smallest protection {t,a} forbids a, making the target {a}
+// unhittable, and greedy misreported the actual cause t as a
+// non-cause. Minimizing first (which drops ta, dominated by a) and
+// trying every protection choice fixes it: min|Γ| = 1 via Γ = {a},
+// protecting tcd.
+func TestGreedyNonMinimalRegression(t *testing.T) {
+	const tp, a, c, d = rel.TupleID(0), rel.TupleID(1), rel.TupleID(2), rel.TupleID(3)
+	dnf := lineage.DNF{Conjuncts: []lineage.Conjunct{
+		lineage.NewConjunct(tp, a),
+		lineage.NewConjunct(a),
+		lineage.NewConjunct(tp, c, d),
+	}}
+	wantSize, wantOK := BruteForceMinContingency(dnf, tp)
+	if !wantOK || wantSize != 1 {
+		t.Fatalf("oracle: got (%d,%v), want (1,true)", wantSize, wantOK)
+	}
+	g, gOK := GreedyMinContingency(dnf, tp)
+	if !gOK {
+		t.Fatalf("greedy misreported cause as non-cause on non-minimal DNF %v", dnf)
+	}
+	if g < wantSize {
+		t.Fatalf("greedy %d under-reports minimum %d", g, wantSize)
 	}
 }
 

@@ -1,0 +1,105 @@
+// Native fuzz targets for the textual formats: neither parser may
+// ever panic, and everything that parses must survive the
+// format/reparse round-trip unchanged — the differential harness's
+// server replay and testdata regressions both depend on it.
+//
+// The seed corpus mirrors the inputs under examples/ (the quickstart
+// Example 2.2 data, the whynot real database, the dichotomy query
+// zoo) plus edge cases of the quoting grammar.
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDatabase: ParseDatabase must never panic; what parses must
+// round-trip byte-identically through FormatDatabase (same relations,
+// tuples, IDs, endo flags).
+func FuzzParseDatabase(f *testing.F) {
+	seeds := []string{
+		// examples/quickstart (Example 2.2), in tuple-line form.
+		"+R(a1, a5)\n+R(a2, a1)\n+R(a3, a3)\n+R(a4, a3)\n+R(a4, a2)\n+S(a1)\n+S(a2)\n+S(a3)\n+S(a4)\n+S(a6)\n",
+		// examples/whynot: exogenous real database with comments.
+		"\n# Real database (exogenous): courses taken by students.\n-Took(alice, databases)\n-Took(alice, algorithms)\n-Took(bob, databases)\n# Honors requirements met (exogenous).\n-Honors(algorithms)\n-Honors(theory)\n",
+		// Quoting edge cases the grammar must round-trip.
+		"+R('a,b', \"c'd\")\n-S('with space', '#hash')\n+T('', x)\n",
+		"+R(1, 23x)\n-R(9, 0)\n",
+		"# only comments\n\n   \n",
+		"+R(a)\n+R(a)\n", // duplicate rows are permitted
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ParseDatabase(strings.NewReader(input))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		text, err := FormatDatabase(db)
+		if err != nil {
+			// Only values the line grammar cannot represent may be
+			// refused, and none of them can come from the line grammar.
+			t.Fatalf("FormatDatabase rejected a parsed database: %v\ninput: %q", err, input)
+		}
+		db2, err := ParseDatabase(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nformatted: %q", err, text)
+		}
+		if db.NumTuples() != db2.NumTuples() {
+			t.Fatalf("round-trip changed tuple count: %d -> %d\ninput: %q", db.NumTuples(), db2.NumTuples(), input)
+		}
+		for _, tup := range db.Tuples() {
+			got := db2.Tuple(tup.ID)
+			if got.Rel != tup.Rel || got.Endo != tup.Endo || len(got.Args) != len(tup.Args) {
+				t.Fatalf("round-trip changed tuple %d: %v -> %v", tup.ID, tup, got)
+			}
+			for i := range tup.Args {
+				if got.Args[i] != tup.Args[i] {
+					t.Fatalf("round-trip changed tuple %d arg %d: %q -> %q", tup.ID, i, tup.Args[i], got.Args[i])
+				}
+			}
+		}
+		text2, err := FormatDatabase(db2)
+		if err != nil || text2 != text {
+			t.Fatalf("format not a fixpoint: %q vs %q (err %v)", text, text2, err)
+		}
+	})
+}
+
+// FuzzParseQuery: ParseQuery must never panic; what parses must
+// round-trip through Query.String unchanged.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		// examples/quickstart and examples/whynot.
+		"q(x) :- R(x,y), S(y)",
+		"deans(s) :- Took(s, c), Honors(c)",
+		// examples/dichotomy: the paper's query zoo.
+		"q :- R(x,y), S(y,z)",
+		"q :- R(x,y), S(y,z), T(z,x)",
+		"q :- R(x,y), S(y,z), T(z,u), K(u,x)",
+		"q :- A(x), B(y), C(z), W(x,y,z)",
+		"q :- R(x,y), S(y,z), T(z,x), V(x)",
+		// Constants, quoting, numbers, bound heads.
+		"q :- R('a4',y), S(y)",
+		"q(x,x) :- R(x, 'a b'), S(\"c,d\", 3)",
+		"q('k') :- R(1, x0_y)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := ParseQuery(input)
+		if err != nil {
+			return
+		}
+		s := q.String()
+		q2, err := ParseQuery(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", s, input, err)
+		}
+		if s2 := q2.String(); s2 != s {
+			t.Fatalf("round-trip changed query: %q -> %q (input %q)", s, s2, input)
+		}
+	})
+}

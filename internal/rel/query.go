@@ -23,6 +23,12 @@ func (t Term) String() string {
 	if t.IsVar {
 		return t.Var
 	}
+	// Pick the quote character the constant does not contain, so the
+	// rendering reparses (the query grammar has no escapes; the parser
+	// rejects constants holding both quote characters).
+	if strings.Contains(string(t.Const), "'") {
+		return `"` + string(t.Const) + `"`
+	}
 	return "'" + string(t.Const) + "'"
 }
 
