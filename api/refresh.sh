@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerates the golden public-API surface after an intentional
+# change. CI diffs `go doc -all .` against api/querycause.txt.
+set -eu
+cd "$(dirname "$0")/.."
+go doc -all . > api/querycause.txt
+echo "api/querycause.txt refreshed"

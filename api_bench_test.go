@@ -1,0 +1,139 @@
+// Benchmarks behind BENCH_api.json: what the Session API redesign
+// buys in wall-clock terms. E20 measures streaming's
+// time-to-first-explanation against the full blocking ranking on an
+// NP-hard instance (h₁* star — one exact branch-and-bound search per
+// cause, so the blocking call pays for all searches before returning
+// anything). E21 measures the per-explain overhead of the HTTP
+// transport: the identical Session calls through Open vs a Dial'ed
+// httptest server, warm engine cache on both sides.
+package querycause_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/server"
+	"github.com/querycause/querycause/internal/workload"
+)
+
+// benchStarRanking opens a Ranking over an NP-hard star instance.
+func benchStarRanking(b *testing.B, sess qc.Session, q *qc.Query) qc.Ranking {
+	b.Helper()
+	r, err := sess.WhySo(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkE20_StreamTTFE: full-rank is the blocking Rank over every
+// cause of the star; first-explanation breaks out of RankStream after
+// the first yield. The gap between the two is the streaming win: the
+// first explanation costs one exact search instead of all of them.
+func BenchmarkE20_StreamTTFE(b *testing.B) {
+	db, q, _ := workload.Star(7, 12)
+	sess, err := qc.Open(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+
+	b.Run("full-rank", func(b *testing.B) {
+		r := benchStarRanking(b, sess, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Rank(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("first-explanation", func(b *testing.B) {
+		r := benchStarRanking(b, sess, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got := 0
+			for _, serr := range r.RankStream(context.Background()) {
+				if serr != nil {
+					b.Fatal(serr)
+				}
+				got++
+				break
+			}
+			if got != 1 {
+				b.Fatal("stream yielded nothing")
+			}
+		}
+	})
+}
+
+// BenchmarkE21_TransportOverhead: one warm why-so explain (open the
+// ranking, rank it) through each transport on the Fig. 2 IMDB
+// micro-instance. The difference is pure API overhead — JSON, HTTP,
+// rehydration — since the server's engine cache is warm.
+func BenchmarkE21_TransportOverhead(b *testing.B) {
+	db, _ := imdb.Micro()
+	q := imdb.GenreQuery()
+
+	run := func(b *testing.B, sess qc.Session) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			r, err := sess.WhySo(context.Background(), q, "Musical")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Rank(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("local", func(b *testing.B) {
+		sess, err := qc.Open(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		run(b, sess)
+	})
+	b.Run("remote", func(b *testing.B) {
+		srv := server.New(server.Config{ReapInterval: -1})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		sess, err := qc.Dial(context.Background(), ts.URL, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		run(b, sess)
+	})
+	b.Run("remote-stream", func(b *testing.B) {
+		srv := server.New(server.Config{ReapInterval: -1})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		sess, err := qc.Dial(context.Background(), ts.URL, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		for i := 0; i < b.N; i++ {
+			r, err := sess.WhySo(context.Background(), q, "Musical")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, serr := range r.RankStream(context.Background()) {
+				if serr != nil {
+					b.Fatal(serr)
+				}
+			}
+		}
+	})
+}

@@ -7,6 +7,9 @@ import (
 )
 
 // BatchOptions configures the parallel explanation entry points.
+//
+// Deprecated: the Session API folds these knobs into functional
+// options — WithParallelism and WithMode on Open/Dial or per call.
 type BatchOptions struct {
 	// Parallelism is the worker count. Values <= 0 mean
 	// runtime.GOMAXPROCS(0); 1 forces the serial path.
@@ -23,6 +26,8 @@ type BatchOptions struct {
 // solver on the NP-hard side. The ranking is byte-identical to Rank
 // (same causes, same ρ, same order) for every parallelism degree; ctx
 // cancels between per-cause computations.
+//
+// Deprecated: use Ranking.Rank(ctx, WithParallelism(n)) on a Session.
 func (e *Explainer) RankParallel(ctx context.Context, opts BatchOptions) ([]Explanation, error) {
 	return e.eng.RankAllParallel(ctx, opts.Mode, core.ParallelOptions{Workers: opts.Parallelism})
 }
@@ -63,6 +68,9 @@ type BatchResult struct {
 // internal/core, which the querycaused server shares: the server plugs
 // a cache-backed engine factory into the same fan-out, so library and
 // server batches have identical semantics.
+//
+// Deprecated: use Session.ExplainAll(ctx, reqs, opts...), which runs
+// the same fan-out on either transport.
 func ExplainAll(ctx context.Context, db *Database, reqs []BatchRequest, opts BatchOptions) ([]BatchResult, error) {
 	creqs := make([]core.BatchRequest, len(reqs))
 	for i, r := range reqs {

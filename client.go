@@ -1,15 +1,20 @@
 package querycause
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/server"
 )
 
@@ -38,71 +43,185 @@ type (
 	BatchItemResult = server.BatchItemResult
 	// ServerStats is the /v1/stats payload.
 	ServerStats = server.StatsResponse
+	// CausesRequest asks for the actual causes of one (non-)answer
+	// without ranking them.
+	CausesRequest = server.CausesRequest
+	// CausesResponse lists the causes as tuple ids.
+	CausesResponse = server.CausesResponse
+	// StreamExplainRequest asks for an NDJSON streamed ranking.
+	StreamExplainRequest = server.StreamExplainRequest
+	// StreamEvent is one NDJSON line of a streamed ranking.
+	StreamEvent = server.StreamEvent
+	// StreamDone is the terminal event of a successful stream.
+	StreamDone = server.StreamDone
 )
 
 // Client is a thin Go client for a querycaused server.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retries int
 }
 
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8347"). httpClient may be nil for
 // http.DefaultClient.
+//
+// Idempotent GETs (health, stats, session listings) are retried up to
+// two extra times on transport errors and gateway-style statuses (502,
+// 503, 504) with a short flat backoff — no Retry-After parsing.
+// Non-GET requests are never retried. SetRetries adjusts or disables
+// the behaviour.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient, retries: defaultGETRetries}
 }
 
-// APIError is a non-2xx server response.
+const defaultGETRetries = 2
+
+// getRetryBackoff is flat and short: these are in-datacenter health
+// and stats probes, not user-facing calls worth an exponential wait.
+var getRetryBackoff = 50 * time.Millisecond
+
+// SetRetries sets how many extra attempts an idempotent GET gets after
+// a transport error or a 502/503/504 (0 disables retries). It returns
+// the client for chaining and must not be called concurrently with
+// requests.
+func (c *Client) SetRetries(n int) *Client {
+	if n < 0 {
+		n = 0
+	}
+	c.retries = n
+	return c
+}
+
+// errMessageCap bounds how much of an error body is kept in an
+// APIError: bodies are read up to 1 MiB (to drain the connection) but
+// a misbehaving proxy's megabyte of HTML is useless in an error chain.
+const errMessageCap = 8 << 10
+
+// APIError is a non-2xx server response. Code carries the server's
+// machine-readable error code when present; Unwrap resolves it to the
+// matching sentinel (ErrSessionNotFound, ErrInvalidWhyNo, …), so
+//
+//	errors.Is(err, querycause.ErrSessionNotFound)
+//
+// works on remote failures exactly as on local ones.
 type APIError struct {
 	StatusCode int
-	Message    string
+	// Code is the wire error code ("session_not_found", …); empty when
+	// the server predates codes or the body was not an ErrorResponse.
+	Code    string
+	Message string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("querycaused: %d: %s", e.StatusCode, e.Message)
 }
 
+// Unwrap exposes the taxonomy sentinel named by Code, or nil for
+// unknown/absent codes.
+func (e *APIError) Unwrap() error {
+	if s := qerr.FromCode(e.Code); s != nil {
+		return s
+	}
+	return nil
+}
+
+// retryableGET reports whether a GET response status is worth a
+// retry: gateway-style transient failures only. 4xx (including 429)
+// and plain 500 are returned to the caller as-is.
+func retryableGET(status int) bool {
+	return status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
+		var err error
+		raw, err = json.Marshal(in)
 		if err != nil {
 			return err
 		}
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				// The caller canceled; cancellation dominates whatever the
+				// previous attempt returned, so errors.Is(err,
+				// context.Canceled/DeadlineExceeded) holds.
+				return ctx.Err()
+			case <-time.After(getRetryBackoff):
+			}
+		}
+		var retry bool
+		retry, lastErr = c.doOnce(ctx, method, path, raw, in != nil, out)
+		if lastErr == nil || !retry {
+			return lastErr
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return lastErr
+}
+
+// doOnce performs one HTTP exchange; retry reports whether the failure
+// is transient enough for an idempotent retry.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out any) (retry bool, err error) {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		return false, err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return true, err // transport error: retryable for GETs
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var apiErr server.ErrorResponse
-		msg := ""
-		if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil {
-			if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
-				msg = apiErr.Error
-			} else {
-				msg = strings.TrimSpace(string(raw))
-			}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return retryableGET(resp.StatusCode), decodeAPIError(resp)
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return false, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError. The body
+// is read up to 1 MiB; an ErrorResponse payload supplies the message
+// and code, anything else (plain text, proxy HTML, truncated JSON) is
+// kept verbatim, capped at errMessageCap.
+func decodeAPIError(resp *http.Response) *APIError {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return apiErr
+	}
+	var wire server.ErrorResponse
+	if json.Unmarshal(raw, &wire) == nil && wire.Error != "" {
+		apiErr.Message, apiErr.Code = wire.Error, wire.Code
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	if len(apiErr.Message) > errMessageCap {
+		apiErr.Message = apiErr.Message[:errMessageCap] + "…(truncated)"
+	}
+	return apiErr
 }
 
 // UploadDatabase registers a database given in the parser's textual
@@ -172,6 +291,92 @@ func (c *Client) Batch(ctx context.Context, dbID string, req BatchExplainRequest
 	var out BatchExplainResponse
 	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/batch", req, &out)
 	return out, err
+}
+
+// Causes lists the actual causes (Theorem 3.2) of one answer or
+// non-answer without ranking them; the server caches the engine it
+// builds, so a following explain or stream is warm.
+func (c *Client) Causes(ctx context.Context, dbID string, req CausesRequest) (CausesResponse, error) {
+	var out CausesResponse
+	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/causes", req, &out)
+	return out, err
+}
+
+// ExplainStream requests a streamed ranking and returns an iterator
+// over its explanation events: one ExplanationDTO per cause as its
+// responsibility computation completes on the server, ending after a
+// terminal done event or with a single non-nil error (rehydrated to
+// the taxonomy sentinel when the server sent a code). The sequence is
+// single-use; breaking out of the range closes the response body,
+// which cancels the server-side computation.
+func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExplainRequest) iter.Seq2[ExplanationDTO, error] {
+	return func(yield func(ExplanationDTO, error) bool) {
+		raw, err := json.Marshal(sreq)
+		if err != nil {
+			yield(ExplanationDTO{}, err)
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.base+"/v1/databases/"+dbID+"/explain/stream", bytes.NewReader(raw))
+		if err != nil {
+			yield(ExplanationDTO{}, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		if err != nil {
+			yield(ExplanationDTO{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			yield(ExplanationDTO{}, decodeAPIError(resp))
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		sawTerminal := false
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev StreamEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				yield(ExplanationDTO{}, fmt.Errorf("querycaused: malformed stream event: %w", err))
+				return
+			}
+			switch {
+			case ev.Explanation != nil:
+				if !yield(*ev.Explanation, nil) {
+					return
+				}
+			case ev.Error != nil:
+				yield(ExplanationDTO{}, rehydrate(ev.Error))
+				return
+			case ev.Done != nil:
+				sawTerminal = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			yield(ExplanationDTO{}, err)
+			return
+		}
+		if !sawTerminal {
+			yield(ExplanationDTO{}, fmt.Errorf("querycaused: stream ended without a terminal event"))
+		}
+	}
+}
+
+// rehydrate turns a wire ErrorResponse into an error that matches the
+// taxonomy sentinel named by its code under errors.Is, with the
+// original message preserved.
+func rehydrate(wire *server.ErrorResponse) error {
+	err := errors.New(wire.Error)
+	if s := qerr.FromCode(wire.Code); s != nil {
+		return qerr.Tag(s, err)
+	}
+	return err
 }
 
 // Stats fetches the server's cache and admission counters.

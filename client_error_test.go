@@ -1,0 +1,207 @@
+package querycause_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+)
+
+// TestAPIErrorBodies: non-2xx responses with hostile bodies — plain
+// text, proxy HTML, oversized payloads, empty, truncated JSON — must
+// come back as well-formed APIErrors with bounded messages; an
+// ErrorResponse body must surface its code through Unwrap.
+func TestAPIErrorBodies(t *testing.T) {
+	cases := []struct {
+		name        string
+		status      int
+		contentType string
+		body        string
+		wantMsg     string // substring
+		wantCode    string
+		wantIs      error
+		wantMaxLen  int
+	}{
+		{
+			name:   "typed-error-response",
+			status: 404, contentType: "application/json",
+			body:     `{"error":"unknown database session \"d9\"","code":"session_not_found"}`,
+			wantMsg:  `unknown database session "d9"`,
+			wantCode: "session_not_found",
+			wantIs:   qc.ErrSessionNotFound,
+		},
+		{
+			name:   "typed-error-unknown-code",
+			status: 422, contentType: "application/json",
+			body:     `{"error":"boom","code":"code_from_the_future"}`,
+			wantMsg:  "boom",
+			wantCode: "code_from_the_future",
+		},
+		{
+			name:   "plain-text-body",
+			status: 500, contentType: "text/plain",
+			body:    "internal proxy meltdown",
+			wantMsg: "internal proxy meltdown",
+		},
+		{
+			name:   "html-proxy-page",
+			status: 502, contentType: "text/html",
+			body:    "<html><body><h1>502 Bad Gateway</h1></body></html>",
+			wantMsg: "502 Bad Gateway",
+		},
+		{
+			name:   "empty-body",
+			status: 503, contentType: "text/plain",
+			body: "",
+		},
+		{
+			name:   "truncated-json",
+			status: 400, contentType: "application/json",
+			body:    `{"error":"unterm`,
+			wantMsg: `{"error":"unterm`,
+		},
+		{
+			name:   "oversized-body",
+			status: 500, contentType: "text/plain",
+			body:       strings.Repeat("A", 2<<20),
+			wantMaxLen: (8 << 10) + 64,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", tc.contentType)
+				w.WriteHeader(tc.status)
+				_, _ = w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+			// Retries off: some statuses here are retryable by design.
+			c := qc.NewClient(ts.URL, nil).SetRetries(0)
+			err := c.Health(context.Background())
+			var apiErr *qc.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("err = %v; want *APIError", err)
+			}
+			if apiErr.StatusCode != tc.status {
+				t.Errorf("StatusCode = %d; want %d", apiErr.StatusCode, tc.status)
+			}
+			if apiErr.Code != tc.wantCode {
+				t.Errorf("Code = %q; want %q", apiErr.Code, tc.wantCode)
+			}
+			if tc.wantMsg != "" && !strings.Contains(apiErr.Message, tc.wantMsg) {
+				t.Errorf("Message = %q; want substring %q", apiErr.Message, tc.wantMsg)
+			}
+			if tc.wantMaxLen > 0 && len(apiErr.Message) > tc.wantMaxLen {
+				t.Errorf("Message not truncated: %d bytes", len(apiErr.Message))
+			}
+			if tc.wantIs != nil && !errors.Is(err, tc.wantIs) {
+				t.Errorf("errors.Is(err, %v) = false", tc.wantIs)
+			}
+			if tc.wantIs == nil && errors.Is(err, qc.ErrSessionNotFound) {
+				t.Error("error spuriously matches ErrSessionNotFound")
+			}
+		})
+	}
+}
+
+// TestClientGETRetries: idempotent GETs retry transient gateway
+// failures; POSTs never do; SetRetries(0) turns retries off.
+func TestClientGETRetries(t *testing.T) {
+	t.Run("get-retries-then-succeeds", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok","uptime_seconds":1}`))
+		}))
+		defer ts.Close()
+		if err := qc.NewClient(ts.URL, nil).Health(context.Background()); err != nil {
+			t.Fatalf("Health after retries: %v (calls=%d)", err, calls.Load())
+		}
+		if calls.Load() != 3 {
+			t.Errorf("server saw %d calls; want 3 (1 + 2 retries)", calls.Load())
+		}
+	})
+
+	t.Run("get-4xx-not-retried", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(http.StatusTooManyRequests)
+		}))
+		defer ts.Close()
+		if err := qc.NewClient(ts.URL, nil).Health(context.Background()); err == nil {
+			t.Fatal("429 Health succeeded")
+		}
+		if calls.Load() != 1 {
+			t.Errorf("server saw %d calls; want 1 (4xx is not retried)", calls.Load())
+		}
+	})
+
+	t.Run("retries-disabled", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		if err := qc.NewClient(ts.URL, nil).SetRetries(0).Health(context.Background()); err == nil {
+			t.Fatal("503 Health succeeded")
+		}
+		if calls.Load() != 1 {
+			t.Errorf("server saw %d calls; want 1 with retries off", calls.Load())
+		}
+	})
+
+	t.Run("post-never-retried", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		c := qc.NewClient(ts.URL, nil)
+		if _, err := c.UploadDatabase(context.Background(), "+R(a)\n"); err == nil {
+			t.Fatal("503 upload succeeded")
+		}
+		if calls.Load() != 1 {
+			t.Errorf("server saw %d calls; want 1 (POST must not be retried)", calls.Load())
+		}
+	})
+
+	t.Run("canceled-context-stops-retrying", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		c := qc.NewClient(ts.URL, nil).SetRetries(50)
+		go func() {
+			// Cancel once the first attempt has landed.
+			for calls.Load() == 0 {
+			}
+			cancel()
+		}()
+		err := c.Health(ctx)
+		if err == nil {
+			t.Fatal("Health under canceled context succeeded")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v; want errors.Is(err, context.Canceled)", err)
+		}
+		if n := calls.Load(); n > 3 {
+			t.Errorf("server saw %d calls after cancellation; want prompt stop", n)
+		}
+	})
+}

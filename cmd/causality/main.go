@@ -4,11 +4,16 @@
 // prints the actual causes ranked by responsibility (Meliou et al.,
 // VLDB 2010).
 //
+// It is written against the Session interface, so the same code path
+// explains in-process (the default) or against a remote querycaused
+// server (-server URL) — identical output either way.
+//
 // Usage:
 //
 //	causality -db instance.txt -query "q(x) :- R(x,y), S(y)" -answer a4
 //	causality -db instance.txt -query "q(x) :- R(x,y), S(y)" -answer a7 -why no
 //	causality -db instance.txt -query "q :- R(x,y), S(y)" -classify
+//	causality -db instance.txt -query "..." -answer a4 -server http://localhost:8347
 //
 // Flags:
 //
@@ -20,6 +25,10 @@
 //	              responsibility strategy (default auto)
 //	-parallel N   worker count for ranking causes (0 = GOMAXPROCS,
 //	              1 = serial)
+//	-server URL   explain through a querycaused server instead of
+//	              in-process
+//	-stream       print explanations as they are computed (RankStream)
+//	              instead of the final table
 //	-classify     print the dichotomy classification and exit
 //	-lineage      also print the minimal endogenous lineage
 //	-program      also print the Theorem 3.4 Datalog¬ cause program
@@ -43,18 +52,21 @@ func main() {
 		why      = flag.String("why", "so", "so (explain answer) or no (explain non-answer)")
 		mode     = flag.String("mode", "auto", "responsibility mode: auto, exact, paper")
 		parallel = flag.Int("parallel", 0, "worker count for ranking causes (0 = GOMAXPROCS, 1 = serial)")
+		server   = flag.String("server", "", "querycaused base URL; empty = explain in-process")
+		stream   = flag.Bool("stream", false, "print explanations as they complete instead of the final table")
 		classify = flag.Bool("classify", false, "print the dichotomy classification and exit")
 		lineage  = flag.Bool("lineage", false, "print the minimal endogenous lineage")
 		program  = flag.Bool("program", false, "print the Theorem 3.4 cause program")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *queryStr, *answer, *why, *mode, *parallel, *classify, *lineage, *program); err != nil {
+	if err := run(*dbPath, *queryStr, *answer, *why, *mode, *parallel, *server, *stream, *classify, *lineage, *program); err != nil {
 		fmt.Fprintln(os.Stderr, "causality:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, queryStr, answer, why, modeStr string, parallel int, classify, printLineage, printProgram bool) error {
+func run(dbPath, queryStr, answer, why, modeStr string, parallel int, serverURL string, stream, classify, printLineage, printProgram bool) error {
+	ctx := context.Background()
 	if queryStr == "" {
 		return fmt.Errorf("-query is required")
 	}
@@ -116,43 +128,87 @@ func run(dbPath, queryStr, answer, why, modeStr string, parallel int, classify, 
 	default:
 		return fmt.Errorf("unknown mode %q", modeStr)
 	}
-
-	var ex *qc.Explainer
+	whyNo := false
 	switch why {
 	case "so":
-		ex, err = qc.WhySo(db, q, answerVals...)
 	case "no":
-		ex, err = qc.WhyNo(db, q, answerVals...)
+		whyNo = true
 	default:
 		return fmt.Errorf("-why must be 'so' or 'no'")
+	}
+
+	// One session abstracts both transports; everything below is
+	// transport-agnostic.
+	opts := []qc.Option{qc.WithMode(m), qc.WithParallelism(parallel)}
+	var sess qc.Session
+	if serverURL != "" {
+		sess, err = qc.Dial(ctx, serverURL, db, opts...)
+	} else {
+		sess, err = qc.Open(db, opts...)
+	}
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	var r qc.Ranking
+	if whyNo {
+		r, err = sess.WhyNo(ctx, q, answerVals...)
+	} else {
+		r, err = sess.WhySo(ctx, q, answerVals...)
 	}
 	if err != nil {
 		return err
 	}
 
-	if printLineage {
-		fmt.Printf("minimal n-lineage: %v\n", ex.NLineage())
-	}
-	if printProgram {
-		prog, err := qc.CauseProgram(db, ex.BoundQuery())
+	// Lineage and cause-program are display-only derivations of the
+	// local database; they print the same regardless of transport.
+	if printLineage || printProgram {
+		ex, err := explainerFor(db, q, answerVals, whyNo)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cause program (Theorem 3.4):\n%s\n", prog)
+		if printLineage {
+			fmt.Printf("minimal n-lineage: %v\n", ex.NLineage())
+		}
+		if printProgram {
+			prog, err := qc.CauseProgram(db, ex.BoundQuery())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cause program (Theorem 3.4):\n%s\n", prog)
+		}
 	}
 
-	causes := ex.Causes()
+	causes, err := r.Causes(ctx)
+	if err != nil {
+		return err
+	}
 	if len(causes) == 0 {
 		fmt.Println("no actual causes (the answer either does not hold, or holds on exogenous tuples alone)")
 		return nil
 	}
 	verb := "remove"
-	if why == "no" {
+	if whyNo {
 		verb = "insert"
 	}
-	// Rank all causes at once through the batch engine (one worker per
-	// core by default), then print in tuple order as before.
-	ranked, err := ex.RankParallel(context.Background(), qc.BatchOptions{Parallelism: parallel, Mode: m})
+
+	if stream {
+		fmt.Printf("%d actual cause(s), streaming as computed:\n", len(causes))
+		for e, serr := range r.RankStream(ctx) {
+			if serr != nil {
+				return serr
+			}
+			fmt.Printf("  ρ=%-7.3f %v", e.Rho, db.Tuple(e.Tuple))
+			if len(e.Contingency) > 0 {
+				fmt.Printf("  Γ: %s {%s}", verb, tupleList(db, e.Contingency))
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+
+	ranked, err := r.Rank(ctx)
 	if err != nil {
 		return err
 	}
@@ -166,12 +222,23 @@ func run(dbPath, queryStr, answer, why, modeStr string, parallel int, classify, 
 		e := byTuple[c]
 		fmt.Printf("  %-7.3f %-12d %-16v %v\n", e.Rho, e.ContingencySize, e.Method, db.Tuple(e.Tuple))
 		if len(e.Contingency) > 0 {
-			parts := make([]string, len(e.Contingency))
-			for i, id := range e.Contingency {
-				parts[i] = db.Tuple(id).String()
-			}
-			fmt.Printf("          Γ: %s {%s}\n", verb, strings.Join(parts, ", "))
+			fmt.Printf("          Γ: %s {%s}\n", verb, tupleList(db, e.Contingency))
 		}
 	}
 	return nil
+}
+
+func explainerFor(db *qc.Database, q *qc.Query, answer []qc.Value, whyNo bool) (*qc.Explainer, error) {
+	if whyNo {
+		return qc.WhyNo(db, q, answer...)
+	}
+	return qc.WhySo(db, q, answer...)
+}
+
+func tupleList(db *qc.Database, ids []qc.TupleID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = db.Tuple(id).String()
+	}
+	return strings.Join(parts, ", ")
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/querycause/querycause/internal/server"
 )
 
 func writeTempDB(t *testing.T) string {
@@ -33,7 +36,7 @@ func TestRunWhySo(t *testing.T) {
 	db := writeTempDB(t)
 	for _, mode := range []string{"auto", "exact", "paper"} {
 		for _, parallel := range []int{0, 1, 4} {
-			if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", mode, parallel, false, true, true); err != nil {
+			if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", mode, parallel, "", false, false, true, true); err != nil {
 				t.Fatalf("mode %s parallel %d: %v", mode, parallel, err)
 			}
 		}
@@ -47,16 +50,16 @@ func TestRunWhyNo(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "q :- R(x,y), S(y)", "", "no", "auto", 0, false, false, false); err != nil {
+	if err := run(path, "q :- R(x,y), S(y)", "", "no", "auto", 0, "", false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunClassify(t *testing.T) {
-	if err := run("", "q :- R(x,y), S(y,z), T(z,x)", "", "so", "auto", 0, true, false, false); err != nil {
+	if err := run("", "q :- R(x,y), S(y,z), T(z,x)", "", "so", "auto", 0, "", false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "q :- R(x,y), S(y,z)", "", "so", "auto", 0, true, false, false); err != nil {
+	if err := run("", "q :- R(x,y), S(y,z)", "", "so", "auto", 0, "", false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -77,8 +80,29 @@ func TestRunErrors(t *testing.T) {
 		{name: "bad answer arity", dbP: db, q: "q(x) :- R(x,y), S(y)", ans: "a,b", why: "so", mode: "auto"},
 	}
 	for _, c := range cases {
-		if err := run(c.dbP, c.q, c.ans, c.why, c.mode, 0, c.classify, c.lineage, c.program); err == nil {
+		if err := run(c.dbP, c.q, c.ans, c.why, c.mode, 0, "", false, c.classify, c.lineage, c.program); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestRunAgainstServer drives the identical run() path through a
+// Dial'ed session (httptest-backed querycaused), streaming included.
+func TestRunAgainstServer(t *testing.T) {
+	srv := server.New(server.Config{ReapInterval: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	db := writeTempDB(t)
+	if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", "auto", 0, ts.URL, false, false, false, false); err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", "auto", 2, ts.URL, true, false, false, false); err != nil {
+		t.Fatalf("remote streaming run: %v", err)
+	}
+	if err := run(db, "q(x) :- R(x,y), S(y)", "a4", "so", "auto", 2, "", true, false, false, false); err != nil {
+		t.Fatalf("local streaming run: %v", err)
 	}
 }

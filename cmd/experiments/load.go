@@ -1,10 +1,11 @@
 // Load-generator mode: hammer a running querycaused server end-to-end
-// over HTTP with the workload generators' query families — prepared
-// why-so explains (warm certificate/lineage caches), inline one-shot
-// explains, why-no explains, and ExplainAll batches — from many
-// concurrent clients, and report throughput, latency, and the server's
-// cache hit rates. Exits non-zero on any non-2xx response, so CI uses
-// it as a smoke test:
+// over HTTP with the workload generators' query families. The request
+// shapes are written once against the public Session interface —
+// blocking rankings, streamed rankings, Why-No, and ExplainAll
+// batches over Dial'ed sessions — plus one raw-client target keeping
+// the prepared-query endpoints warm. Reports throughput, latency, and
+// the server's cache hit rates, and exits non-zero on any failure, so
+// CI uses it as a smoke test:
 //
 //	querycaused -addr :8347 &
 //	experiments -run load -server http://localhost:8347 -load-clients 64
@@ -36,7 +37,7 @@ var (
 // loadTarget is one request shape a client can fire.
 type loadTarget struct {
 	name string
-	fire func(ctx context.Context, c *qc.Client) error
+	fire func(ctx context.Context) error
 }
 
 func load() {
@@ -51,10 +52,11 @@ func load() {
 	if err := c.Health(ctx); err != nil {
 		log.Fatalf("server not healthy: %v", err)
 	}
-	targets, err := loadTargets(ctx, c)
+	targets, cleanup, err := loadTargets(ctx, c)
 	if err != nil {
 		log.Fatalf("preparing workloads: %v", err)
 	}
+	defer cleanup()
 
 	var (
 		wg       sync.WaitGroup
@@ -70,7 +72,7 @@ func load() {
 			for i := 0; i < *loadRequests; i++ {
 				t := targets[(g+i)%len(targets)]
 				t0 := time.Now()
-				if err := t.fire(ctx, c); err != nil {
+				if err := t.fire(ctx); err != nil {
 					failures.Add(1)
 					log.Printf("client %d %s: %v", g, t.name, err)
 					continue
@@ -105,97 +107,145 @@ func load() {
 	}
 }
 
-// loadTargets uploads the workload databases and prepares queries,
-// returning the mixed request shapes the clients cycle through.
-func loadTargets(ctx context.Context, c *qc.Client) ([]loadTarget, error) {
-	// Micro IMDB: the paper's Fig. 2 instance, non-Boolean genre query
-	// with real answers for prepared warm explains.
-	micro, _ := imdb.Micro()
-	microInfo, err := c.UploadDB(ctx, micro)
-	if err != nil {
-		return nil, err
+// loadTargets dials the workload databases into server-side sessions
+// and returns the mixed request shapes the clients cycle through —
+// all but one written against the Session interface, so the same
+// closures would drive an in-process Open'ed session unchanged.
+func loadTargets(ctx context.Context, c *qc.Client) (targets []loadTarget, cleanup func(), err error) {
+	var sessions []qc.Session
+	cleanup = func() {
+		for _, s := range sessions {
+			_ = s.Close()
+		}
 	}
-	genre := imdb.GenreQuery()
-	pq, err := c.PrepareQuery(ctx, microInfo.ID, genre.String())
-	if err != nil {
-		return nil, err
-	}
-	answers, err := rel.Answers(micro, genre)
-	if err != nil {
-		return nil, err
+	dial := func(db *qc.Database, opts ...qc.Option) (qc.Session, error) {
+		sess, err := qc.Dial(ctx, *serverURL, db, opts...)
+		if err == nil {
+			sessions = append(sessions, sess)
+		}
+		return sess, err
 	}
 
-	// Boolean chain workload (PTIME flow path) for inline explains.
-	chainDB, chainQ, _ := workload.Chain2(7, 24)
-	chainInfo, err := c.UploadDB(ctx, chainDB)
+	// Micro IMDB: the paper's Fig. 2 instance, non-Boolean genre query
+	// with real answers; repeated explains of the same answers keep
+	// the server's engine cache warm.
+	micro, _ := imdb.Micro()
+	microSess, err := dial(micro)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
-	chainStr := chainQ.String()
+	genre := imdb.GenreQuery()
+	answers, err := rel.Answers(micro, genre)
+	if err != nil {
+		return nil, cleanup, err
+	}
+
+	// Boolean chain workload (PTIME flow path) for one-shot explains.
+	chainDB, chainQ, _ := workload.Chain2(7, 24)
+	chainSess, err := dial(chainDB)
+	if err != nil {
+		return nil, cleanup, err
+	}
+
+	// NP-hard star for the streaming target: first explanations arrive
+	// while later exact searches still run.
+	starDB, starQ, _ := workload.Star(7, 6)
+	starSess, err := dial(starDB, qc.WithParallelism(2))
+	if err != nil {
+		return nil, cleanup, err
+	}
 
 	// Why-No workload (Theorem 4.17 closed form).
 	whyNoDB, whyNoQ := workload.WhyNoChain(11, 12)
-	whyNoInfo, err := c.UploadDB(ctx, whyNoDB)
+	whyNoSess, err := dial(whyNoDB)
 	if err != nil {
-		return nil, err
+		return nil, cleanup, err
 	}
-	whyNoStr := whyNoQ.String()
 
-	var batchItems []qc.BatchItem
+	var batchReqs []qc.BatchRequest
 	for _, a := range answers {
-		item := qc.BatchItem{QueryID: pq.ID}
-		for _, v := range a.Values {
-			item.Answer = append(item.Answer, string(v))
-		}
-		batchItems = append(batchItems, item)
+		batchReqs = append(batchReqs, qc.BatchRequest{Query: genre, Answer: a.Values})
 	}
 
-	targets := []loadTarget{
-		{name: "whyso-prepared", fire: func(ctx context.Context, c *qc.Client) error {
-			a := answers[0]
-			_, err := c.WhySo(ctx, microInfo.ID, pq.ID, qc.ExplainRequest{Answer: values(a.Values)})
-			return err
-		}},
-		{name: "whyso-inline-chain", fire: func(ctx context.Context, c *qc.Client) error {
-			_, err := c.WhySo(ctx, chainInfo.ID, "", qc.ExplainRequest{Query: chainStr})
-			return err
-		}},
-		{name: "whyno-chain", fire: func(ctx context.Context, c *qc.Client) error {
-			_, err := c.WhyNo(ctx, whyNoInfo.ID, "", qc.ExplainRequest{Query: whyNoStr})
-			return err
-		}},
-		{name: "batch-genres", fire: func(ctx context.Context, c *qc.Client) error {
-			resp, err := c.Batch(ctx, microInfo.ID, qc.BatchExplainRequest{Requests: batchItems})
+	rank := func(sess qc.Session, q *qc.Query, whyNo bool, answer ...qc.Value) func(context.Context) error {
+		return func(ctx context.Context) error {
+			var r qc.Ranking
+			var err error
+			if whyNo {
+				r, err = sess.WhyNo(ctx, q, answer...)
+			} else {
+				r, err = sess.WhySo(ctx, q, answer...)
+			}
 			if err != nil {
 				return err
 			}
-			for _, r := range resp.Results {
-				if r.Error != "" {
-					return fmt.Errorf("batch item: %s", r.Error)
+			_, err = r.Rank(ctx)
+			return err
+		}
+	}
+
+	targets = []loadTarget{
+		{name: "whyso-chain", fire: rank(chainSess, chainQ, false)},
+		{name: "whyno-chain", fire: rank(whyNoSess, whyNoQ, true)},
+		{name: "stream-star", fire: func(ctx context.Context) error {
+			r, err := starSess.WhySo(ctx, starQ)
+			if err != nil {
+				return err
+			}
+			n := 0
+			for _, serr := range r.RankStream(ctx) {
+				if serr != nil {
+					return serr
+				}
+				n++
+			}
+			if n == 0 {
+				return fmt.Errorf("stream yielded no explanations")
+			}
+			return nil
+		}},
+		{name: "batch-genres", fire: func(ctx context.Context) error {
+			results, err := microSess.ExplainAll(ctx, batchReqs)
+			if err != nil {
+				return err
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					return fmt.Errorf("batch item: %w", r.Err)
 				}
 			}
 			return nil
 		}},
 	}
-	// Every answer of the genre query as its own prepared-query target,
-	// so the engine cache sees a mixed warm working set.
+	// Every answer of the genre query as its own target, so the engine
+	// cache sees a mixed warm working set.
 	for _, a := range answers {
-		vals := values(a.Values)
 		targets = append(targets, loadTarget{
-			name: "whyso-" + vals[0],
-			fire: func(ctx context.Context, c *qc.Client) error {
-				_, err := c.WhySo(ctx, microInfo.ID, pq.ID, qc.ExplainRequest{Answer: vals})
-				return err
-			},
+			name: "whyso-" + string(a.Values[0]),
+			fire: rank(microSess, genre, false, a.Values...),
 		})
 	}
-	return targets, nil
-}
 
-func values(vs []rel.Value) []string {
-	out := make([]string, len(vs))
-	for i, v := range vs {
-		out[i] = string(v)
+	// One raw-client target keeps the prepared-query endpoints in the
+	// mix (preparation is server-specific and not part of Session).
+	microInfo, err := c.UploadDB(ctx, micro)
+	if err != nil {
+		return nil, cleanup, err
 	}
-	return out
+	pq, err := c.PrepareQuery(ctx, microInfo.ID, genre.String())
+	if err != nil {
+		return nil, cleanup, err
+	}
+	firstAnswer := make([]string, len(answers[0].Values))
+	for i, v := range answers[0].Values {
+		firstAnswer[i] = string(v)
+	}
+	targets = append(targets, loadTarget{
+		name: "whyso-prepared",
+		fire: func(ctx context.Context) error {
+			_, err := c.WhySo(ctx, microInfo.ID, pq.ID, qc.ExplainRequest{Answer: firstAnswer})
+			return err
+		},
+	})
+	return targets, cleanup, nil
 }

@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selfJoin    = fs.Float64("selfjoin-prob", 0.15, "per-atom self-join probability (0 disables)")
 		serverDiff  = fs.Bool("server-diff", true, "also replay instances through an in-process HTTP server")
 		serverEvery = fs.Int("server-every", 8, "replay every k-th instance through the server")
+		sessDiff    = fs.Bool("session-diff", true, "also replay instances through the Session API on both transports (Open vs Dial)")
+		sessEvery   = fs.Int("session-every", 8, "replay every k-th instance through the Session differential")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
 		reproDir    = fs.String("repro", "", "directory for minimized failing instances (default: print only)")
 		benchOut    = fs.String("bench", "", "write the BENCH_difftest.json baseline to this path and exit")
@@ -101,6 +103,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sd := difftest.NewServerDiff()
 		defer sd.Close()
 		opts.Server = sd
+	}
+	if *sessDiff {
+		sd := difftest.NewSessionDiff()
+		defer sd.Close()
+		opts.Session = sd
+		opts.SessionEvery = *sessEvery
 	}
 
 	start := time.Now()

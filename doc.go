@@ -26,62 +26,92 @@
 //     (weakening sequences or rewrite chains to the canonical hard
 //     queries h₁*, h₂*, h₃* of Theorem 4.1).
 //
-// # Quick start
+// # The Session API: one interface, two transports
 //
-//	db := querycause.NewDatabase()
-//	db.MustAdd("R", true, "a4", "a3") // endogenous
-//	db.MustAdd("S", true, "a3")
-//	db.MustAdd("S", true, "a2")
-//	q, _ := querycause.ParseQuery("q(x) :- R(x,y), S(y)")
-//	ex, _ := querycause.WhySo(db, q, "a4")
-//	for _, e := range ex.MustRank() {
+// All explanation goes through the Session interface. Open(db) runs
+// the engine in-process; Dial(ctx, url, db) uploads the database into
+// a querycaused server and serves the same interface over HTTP. The
+// two transports are deliberately indistinguishable — byte-identical
+// rankings, errors.Is-equal failures — and the differential harness
+// (internal/difftest) enforces that equivalence on randomized
+// instances in CI.
+//
+//	sess, _ := qc.Open(db)                        // in-process
+//	// sess, _ := qc.Dial(ctx, serverURL, db)     // same calls over HTTP
+//	defer sess.Close()
+//
+//	r, err := sess.WhySo(ctx, q, "a4")            // causes computed here (PTIME)
+//	if err != nil { ... }
+//	ranked, err := r.Rank(ctx)                    // the Fig. 2b ranking
+//
+// Every method is context-first; cancellation and deadlines propagate
+// into the engine (between per-cause computations) and over the wire.
+// Functional options configure a session at Open/Dial or per call:
+//
+//	qc.Open(db, qc.WithMode(qc.ModeExact), qc.WithParallelism(8))
+//	r.Rank(ctx, qc.WithTimeout(5*time.Second))
+//
+// WithMode picks the responsibility strategy, WithParallelism the
+// worker count (rankings are byte-identical at every degree),
+// WithTimeout a per-call budget, WithDeterministic the streaming
+// emission order; WithHTTPClient and WithRetries tune a Dial'ed
+// session's transport.
+//
+// # Streaming rankings
+//
+// The dichotomy makes full rankings either instant (max-flow) or
+// minutes-long (one NP-hard exact search per cause). RankStream
+// returns a Go iterator that yields each cause's explanation the
+// moment its own computation completes, so the first explanation of
+// an NP-hard instance costs one search instead of all of them:
+//
+//	for e, err := range r.RankStream(ctx) {
+//	    if err != nil { ... }          // terminal: cancellation or setup
 //	    fmt.Printf("ρ=%.2f %v\n", e.Rho, db.Tuple(e.Tuple))
 //	}
 //
-// Runnable versions of this and the paper's other worked examples live
-// under examples/:
+// The default emission order is ascending cause order — deterministic
+// for every worker count and identical on both transports (over HTTP
+// the stream is NDJSON from POST …/explain/stream);
+// WithDeterministic(false) switches to completion order for minimal
+// time-to-first-explanation. Either way, a drained stream sorted with
+// SortExplanations equals Rank byte-for-byte. BENCH_api.json records
+// the time-to-first-explanation win and the per-transport overhead.
 //
-//	go run ./examples/quickstart
-//	go run ./examples/imdb
-//	go run ./examples/whynot
-//	go run ./examples/dichotomy
+// # The error taxonomy
 //
-// # Batch explanation and parallelism
+// Failures are tagged with sentinel errors — ErrBadQuery,
+// ErrBadInstance, ErrInvalidWhyNo, ErrNotCause, ErrSessionNotFound,
+// ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed — carried as
+// machine-readable codes in the wire ErrorResponse and rehydrated by
+// the client, so callers branch the same way on either transport:
 //
-// Each cause's responsibility is an independent computation over the
-// shared immutable lineage, so rankings parallelize without locking.
-// Explainer.RankParallel fans one answer's causes out across a worker
-// pool, and ExplainAll explains many answers/non-answers of a workload
-// in one call:
+//	if errors.Is(err, qc.ErrInvalidWhyNo) { ... }   // local and remote
 //
-//	exps, _ := ex.RankParallel(ctx, querycause.BatchOptions{Parallelism: 8})
-//	results, _ := querycause.ExplainAll(ctx, db, reqs, querycause.BatchOptions{})
+// Messages remain human-readable; ErrorCode(err) exposes the wire
+// code.
 //
-// BatchOptions.Parallelism defaults to runtime.GOMAXPROCS(0); both
-// entry points honor context cancellation and return rankings
-// byte-identical to the serial Rank for every parallelism degree.
+// # Batching and the explanation server
 //
-// # Commands and the explanation server
+// Session.ExplainAll explains many answers/non-answers in one call,
+// fanned out across a worker pool (in-process) or through the
+// server's batch endpoint (remote) with identical semantics. The
+// querycaused server itself (cmd/querycaused, internal/server) keeps
+// a session registry with LRU/TTL eviction, prepared queries
+// classified once, and certificate/lineage caches, behind
+// admission-controlled JSON endpoints. Three commands build on the
+// library:
 //
-// Three commands build on the library:
-//
-//	go run ./cmd/causality    one-shot explanations and classification
+//	go run ./cmd/causality    one-shot explanations (add -server URL for
+//	                          remote, -stream for incremental output)
 //	go run ./cmd/experiments  every figure/table/construction of the paper
 //	                          (plus a server load generator, -run load)
 //	go run ./cmd/querycaused  the long-running explanation server
 //
-// querycaused (see internal/server and README.md) serves concurrent
-// why-so/why-no/batch explanations over a JSON HTTP API. Databases are
-// uploaded once into a session registry (LRU + idle-TTL eviction);
-// prepared queries are parsed, classified, and rewritten once, with
-// dichotomy certificates and per-answer engines (lineages) cached in
-// LRUs so repeated explains skip straight to responsibility ranking.
-// Client, the thin Go client in this package, speaks that API:
-//
-//	c := querycause.NewClient("http://localhost:8347", nil)
-//	info, _ := c.UploadDB(ctx, db)
-//	prep, _ := c.PrepareQuery(ctx, info.ID, "q(x) :- R(x,y), S(y)")
-//	resp, _ := c.WhySo(ctx, info.ID, prep.ID, querycause.ExplainRequest{Answer: []string{"a4"}})
+// The v1 context-free surface (WhySo/WhyNo returning an Explainer,
+// ExplainAll over BatchOptions, the raw Client) remains as thin
+// deprecated wrappers; see the "API v2 migration" section in
+// README.md for the mapping.
 //
 // # Verifying the dichotomy
 //
@@ -94,9 +124,9 @@
 // oracles confirming each minimum and each non-cause, the Theorem 3.4
 // Datalog¬ program re-deriving the cause set, mutation invariants
 // (exogenous duplication, non-cause exogenous marking, irrelevant
-// growth), and a byte-level replay through the querycaused server.
-// Instances derive from a single int64 seed, so any failure
-// reproduces with
+// growth), a byte-level replay through the querycaused server, and
+// the Session-transport equivalence above. Instances derive from a
+// single int64 seed, so any failure reproduces with
 //
 //	go test ./internal/difftest -run 'TestDifferentialSweep$' -args -seed=<N> -n=1
 //

@@ -1,0 +1,45 @@
+package querycause
+
+import "github.com/querycause/querycause/internal/qerr"
+
+// The error taxonomy of the explanation API. Every failure a caller
+// can branch on is tagged with exactly one of these sentinels, carried
+// as a machine-readable code over the wire and rehydrated by the
+// client, so
+//
+//	errors.Is(err, querycause.ErrInvalidWhyNo)
+//
+// holds for the same failure whether the Session was Open'ed
+// in-process or Dial'ed to a remote querycaused server. Messages stay
+// human-readable and unchanged from v1; only the tags are new.
+var (
+	// ErrBadQuery: the query (or database text) does not parse.
+	ErrBadQuery error = qerr.ErrBadQuery
+	// ErrBadInstance: syntactically valid input that is semantically
+	// unusable — answer-binding arity mismatch, atom arity mismatch
+	// against the database, head variables missing from the body.
+	ErrBadInstance error = qerr.ErrBadInstance
+	// ErrInvalidWhyNo: the Why-No preconditions of Section 2 fail (the
+	// query already holds on the real database, or cannot hold even
+	// with every candidate tuple inserted).
+	ErrInvalidWhyNo error = qerr.ErrInvalidWhyNo
+	// ErrNotCause: a responsibility was requested for a tuple that can
+	// never be a cause (exogenous, or not a tuple of the database).
+	ErrNotCause error = qerr.ErrNotCause
+	// ErrSessionNotFound: the remote database session does not exist
+	// (dropped, or evicted by the server's LRU/TTL policies).
+	ErrSessionNotFound error = qerr.ErrSessionNotFound
+	// ErrQueryNotFound: the addressed prepared query does not exist.
+	ErrQueryNotFound error = qerr.ErrQueryNotFound
+	// ErrBudgetExceeded: the computation did not finish within its
+	// admission/timeout budget (server at capacity, or the request
+	// deadline expired while queued or computing).
+	ErrBudgetExceeded error = qerr.ErrBudgetExceeded
+	// ErrSessionClosed: the Session was used after Close.
+	ErrSessionClosed error = qerr.ErrSessionClosed
+)
+
+// ErrorCode returns the stable machine-readable code of err's taxonomy
+// sentinel ("bad_query", "invalid_whyno", …), or "" when err carries
+// none. It is the same code the wire ErrorResponse carries.
+func ErrorCode(err error) string { return qerr.CodeOf(err) }

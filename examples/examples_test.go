@@ -1,0 +1,59 @@
+// Golden-stdout tests for the runnable examples: each example binary
+// runs as a subprocess and its output is pinned to a golden file, so
+// the examples cannot rot against the API they demonstrate. Every
+// example is deterministic by construction (fixed instances or seeded
+// generators; streamed output in the deterministic default order).
+//
+// Refresh the goldens after an intentional output change with
+//
+//	go test ./examples -run TestExampleGolden -args -update-golden
+package examples_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+func TestExampleGolden(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	for _, name := range []string{"quickstart", "imdb", "whynot", "dichotomy", "stream"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goBin, "run", "./examples/"+name)
+			cmd.Dir = ".." // repository root, as the example headers document
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr.String())
+			}
+			got := stdout.Bytes()
+
+			golden := filepath.Join("testdata", name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to record)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("examples/%s output changed\ngot:\n%s\nwant:\n%s", name, got, want)
+			}
+		})
+	}
+}

@@ -9,12 +9,12 @@
 //
 //	go run ./examples/imdb
 //
-// The batch API (ExplainAll / RankParallel) and the querycaused
-// explanation server build on the same entry points; see doc.go and
-// cmd/querycaused.
+// Explanation goes through the Session API (Open); qc.Dial would run
+// the identical code against a querycaused server.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,20 +23,34 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The exact Fig. 2a micro-instance (Director and Movie endogenous,
 	// MovieDirectors and Genre exogenous).
 	db, _ := imdb.Micro()
 	q := imdb.GenreQuery()
 	fmt.Printf("query: %v\n\n", q)
 
-	ex, err := qc.WhySo(db, q, "Musical")
+	sess, err := qc.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	r, err := sess.WhySo(ctx, q, "Musical")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := r.Rank(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Why is Musical an answer? causes ranked by responsibility (Fig. 2b):")
-	fmt.Print(qc.FormatExplanations(db, ex.MustRank()))
+	fmt.Print(qc.FormatExplanations(db, ranked))
 
-	cert, err := ex.Classification()
+	bq, err := q.Bind("Musical")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := qc.ClassifySound(bq, func(rel string) bool { return rel == "Director" || rel == "Movie" })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,13 +62,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	synSess, err := qc.Open(syn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer synSess.Close()
 	fmt.Printf("\nsynthetic IMDB (%d tuples): top cause per Burton genre\n", syn.NumTuples())
 	for _, a := range answers {
-		ex, err := qc.WhySo(syn, q, a.Values[0])
+		r, err := synSess.WhySo(ctx, q, a.Values[0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		ranked := ex.MustRank()
+		ranked, err := r.Rank(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if len(ranked) == 0 {
 			continue
 		}

@@ -8,12 +8,13 @@
 //
 //	go run ./examples/whynot
 //
-// The batch API (ExplainAll / RankParallel) and the querycaused
-// explanation server build on the same entry points; see doc.go and
-// cmd/querycaused.
+// Explanation goes through the Session API (Open); qc.Dial would run
+// the identical code against a querycaused server. Invalid Why-No
+// instances fail with qc.ErrInvalidWhyNo on either transport.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -53,13 +54,23 @@ func main() {
 	db.MustAdd("Took", true, "bob", "logic")
 	db.MustAdd("Honors", true, "logic")
 
-	ex, err := qc.WhyNo(db, q, "bob")
+	ctx := context.Background()
+	sess, err := qc.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	r, err := sess.WhyNo(ctx, q, "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := r.Rank(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Why is bob NOT on the dean's list?")
 	fmt.Println("candidate insertions ranked by responsibility:")
-	for _, e := range ex.MustRank() {
+	for _, e := range ranked {
 		fmt.Printf("  ρ=%.2f  insert %v (needs %d companion insertion(s))\n",
 			e.Rho, db.Tuple(e.Tuple), e.ContingencySize)
 	}

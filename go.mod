@@ -1,3 +1,3 @@
 module github.com/querycause/querycause
 
-go 1.22
+go 1.24

@@ -27,6 +27,7 @@ import (
 
 	"github.com/querycause/querycause/internal/exact"
 	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 	"github.com/querycause/querycause/internal/respflow"
 	"github.com/querycause/querycause/internal/rewrite"
@@ -49,6 +50,32 @@ const (
 	// Definition 2.3 (see TestDominationCounterexample).
 	ModePaper
 )
+
+// String renders the wire form of a mode: "auto", "exact", "paper".
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeExact:
+		return "exact"
+	case ModePaper:
+		return "paper"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses the wire form of a mode; "" means ModeAuto.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "exact":
+		return ModeExact, nil
+	case "paper":
+		return ModePaper, nil
+	}
+	return 0, qerr.Tag(qerr.ErrBadQuery, fmt.Errorf("core: unknown mode %q (want auto, exact, or paper)", s))
+}
 
 // Method records how a responsibility value was computed.
 type Method int
@@ -80,6 +107,17 @@ func (m Method) String() string {
 		return "why-no-closed-form"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod inverts Method.String; the wire carries methods as
+// strings and the remote client rehydrates them.
+func ParseMethod(s string) (Method, bool) {
+	for _, m := range []Method{MethodNone, MethodCounterfactual, MethodFlow, MethodExact, MethodWhyNo} {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return MethodNone, false
 }
 
 // Explanation is the causal verdict for one tuple.
@@ -332,13 +370,15 @@ func (e *Engine) flowApplicable(mode Mode) bool {
 	return err == nil && cert.Class.PTime()
 }
 
-// Responsibility computes the explanation for tuple t.
+// Responsibility computes the explanation for tuple t. Requests for
+// tuples that can never be causes (out of range, or exogenous) are
+// tagged qerr.ErrNotCause.
 func (e *Engine) Responsibility(t rel.TupleID, mode Mode) (Explanation, error) {
 	if int(t) < 0 || int(t) >= e.db.NumTuples() {
-		return Explanation{}, fmt.Errorf("core: tuple id %d out of range", t)
+		return Explanation{}, qerr.Tag(qerr.ErrNotCause, fmt.Errorf("core: tuple id %d out of range", t))
 	}
 	if !e.db.Tuple(t).Endo {
-		return Explanation{}, fmt.Errorf("core: tuple %v is exogenous; only endogenous tuples have responsibilities", e.db.Tuple(t))
+		return Explanation{}, qerr.Tag(qerr.ErrNotCause, fmt.Errorf("core: tuple %v is exogenous; only endogenous tuples have responsibilities", e.db.Tuple(t)))
 	}
 	var net *respflow.Network
 	if e.causeSet[t] && !e.whyNo && !e.isCounterfactual(t) && mode != ModeExact && e.flowApplicable(mode) {

@@ -1,0 +1,158 @@
+// Streaming rankings: RankAll as a Go iterator. On the NP-hard side of
+// the dichotomy a full ranking is a sum of per-cause branch-and-bound
+// searches — minutes on wide lineages (see BENCH_difftest.json) — yet
+// each cause's explanation is final the moment its own search ends.
+// RankStream emits explanations as workers complete them, so a caller
+// sees its first explanation after one search instead of all of them;
+// drained to completion and sorted with SortExplanations, the stream
+// is byte-identical to RankAll.
+package core
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"github.com/querycause/querycause/internal/respflow"
+)
+
+// StreamOptions tunes RankStream.
+type StreamOptions struct {
+	// Workers is the parallelism degree (ResolveWorkers semantics:
+	// values <= 0 mean runtime.GOMAXPROCS(0)).
+	Workers int
+	// CompletionOrder emits explanations the moment any worker finishes
+	// one, minimizing time-to-first-explanation at the price of a
+	// scheduling-dependent order. The default (false) emits in
+	// ascending cause order — deterministic for every worker count, so
+	// two transports streaming the same instance produce identical
+	// event sequences.
+	CompletionOrder bool
+}
+
+// RankStream explains every cause of the engine, yielding each
+// explanation as it is computed by a pool of opts.Workers workers. The
+// yielded multiset of explanations equals RankAll(mode) exactly:
+// drained and sorted with SortExplanations it is byte-identical to the
+// blocking ranking, for every worker count and either emission order.
+//
+// The sequence is single-use and must be consumed on one goroutine.
+// Breaking out of the range stops the workers and releases their
+// goroutines. Cancellation of ctx ends the sequence with a final
+// (zero Explanation, ctx.Err()) pair; setup failures (an inapplicable
+// flow certificate) yield one (zero, error) pair. Per-cause
+// computations themselves never fail: every yielded error is terminal.
+func (e *Engine) RankStream(ctx context.Context, mode Mode, opts StreamOptions) iter.Seq2[Explanation, error] {
+	return func(yield func(Explanation, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Explanation{}, err)
+			return
+		}
+		n := len(e.causes)
+		if n == 0 {
+			return
+		}
+		workers := ResolveWorkers(opts.Workers)
+		if workers > n {
+			workers = n
+		}
+		// Resolve shared read-only state up front, exactly like
+		// RankAllParallel: lazy certificate/network computation must not
+		// first happen from racing workers, and setup errors surface
+		// before any explanation is emitted.
+		var base *respflow.Network
+		if !e.whyNo && mode != ModeExact && e.flowApplicable(mode) && e.anyNonCounterfactualCause() {
+			var err error
+			base, err = e.network(mode)
+			if err != nil {
+				yield(Explanation{}, err)
+				return
+			}
+		}
+
+		sctx, stop := context.WithCancel(ctx)
+		type item struct {
+			idx int
+			ex  Explanation
+		}
+		ch := make(chan item, workers)
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var net *respflow.Network
+				if base != nil {
+					// Clone under flowMu so a concurrent serial caller
+					// mid-computation on the shared base is never observed
+					// with rewritten capacities.
+					e.flowMu.Lock()
+					net = base.Clone()
+					e.flowMu.Unlock()
+				}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || sctx.Err() != nil {
+						return
+					}
+					select {
+					case ch <- item{i, e.explain(e.causes[i], net)}:
+					case <-sctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(ch)
+		}()
+		// On every exit — early break included — cancel the workers and
+		// drain the channel until the closer goroutine shuts it, so no
+		// goroutine is left blocked on a send.
+		defer func() {
+			stop()
+			for range ch {
+			}
+		}()
+
+		if opts.CompletionOrder {
+			for it := range ch {
+				if !yield(it.ex, nil) {
+					return
+				}
+			}
+		} else {
+			// Deterministic emission: workers still complete out of
+			// order, but explanations are released in ascending cause
+			// order through a reorder buffer.
+			pending := make(map[int]Explanation, workers)
+			emit := 0
+			for it := range ch {
+				pending[it.idx] = it.ex
+				for {
+					ex, ok := pending[emit]
+					if !ok {
+						break
+					}
+					delete(pending, emit)
+					emit++
+					if !yield(ex, nil) {
+						return
+					}
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			yield(Explanation{}, err)
+		}
+	}
+}
+
+// SortExplanations sorts a ranking in place into the paper's Fig. 2b
+// order — descending ρ, ties by ascending tuple ID — the order RankAll
+// returns. A fully drained RankStream sorted with SortExplanations is
+// byte-identical to RankAll on the same engine.
+func SortExplanations(exps []Explanation) { sortExplanations(exps) }

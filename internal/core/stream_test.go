@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/querycause/querycause/internal/workload"
+)
+
+// drainStream collects a stream fully, failing the test on any
+// mid-stream error.
+func drainStream(t *testing.T, eng *Engine, mode Mode, opts StreamOptions) []Explanation {
+	t.Helper()
+	var out []Explanation
+	for ex, err := range eng.RankStream(context.Background(), mode, opts) {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+// TestRankStreamMatchesRankAll: for instances on both sides of the
+// dichotomy, every mode, several worker counts, and both emission
+// orders, a drained stream sorted with SortExplanations must be
+// byte-identical to the blocking RankAll.
+func TestRankStreamMatchesRankAll(t *testing.T) {
+	modes := []Mode{ModeAuto, ModeExact, ModePaper}
+	for _, w := range parallelWorkloads() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				for _, mode := range modes {
+					eng := newEngineFor(t, w, seed)
+					want, err := eng.RankAll(mode)
+					if err != nil {
+						t.Fatalf("seed %d mode %v: RankAll: %v", seed, mode, err)
+					}
+					for _, workers := range []int{0, 1, 2, 7} {
+						for _, completion := range []bool{false, true} {
+							// Fresh engine per run: streaming must not depend
+							// on serial warm-up of the lazy caches.
+							eng2 := newEngineFor(t, w, seed)
+							got := drainStream(t, eng2, mode, StreamOptions{Workers: workers, CompletionOrder: completion})
+							SortExplanations(got)
+							if gb, wb := renderRanking(got), renderRanking(want); gb != wb {
+								t.Fatalf("seed %d mode %v workers %d completion=%v: stream differs\nstream:\n%s\nrank:\n%s",
+									seed, mode, workers, completion, gb, wb)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankStreamDeterministicOrder: default emission is ascending
+// cause order — the engine's Causes() order — for every worker count.
+func TestRankStreamDeterministicOrder(t *testing.T) {
+	for _, w := range parallelWorkloads() {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			t.Parallel()
+			eng := newEngineFor(t, w, 1)
+			causes := eng.Causes()
+			for _, workers := range []int{1, 3, 8} {
+				got := drainStream(t, newEngineFor(t, w, 1), ModeAuto, StreamOptions{Workers: workers})
+				if len(got) != len(causes) {
+					t.Fatalf("workers %d: %d explanations for %d causes", workers, len(got), len(causes))
+				}
+				for i, ex := range got {
+					if ex.Tuple != causes[i] {
+						t.Fatalf("workers %d: emission %d is tuple %d; want cause order %v", workers, i, ex.Tuple, causes)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRankStreamEarlyBreak: breaking out of the range must stop the
+// workers and leak no goroutines.
+func TestRankStreamEarlyBreak(t *testing.T) {
+	db, q, _ := workload.Star(3, 10)
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		eng, err := NewWhySo(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, serr := range eng.RankStream(context.Background(), ModeAuto, StreamOptions{Workers: 4}) {
+			if serr != nil {
+				t.Fatalf("trial %d: %v", trial, serr)
+			}
+			n++
+			if n == 2 {
+				break
+			}
+		}
+		if n != 2 {
+			t.Fatalf("trial %d: consumed %d explanations before break", trial, n)
+		}
+	}
+	// Workers park promptly after the consumer breaks; allow the
+	// scheduler a moment before asserting no goroutine pile-up.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+2 {
+		t.Errorf("goroutines grew from %d to %d after early breaks", before, got)
+	}
+}
+
+// TestRankStreamCancel: canceling the context mid-stream ends the
+// sequence with the context's error as a terminal pair.
+func TestRankStreamCancel(t *testing.T) {
+	db, q, _ := workload.Star(5, 12)
+	eng, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var sawErr error
+	n := 0
+	for _, serr := range eng.RankStream(ctx, ModeAuto, StreamOptions{Workers: 2}) {
+		if serr != nil {
+			sawErr = serr
+			continue
+		}
+		n++
+		if n == 1 {
+			cancel()
+		}
+	}
+	cancel()
+	if sawErr != context.Canceled {
+		t.Errorf("terminal stream error = %v; want context.Canceled", sawErr)
+	}
+	if n >= len(eng.Causes()) {
+		t.Logf("note: all %d causes were already computed before cancellation took effect", n)
+	}
+}
+
+// TestRankStreamPreCanceled: an already-dead context yields exactly
+// one terminal error and no explanations.
+func TestRankStreamPreCanceled(t *testing.T) {
+	db, q, _ := workload.Star(5, 6)
+	eng, err := NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	events := 0
+	for ex, serr := range eng.RankStream(ctx, ModeAuto, StreamOptions{}) {
+		events++
+		if serr != context.Canceled || ex.Method != MethodNone {
+			t.Errorf("pre-canceled stream yielded (%+v, %v)", ex, serr)
+		}
+	}
+	if events != 1 {
+		t.Errorf("pre-canceled stream yielded %d events; want 1 terminal error", events)
+	}
+}

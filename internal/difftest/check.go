@@ -47,6 +47,11 @@ type CheckOptions struct {
 	// Server, when non-nil, replays the instance through the HTTP
 	// server and requires byte-identical rankings.
 	Server *ServerDiff
+	// Session, when non-nil, replays the instance through the public
+	// Session API on both transports (Open and Dial) and requires
+	// transport indistinguishability: equal cause sets, byte-identical
+	// blocking/streamed rankings, and errors.Is-equal failures.
+	Session *SessionDiff
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -79,6 +84,7 @@ type CheckStats struct {
 	DatalogChecked     int
 	MetamorphicChecked int
 	ServerChecked      int
+	SessionChecked     int
 }
 
 // CheckInstance runs the full differential battery on one instance.
@@ -180,6 +186,13 @@ func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, erro
 			return stats, err
 		}
 		stats.ServerChecked++
+	}
+
+	if opts.Session != nil {
+		if err := opts.Session.Check(inst, rankAuto); err != nil {
+			return stats, err
+		}
+		stats.SessionChecked++
 	}
 	return stats, nil
 }

@@ -33,6 +33,14 @@
 //     ranking's (tuple, ρ, min|Γ|) signature unchanged.
 //   - Server differential: the same instance replayed through
 //     internal/server over httptest yields byte-identical rankings.
+//   - Session-transport equivalence: the public Session API's
+//     in-process (Open) and HTTP (Dial) transports are
+//     indistinguishable on the instance — equal cause sets,
+//     byte-identical blocking and streamed rankings (a drained
+//     RankStream sorted equals Rank), identical deterministic stream
+//     emission sequences, and errors.Is-equal failures with the same
+//     taxonomy code when the instance is flipped into an invalid
+//     request.
 //
 // Every instance derives from a single int64 seed, so any CI failure
 // reproduces with one command (printed on failure):
@@ -72,6 +80,13 @@ type Options struct {
 	// ServerEvery replays every k-th instance through Server (default
 	// 8; 1 = every instance). Ignored when Server is nil.
 	ServerEvery int
+	// Session, when non-nil, replays instances through the public
+	// Session API on both transports (Open vs Dial) and requires them
+	// to be indistinguishable.
+	Session *SessionDiff
+	// SessionEvery replays every k-th instance through Session
+	// (default 8; 1 = every instance). Ignored when Session is nil.
+	SessionEvery int
 	// MetamorphicEvery applies the metamorphic invariants to every
 	// k-th instance (default 1 = every instance; <0 disables).
 	MetamorphicEvery int
@@ -94,12 +109,16 @@ func (o Options) ShrinkCheck() CheckOptions {
 	chk := o.Check
 	chk.Metamorphic = o.MetamorphicEvery > 0
 	chk.Server = o.Server
+	chk.Session = o.Session
 	return chk
 }
 
 func (o Options) withDefaults() Options {
 	if o.ServerEvery <= 0 {
 		o.ServerEvery = 8
+	}
+	if o.SessionEvery <= 0 {
+		o.SessionEvery = 8
 	}
 	if o.MetamorphicEvery == 0 {
 		o.MetamorphicEvery = 1
@@ -193,8 +212,11 @@ type Report struct {
 	MetamorphicChecked int
 	// ServerChecked counts instances replayed through the server.
 	ServerChecked int
-	Mismatches    []Mismatch
-	Elapsed       time.Duration
+	// SessionChecked counts instances replayed through the Session
+	// API's transport-equivalence differential.
+	SessionChecked int
+	Mismatches     []Mismatch
+	Elapsed        time.Duration
 }
 
 // InstancesPerSec is the sweep throughput.
@@ -206,9 +228,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d datalog=%d metamorphic=%d server=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d datalog=%d metamorphic=%d server=%d session=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked,
 		len(r.Mismatches))
 }
 
@@ -235,6 +257,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		datalog   atomic.Int64
 		metamorph atomic.Int64
 		serverN   atomic.Int64
+		sessionN  atomic.Int64
 		done      atomic.Int64
 	)
 	sweepCtx, stop := context.WithCancel(ctx)
@@ -255,6 +278,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			if opts.Server != nil && i%opts.ServerEvery == 0 {
 				chk.Server = opts.Server
 			}
+			if opts.Session != nil && i%opts.SessionEvery == 0 {
+				chk.Session = opts.Session
+			}
 			stats, err := CheckInstance(inst, chk)
 			if stats.FlowRanked {
 				flow.Add(1)
@@ -266,6 +292,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			datalog.Add(int64(stats.DatalogChecked))
 			metamorph.Add(int64(stats.MetamorphicChecked))
 			serverN.Add(int64(stats.ServerChecked))
+			sessionN.Add(int64(stats.SessionChecked))
 			if err != nil {
 				mu.Lock()
 				rep.Mismatches = append(rep.Mismatches, Mismatch{Seed: seed, Gen: opts.Gen, Check: opts.Check, Index: i, Err: err, Instance: inst})
@@ -293,6 +320,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.DatalogChecked = int(datalog.Load())
 	rep.MetamorphicChecked = int(metamorph.Load())
 	rep.ServerChecked = int(serverN.Load())
+	rep.SessionChecked = int(sessionN.Load())
 	rep.Elapsed = time.Since(start)
 	// Early stop on mismatch budget is not a caller error; only the
 	// caller's own cancellation is.

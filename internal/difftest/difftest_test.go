@@ -68,6 +68,8 @@ func failOnMismatches(t *testing.T, rep *Report, opts Options) {
 func TestDifferentialSweep(t *testing.T) {
 	sd := NewServerDiff()
 	defer sd.Close()
+	sess := NewSessionDiff()
+	defer sess.Close()
 	n := sweepSize()
 	opts := Options{
 		Seed:             *seedFlag,
@@ -75,6 +77,8 @@ func TestDifferentialSweep(t *testing.T) {
 		Gen:              SweepGen,
 		Server:           sd,
 		ServerEvery:      8,
+		Session:          sess,
+		SessionEvery:     8,
 		MetamorphicEvery: 2,
 	}
 	rep, err := Run(context.Background(), opts)
@@ -96,6 +100,7 @@ func TestDifferentialSweep(t *testing.T) {
 			"datalog cross-checks":   rep.DatalogChecked,
 			"metamorphic checks":     rep.MetamorphicChecked,
 			"server replays":         rep.ServerChecked,
+			"session replays":        rep.SessionChecked,
 		} {
 			if got == 0 {
 				t.Errorf("sweep of %d instances exercised zero %s", n, what)

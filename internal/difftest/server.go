@@ -61,7 +61,7 @@ func (sd *ServerDiff) Check(inst *causegen.Instance, want []core.Explanation) er
 	}
 	defer sd.deleteSession(info.ID)
 
-	wantDTO, err := json.Marshal(explanationDTOs(inst.DB, want))
+	wantDTO, err := json.Marshal(serverDTOs(inst.DB, want))
 	if err != nil {
 		return err
 	}
@@ -141,22 +141,13 @@ func (sd *ServerDiff) deleteSession(id string) {
 	}
 }
 
-// explanationDTOs mirrors the server's DTO construction so the
-// comparison is byte-level on identical JSON shapes.
-func explanationDTOs(db *rel.Database, exps []core.Explanation) []server.ExplanationDTO {
+// serverDTOs renders a library ranking with the server's own DTO
+// constructor, so the comparison is byte-level on identical JSON
+// shapes with no mirror encoder to drift.
+func serverDTOs(db *rel.Database, exps []core.Explanation) []server.ExplanationDTO {
 	out := make([]server.ExplanationDTO, len(exps))
 	for i, e := range exps {
-		d := server.ExplanationDTO{
-			TupleID:         int(e.Tuple),
-			Tuple:           db.Tuple(e.Tuple).String(),
-			Rho:             e.Rho,
-			ContingencySize: e.ContingencySize,
-			Method:          e.Method.String(),
-		}
-		for _, id := range e.Contingency {
-			d.Contingency = append(d.Contingency, db.Tuple(id).String())
-		}
-		out[i] = d
+		out[i] = server.NewExplanationDTO(db, e)
 	}
 	return out
 }

@@ -1,0 +1,177 @@
+// Session-equivalence differential: the public Session API's two
+// transports — Open (in-process) and Dial (HTTP, over httptest) —
+// replayed on the same instance must be indistinguishable: identical
+// cause sets, byte-identical rankings (blocking, streamed in either
+// emission order, and batched), an identical deterministic stream
+// emission sequence, and errors.Is-equal failures with the same
+// taxonomy code when the instance is flipped into an invalid request.
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+
+	querycause "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/qerr"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// SessionDiff owns an in-process querycaused server and replays
+// instances through the public Session API on both transports. It is
+// safe for concurrent use by sweep workers.
+type SessionDiff struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// NewSessionDiff boots the backing server. Callers must Close it.
+func NewSessionDiff() *SessionDiff {
+	srv := server.New(server.Config{
+		ReapInterval: -1,
+		// Headroom over the sweep's worker count so one worker's
+		// session is never LRU-evicted mid-check by another's.
+		MaxSessions: 128,
+	})
+	return &SessionDiff{srv: srv, ts: httptest.NewServer(srv.Handler())}
+}
+
+// Close shuts the backing server down.
+func (sd *SessionDiff) Close() {
+	sd.ts.Close()
+	sd.srv.Close()
+}
+
+// Check replays inst through Open and Dial and demands transport
+// indistinguishability, with want (the engine-level ModeAuto ranking)
+// as the external reference both transports must reproduce.
+func (sd *SessionDiff) Check(inst *causegen.Instance, want []core.Explanation) error {
+	ctx := context.Background()
+	local, err := querycause.Open(inst.DB)
+	if err != nil {
+		return fmt.Errorf("sessiondiff: Open: %v", err)
+	}
+	defer local.Close()
+	remote, err := querycause.Dial(ctx, sd.ts.URL, inst.DB)
+	if err != nil {
+		return fmt.Errorf("sessiondiff: Dial: %v", err)
+	}
+	defer remote.Close()
+
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+
+	lr, lerr := openRanking(ctx, local, inst, inst.WhyNo)
+	rr, rerr := openRanking(ctx, remote, inst, inst.WhyNo)
+	if err := equalFailures("open", lerr, rerr); err != nil {
+		return err
+	}
+	if lerr != nil {
+		// Generated instances are valid; a failure here is a harness
+		// bug worth surfacing, not an equivalence pass.
+		return fmt.Errorf("sessiondiff: valid instance rejected by both transports: %v", lerr)
+	}
+
+	// Cause sets agree with each other (Rank comparison against the
+	// engine reference covers their correctness).
+	lc, _ := lr.Causes(ctx)
+	rc, _ := rr.Causes(ctx)
+	if !equalIDs(lc, rc) {
+		return fmt.Errorf("sessiondiff: cause sets differ: local %v, remote %v", lc, rc)
+	}
+
+	// Blocking rankings: byte-identical to the engine reference.
+	for _, tr := range []struct {
+		name string
+		r    querycause.Ranking
+	}{{"local", lr}, {"remote", rr}} {
+		got, err := tr.r.Rank(ctx)
+		if err != nil {
+			return fmt.Errorf("sessiondiff: %s Rank: %v", tr.name, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			return fmt.Errorf("sessiondiff: %s Rank differs from engine ranking:\ngot:  %s\nwant: %s", tr.name, gotJSON, wantJSON)
+		}
+	}
+
+	// Streams: the deterministic emission sequences must be identical
+	// across transports, and each drained stream sorted must equal the
+	// blocking ranking byte-for-byte.
+	lSeq, err := drainRankStream(ctx, lr)
+	if err != nil {
+		return fmt.Errorf("sessiondiff: local RankStream: %v", err)
+	}
+	rSeq, err := drainRankStream(ctx, rr)
+	if err != nil {
+		return fmt.Errorf("sessiondiff: remote RankStream: %v", err)
+	}
+	lSeqJSON, _ := json.Marshal(lSeq)
+	rSeqJSON, _ := json.Marshal(rSeq)
+	if !bytes.Equal(lSeqJSON, rSeqJSON) {
+		return fmt.Errorf("sessiondiff: deterministic stream sequences differ:\nlocal:  %s\nremote: %s", lSeqJSON, rSeqJSON)
+	}
+	querycause.SortExplanations(lSeq)
+	if sorted, _ := json.Marshal(lSeq); !bytes.Equal(sorted, wantJSON) {
+		return fmt.Errorf("sessiondiff: drained stream (sorted) differs from Rank:\ngot:  %s\nwant: %s", sorted, wantJSON)
+	}
+
+	// Error parity: replaying the instance in the opposite direction
+	// (Why-So ↔ Why-No) usually violates the Why-No preconditions;
+	// whatever the outcome, the two transports must agree on it — nil
+	// with nil, or the same taxonomy sentinel with the same code.
+	_, lflip := openRanking(ctx, local, inst, !inst.WhyNo)
+	_, rflip := openRanking(ctx, remote, inst, !inst.WhyNo)
+	if err := equalFailures("flipped open", lflip, rflip); err != nil {
+		return err
+	}
+	return nil
+}
+
+func openRanking(ctx context.Context, sess querycause.Session, inst *causegen.Instance, whyNo bool) (querycause.Ranking, error) {
+	if whyNo {
+		return sess.WhyNo(ctx, inst.Query)
+	}
+	return sess.WhySo(ctx, inst.Query)
+}
+
+func drainRankStream(ctx context.Context, r querycause.Ranking) ([]core.Explanation, error) {
+	// Non-nil from the start: an empty drained stream must compare
+	// equal to RankAll's empty (non-nil) ranking under JSON.
+	out := []core.Explanation{}
+	for ex, err := range r.RankStream(ctx, querycause.WithParallelism(2)) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// equalFailures demands errors.Is-equal outcomes: both nil, or both
+// non-nil with the same taxonomy code.
+func equalFailures(what string, a, b error) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("sessiondiff: %s: transports disagree: local err=%v, remote err=%v", what, a, b)
+	}
+	if a == nil {
+		return nil
+	}
+	ca, cb := qerr.CodeOf(a), qerr.CodeOf(b)
+	if ca != cb {
+		return fmt.Errorf("sessiondiff: %s: error codes differ: local %q (%v), remote %q (%v)", what, ca, a, cb, b)
+	}
+	if ca == "" {
+		return fmt.Errorf("sessiondiff: %s: failure carries no taxonomy code: local %v, remote %v", what, a, b)
+	}
+	return nil
+}

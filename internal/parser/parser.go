@@ -24,11 +24,18 @@ import (
 	"strings"
 	"unicode"
 
+	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
 
-// ParseQuery parses a conjunctive query.
+// ParseQuery parses a conjunctive query. Errors are tagged
+// qerr.ErrBadQuery.
 func ParseQuery(s string) (*rel.Query, error) {
+	q, err := parseQuery(s)
+	return q, qerr.Tag(qerr.ErrBadQuery, err)
+}
+
+func parseQuery(s string) (*rel.Query, error) {
 	parts := strings.SplitN(s, ":-", 2)
 	if len(parts) != 2 {
 		return nil, fmt.Errorf("parser: query must contain ':-': %q", s)
@@ -207,6 +214,11 @@ func stripComment(line string) string {
 
 // ParseTupleLine parses one database line: +R(a,b) or -R(a,b).
 func ParseTupleLine(line string) (relName string, endo bool, args []rel.Value, err error) {
+	relName, endo, args, err = parseTupleLine(line)
+	return relName, endo, args, qerr.Tag(qerr.ErrBadQuery, err)
+}
+
+func parseTupleLine(line string) (relName string, endo bool, args []rel.Value, err error) {
 	line = strings.TrimSpace(line)
 	if line == "" {
 		return "", false, nil, fmt.Errorf("parser: empty tuple line")

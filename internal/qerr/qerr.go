@@ -1,0 +1,130 @@
+// Package qerr is the typed error taxonomy of the explanation API:
+// one set of sentinel errors defined once, shared by the library
+// engine, the querycaused server, and the Go client, so callers can
+// branch with errors.Is/As identically whether an explanation ran
+// in-process or over HTTP.
+//
+// Each sentinel carries a stable machine-readable code (the wire
+// representation in ErrorResponse.Code) and a canonical HTTP status.
+// Errors raised deep in the engine are *tagged* with a sentinel via
+// Tag, which preserves the original message byte-for-byte while making
+// errors.Is(err, sentinel) true; the server serializes CodeOf(err),
+// and the client rehydrates the sentinel with FromCode, so
+//
+//	errors.Is(err, qerr.ErrInvalidWhyNo)
+//
+// holds for the same failure on both transports.
+package qerr
+
+import (
+	"errors"
+	"net/http"
+)
+
+// Sentinel is one node of the taxonomy. Sentinels are compared by
+// identity (errors.Is against the package-level variables); the code
+// is the stable wire form.
+type Sentinel struct {
+	code   string
+	msg    string
+	status int
+}
+
+// Error returns the sentinel's canonical message.
+func (s *Sentinel) Error() string { return s.msg }
+
+// Code returns the stable machine-readable code.
+func (s *Sentinel) Code() string { return s.code }
+
+// HTTPStatus returns the canonical HTTP status for the sentinel.
+func (s *Sentinel) HTTPStatus() int { return s.status }
+
+// The taxonomy. Codes are wire-stable: changing one breaks deployed
+// clients (the public-API-surface CI gate covers the Go names; the
+// round-trip test in this package covers the codes).
+var (
+	// ErrBadQuery: the query or database text does not parse.
+	ErrBadQuery = &Sentinel{code: "bad_query", msg: "bad query", status: http.StatusBadRequest}
+	// ErrBadInstance: syntactically valid input that is semantically
+	// unusable — answer-binding arity mismatch, atom arity mismatch
+	// against the database, head variables missing from the body.
+	ErrBadInstance = &Sentinel{code: "bad_instance", msg: "invalid instance", status: http.StatusUnprocessableEntity}
+	// ErrInvalidWhyNo: the instance violates the Why-No preconditions of
+	// Section 2 (the query already holds on the real database, or cannot
+	// hold even with every candidate tuple).
+	ErrInvalidWhyNo = &Sentinel{code: "invalid_whyno", msg: "invalid why-no instance", status: http.StatusUnprocessableEntity}
+	// ErrNotCause: a responsibility was requested for a tuple that can
+	// never be a cause (exogenous, or not a tuple of the database).
+	ErrNotCause = &Sentinel{code: "not_cause", msg: "tuple cannot be a cause", status: http.StatusUnprocessableEntity}
+	// ErrSessionNotFound: the addressed database session does not exist
+	// (never created, dropped, or evicted).
+	ErrSessionNotFound = &Sentinel{code: "session_not_found", msg: "unknown database session", status: http.StatusNotFound}
+	// ErrQueryNotFound: the addressed prepared query does not exist in
+	// its session.
+	ErrQueryNotFound = &Sentinel{code: "query_not_found", msg: "unknown prepared query", status: http.StatusNotFound}
+	// ErrBudgetExceeded: the computation did not finish within its
+	// admission/timeout budget (server at capacity, or the request's
+	// deadline expired while queued or computing).
+	ErrBudgetExceeded = &Sentinel{code: "budget_exceeded", msg: "computation budget exceeded", status: http.StatusServiceUnavailable}
+	// ErrSessionClosed: the Session was used after Close.
+	ErrSessionClosed = &Sentinel{code: "session_closed", msg: "session is closed", status: http.StatusConflict}
+)
+
+// registry maps wire codes back to sentinels for client rehydration.
+var registry = func() map[string]*Sentinel {
+	m := make(map[string]*Sentinel)
+	for _, s := range []*Sentinel{
+		ErrBadQuery, ErrBadInstance, ErrInvalidWhyNo, ErrNotCause,
+		ErrSessionNotFound, ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed,
+	} {
+		m[s.code] = s
+	}
+	return m
+}()
+
+// tagged carries a sentinel alongside the original error without
+// altering its message. Unwrap exposes both, so errors.Is matches the
+// sentinel and any deeper wrapped errors alike.
+type tagged struct {
+	s   *Sentinel
+	err error
+}
+
+func (t tagged) Error() string   { return t.err.Error() }
+func (t tagged) Unwrap() []error { return []error{t.s, t.err} }
+
+// Tag attaches sentinel s to err, preserving err's message
+// byte-for-byte. Tag(nil err) returns nil so call sites can tag
+// unconditionally.
+func Tag(s *Sentinel, err error) error {
+	if err == nil {
+		return nil
+	}
+	return tagged{s: s, err: err}
+}
+
+// CodeOf returns the wire code of the innermost sentinel in err's
+// tree, or "" when err carries no taxonomy tag.
+func CodeOf(err error) string {
+	var s *Sentinel
+	if errors.As(err, &s) {
+		return s.code
+	}
+	return ""
+}
+
+// FromCode resolves a wire code back to its sentinel; unknown codes
+// (from a newer or foreign server) return nil.
+func FromCode(code string) *Sentinel {
+	return registry[code]
+}
+
+// StatusOf maps err to an HTTP status via its sentinel; untagged
+// errors map to fallback.
+func StatusOf(err error, fallback int) int {
+	var s *Sentinel
+	if errors.As(err, &s) {
+		return s.status
+	}
+	return fallback
+}

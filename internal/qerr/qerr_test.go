@@ -1,0 +1,77 @@
+package qerr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestTagPreservesMessageAndMatchesSentinel(t *testing.T) {
+	orig := fmt.Errorf("whyno: query q already holds on the real database")
+	err := Tag(ErrInvalidWhyNo, orig)
+	if err.Error() != orig.Error() {
+		t.Errorf("Tag changed the message: %q vs %q", err.Error(), orig.Error())
+	}
+	if !errors.Is(err, ErrInvalidWhyNo) {
+		t.Error("errors.Is(tagged, sentinel) = false")
+	}
+	if errors.Is(err, ErrBadQuery) {
+		t.Error("tagged error matches a foreign sentinel")
+	}
+	if !errors.Is(fmt.Errorf("outer: %w", err), ErrInvalidWhyNo) {
+		t.Error("sentinel lost through further wrapping")
+	}
+	if Tag(ErrBadQuery, nil) != nil {
+		t.Error("Tag(nil) != nil")
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	for _, s := range []*Sentinel{
+		ErrBadQuery, ErrBadInstance, ErrInvalidWhyNo, ErrNotCause,
+		ErrSessionNotFound, ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed,
+	} {
+		if got := FromCode(s.Code()); got != s {
+			t.Errorf("FromCode(%q) = %v; want %v", s.Code(), got, s)
+		}
+		if got := CodeOf(Tag(s, errors.New("x"))); got != s.Code() {
+			t.Errorf("CodeOf(Tag(%q)) = %q", s.Code(), got)
+		}
+	}
+	if FromCode("no_such_code") != nil {
+		t.Error("unknown code resolved to a sentinel")
+	}
+	if CodeOf(errors.New("untagged")) != "" {
+		t.Error("untagged error has a code")
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	if got := StatusOf(Tag(ErrSessionNotFound, errors.New("x")), 500); got != http.StatusNotFound {
+		t.Errorf("StatusOf(session_not_found) = %d", got)
+	}
+	if got := StatusOf(errors.New("untagged"), http.StatusInternalServerError); got != http.StatusInternalServerError {
+		t.Errorf("StatusOf(untagged) = %d; want fallback", got)
+	}
+}
+
+// TestWireCodesFrozen pins the wire codes: changing one breaks
+// deployed clients, so a change here must be deliberate.
+func TestWireCodesFrozen(t *testing.T) {
+	want := map[*Sentinel]string{
+		ErrBadQuery:        "bad_query",
+		ErrBadInstance:     "bad_instance",
+		ErrInvalidWhyNo:    "invalid_whyno",
+		ErrNotCause:        "not_cause",
+		ErrSessionNotFound: "session_not_found",
+		ErrQueryNotFound:   "query_not_found",
+		ErrBudgetExceeded:  "budget_exceeded",
+		ErrSessionClosed:   "session_closed",
+	}
+	for s, code := range want {
+		if s.Code() != code {
+			t.Errorf("sentinel %q: code changed to %q", code, s.Code())
+		}
+	}
+}

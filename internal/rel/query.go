@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/querycause/querycause/internal/qerr"
 )
 
 // Term is either a variable or a constant appearing in a query atom.
@@ -114,18 +116,18 @@ func (q *Query) HasSelfJoin() bool {
 // the causes of the Boolean query q[ā/x̄]).
 func (q *Query) Bind(answer ...Value) (*Query, error) {
 	if len(answer) != len(q.Head) {
-		return nil, fmt.Errorf("rel: query %s has %d head terms, got %d answer values", q.Name, len(q.Head), len(answer))
+		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: query %s has %d head terms, got %d answer values", q.Name, len(q.Head), len(answer)))
 	}
 	subst := make(map[string]Value)
 	for i, h := range q.Head {
 		if !h.IsVar {
 			if h.Const != answer[i] {
-				return nil, fmt.Errorf("rel: head constant %s incompatible with answer value %s", h.Const, answer[i])
+				return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: head constant %s incompatible with answer value %s", h.Const, answer[i]))
 			}
 			continue
 		}
 		if prev, ok := subst[h.Var]; ok && prev != answer[i] {
-			return nil, fmt.Errorf("rel: head variable %s bound to both %s and %s", h.Var, prev, answer[i])
+			return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: head variable %s bound to both %s and %s", h.Var, prev, answer[i]))
 		}
 		subst[h.Var] = answer[i]
 	}
@@ -152,7 +154,7 @@ func (q *Query) Validate(db *Database) error {
 	bodyVars := make(map[string]bool)
 	for _, a := range q.Atoms {
 		if r := db.Relation(a.Pred); r != nil && r.Arity != len(a.Terms) {
-			return fmt.Errorf("rel: atom %s has %d terms but relation %s has arity %d", a, len(a.Terms), a.Pred, r.Arity)
+			return qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: atom %s has %d terms but relation %s has arity %d", a, len(a.Terms), a.Pred, r.Arity))
 		}
 		for _, v := range a.Vars() {
 			bodyVars[v] = true
@@ -160,7 +162,7 @@ func (q *Query) Validate(db *Database) error {
 	}
 	for _, h := range q.Head {
 		if h.IsVar && !bodyVars[h.Var] {
-			return fmt.Errorf("rel: head variable %s does not occur in the body", h.Var)
+			return qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: head variable %s does not occur in the body", h.Var))
 		}
 	}
 	return nil
@@ -213,7 +215,7 @@ func Valuations(db *Database, q *Query) ([]Valuation, error) {
 			return nil, nil // empty relation: no valuations
 		}
 		if r.Arity != len(a.Terms) {
-			return nil, fmt.Errorf("rel: atom %s arity mismatch with relation (arity %d)", a, r.Arity)
+			return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("rel: atom %s arity mismatch with relation (arity %d)", a, r.Arity))
 		}
 	}
 	var out []Valuation

@@ -57,6 +57,10 @@ type ExplainRequest struct {
 	// Mode selects the responsibility strategy: "auto" (default),
 	// "exact", or "paper".
 	Mode string `json:"mode,omitempty"`
+	// Parallelism overrides the server's per-request ranking worker
+	// count (values <= 0 mean the server default; capped at the worker
+	// budget). The ranking is byte-identical at every degree.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // ExplanationDTO is one ranked cause.
@@ -67,7 +71,11 @@ type ExplanationDTO struct {
 	// ContingencySize is min|Γ|; -1 when the tuple is not a cause.
 	ContingencySize int      `json:"contingency_size"`
 	Contingency     []string `json:"contingency,omitempty"`
-	Method          string   `json:"method"`
+	// ContingencyIDs carries the contingency as tuple ids, parallel to
+	// Contingency, so remote clients can rehydrate a core.Explanation
+	// bit-for-bit.
+	ContingencyIDs []int  `json:"contingency_ids,omitempty"`
+	Method         string `json:"method"`
 }
 
 // ExplainResponse is the ranking for one answer or non-answer.
@@ -119,7 +127,10 @@ type BatchExplainResponse struct {
 
 // BatchItemResult is the outcome of one batch item.
 type BatchItemResult struct {
-	Error        string           `json:"error,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Code is the machine-readable taxonomy code of Error (see
+	// internal/qerr), "" when the failure carries no taxonomy tag.
+	Code         string           `json:"code,omitempty"`
 	EngineCached bool             `json:"engine_cached"`
 	Causes       int              `json:"causes"`
 	Explanations []ExplanationDTO `json:"explanations,omitempty"`
@@ -150,9 +161,73 @@ type StatsResponse struct {
 	EngineCache      cache.Stats `json:"engine_cache"`
 }
 
-// ErrorResponse is the uniform error payload.
+// ErrorResponse is the uniform error payload. Code, when present, is
+// a stable machine-readable taxonomy code (internal/qerr) that the Go
+// client rehydrates into the matching sentinel, so errors.Is behaves
+// identically in-process and over the wire.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// CausesRequest asks for the actual causes (Theorem 3.2) of one
+// answer or non-answer, without ranking them. The server builds and
+// caches the per-answer engine, so a later explain or stream against
+// the same request is warm.
+type CausesRequest struct {
+	// Query is an inline conjunctive query; QueryID addresses a
+	// prepared one. Exactly one must be set.
+	Query   string   `json:"query,omitempty"`
+	QueryID string   `json:"query_id,omitempty"`
+	Answer  []string `json:"answer,omitempty"`
+	WhyNo   bool     `json:"why_no,omitempty"`
+}
+
+// CausesResponse lists the actual causes as tuple ids, sorted.
+type CausesResponse struct {
+	Database     string   `json:"database"`
+	QueryID      string   `json:"query_id,omitempty"`
+	Query        string   `json:"query"`
+	Answer       []string `json:"answer,omitempty"`
+	WhyNo        bool     `json:"why_no"`
+	EngineCached bool     `json:"engine_cached"`
+	Causes       []int    `json:"causes"`
+}
+
+// StreamExplainRequest asks for a streamed ranking: the response is
+// NDJSON, one StreamEvent per line — an explanation event per cause as
+// its responsibility computation completes, then a terminal done or
+// error event.
+type StreamExplainRequest struct {
+	Query   string   `json:"query,omitempty"`
+	QueryID string   `json:"query_id,omitempty"`
+	Answer  []string `json:"answer,omitempty"`
+	WhyNo   bool     `json:"why_no,omitempty"`
+	// Mode selects the responsibility strategy: "auto" (default),
+	// "exact", or "paper".
+	Mode string `json:"mode,omitempty"`
+	// Parallelism overrides the server's per-request worker count
+	// (values <= 0 mean the server default; capped at the worker
+	// budget).
+	Parallelism int `json:"parallelism,omitempty"`
+	// CompletionOrder emits explanations in completion order (lowest
+	// time-to-first-explanation, scheduling-dependent order) instead of
+	// the default deterministic ascending cause order.
+	CompletionOrder bool `json:"completion_order,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a streamed ranking. Exactly one
+// field is set; Done and Error are terminal.
+type StreamEvent struct {
+	Explanation *ExplanationDTO `json:"explanation,omitempty"`
+	Done        *StreamDone     `json:"done,omitempty"`
+	Error       *ErrorResponse  `json:"error,omitempty"`
+}
+
+// StreamDone is the terminal event of a successful stream.
+type StreamDone struct {
+	Causes        int   `json:"causes"`
+	ElapsedMicros int64 `json:"elapsed_micros"`
 }
 
 // HealthResponse is the /healthz payload.

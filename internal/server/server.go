@@ -21,8 +21,16 @@
 //	POST   /v1/databases/{db}/whyso           one-shot explain with an inline query
 //	POST   /v1/databases/{db}/whyno
 //	POST   /v1/databases/{db}/batch           many explains in one call (ExplainAll fan-out)
+//	POST   /v1/databases/{db}/causes          actual causes only (no ranking); warms the engine cache
+//	POST   /v1/databases/{db}/explain/stream  streamed ranking (NDJSON, one explanation per line)
 //	GET    /v1/stats                          cache hit rates, in-flight gauge, session counts
 //	GET    /healthz
+//
+// Errors carry a machine-readable taxonomy code (internal/qerr) in
+// ErrorResponse.Code alongside the human-readable message; the Go
+// client at the module root rehydrates codes into sentinel errors so
+// errors.Is works identically against a remote server and the
+// in-process library.
 //
 // Explain endpoints run under a server-wide worker budget (admission
 // control): at most WorkerBudget requests compute concurrently, the
@@ -47,6 +55,7 @@ import (
 	"github.com/querycause/querycause/internal/causegen"
 	"github.com/querycause/querycause/internal/core"
 	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
 
@@ -217,6 +226,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/databases/{db}/whyso", s.explainHandler(false, false))
 	s.mux.HandleFunc("POST /v1/databases/{db}/whyno", s.explainHandler(true, false))
 	s.mux.HandleFunc("POST /v1/databases/{db}/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/databases/{db}/causes", s.handleCauses)
+	s.mux.HandleFunc("POST /v1/databases/{db}/explain/stream", s.handleStream)
 }
 
 // ---- plumbing ----
@@ -229,6 +240,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErr serializes a taxonomy-aware error: the sentinel's HTTP
+// status and wire code when err is tagged (internal/qerr), the
+// string-prefix fallback of statusOf otherwise.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), ErrorResponse{Error: err.Error(), Code: qerr.CodeOf(err)})
 }
 
 // decodeJSON strictly decodes the request body into v; errors are the
@@ -279,22 +297,38 @@ func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bo
 	id := r.PathValue("db")
 	sess, ok := s.reg.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown database session %q", id)
+		writeErr(w, errSessionNotFound(id))
 		return nil, false
 	}
 	return sess, true
 }
 
-func parseMode(s string) (core.Mode, error) {
-	switch s {
-	case "", "auto":
-		return core.ModeAuto, nil
-	case "exact":
-		return core.ModeExact, nil
-	case "paper":
-		return core.ModePaper, nil
+func errSessionNotFound(id string) error {
+	return qerr.Tag(qerr.ErrSessionNotFound, fmt.Errorf("unknown database session %q", id))
+}
+
+func errQueryNotFound(id string) error {
+	return qerr.Tag(qerr.ErrQueryNotFound, fmt.Errorf("unknown prepared query %q", id))
+}
+
+// errBudget tags an admission/timeout failure with its taxonomy code.
+func errBudget(format string, args ...any) error {
+	return qerr.Tag(qerr.ErrBudgetExceeded, fmt.Errorf(format, args...))
+}
+
+// clampWorkers resolves a request's parallelism override: values <= 0
+// mean the server's configured per-request default, and no request may
+// spawn more compute concurrency than the worker budget admits in
+// total. Every explain-family handler (one-shot, batch, stream) uses
+// this one rule.
+func (s *Server) clampWorkers(requested int) int {
+	if requested <= 0 {
+		requested = s.cfg.Parallelism
 	}
-	return 0, fmt.Errorf("unknown mode %q (want auto, exact, or paper)", s)
+	if requested > s.cfg.WorkerBudget {
+		requested = s.cfg.WorkerBudget
+	}
+	return requested
 }
 
 func toValues(ss []string) []rel.Value {
@@ -308,27 +342,38 @@ func toValues(ss []string) []rel.Value {
 func explanationDTOs(db *rel.Database, exps []core.Explanation) []ExplanationDTO {
 	out := make([]ExplanationDTO, len(exps))
 	for i, e := range exps {
-		d := ExplanationDTO{
-			TupleID:         int(e.Tuple),
-			Tuple:           db.Tuple(e.Tuple).String(),
-			Rho:             e.Rho,
-			ContingencySize: e.ContingencySize,
-			Method:          e.Method.String(),
-		}
-		for _, id := range e.Contingency {
-			d.Contingency = append(d.Contingency, db.Tuple(id).String())
-		}
-		out[i] = d
+		out[i] = NewExplanationDTO(db, e)
 	}
 	return out
 }
 
+// NewExplanationDTO renders one explanation in the wire shape. The
+// difftest harness uses it to compare server replies byte-for-byte
+// against library rankings without maintaining a mirror encoder.
+func NewExplanationDTO(db *rel.Database, e core.Explanation) ExplanationDTO {
+	d := ExplanationDTO{
+		TupleID:         int(e.Tuple),
+		Tuple:           db.Tuple(e.Tuple).String(),
+		Rho:             e.Rho,
+		ContingencySize: e.ContingencySize,
+		Method:          e.Method.String(),
+	}
+	for _, id := range e.Contingency {
+		d.Contingency = append(d.Contingency, db.Tuple(id).String())
+		d.ContingencyIDs = append(d.ContingencyIDs, int(id))
+	}
+	return d
+}
+
 // statusOf maps an engine-construction error to an HTTP status: inputs
-// the client got wrong are 4xx, never 5xx. Syntax problems (parser:)
-// are 400; semantically invalid instances — bad binding arity, arity
-// mismatches against the session database, invalid why-no instances
-// (rel:, whyno:, core:) — are 422.
+// the client got wrong are 4xx, never 5xx. Tagged errors (internal/
+// qerr) carry their canonical status; the string-prefix fallback
+// covers legacy untagged errors — syntax problems (parser:) are 400,
+// semantically invalid instances (rel:, whyno:, core:) are 422.
 func statusOf(err error) int {
+	if s := qerr.StatusOf(err, 0); s != 0 {
+		return s
+	}
 	msg := err.Error()
 	switch {
 	case strings.Contains(msg, "parser:"):
@@ -429,7 +474,7 @@ func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if !s.reg.remove(r.PathValue("db")) {
-		writeError(w, http.StatusNotFound, "unknown database session %q", r.PathValue("db"))
+		writeErr(w, errSessionNotFound(r.PathValue("db")))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -448,11 +493,11 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := parser.ParseQuery(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	if err := q.Validate(sess.db); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	pq, certHit, err := sess.prepare(q, func() string {
@@ -465,7 +510,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return prog.String()
 	})
 	if err != nil {
-		writeError(w, statusOf(err), "classifying query: %v", err)
+		writeErr(w, fmt.Errorf("classifying query: %w", err))
 		return
 	}
 	writeJSON(w, http.StatusCreated, PrepareQueryResponse{
@@ -496,9 +541,9 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		mode, err := parseMode(req.Mode)
+		mode, err := core.ParseMode(req.Mode)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeErr(w, err)
 			return
 		}
 
@@ -507,7 +552,7 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 		if prepared {
 			pq, ok := sess.lookupQuery(r.PathValue("q"))
 			if !ok {
-				writeError(w, http.StatusNotFound, "unknown prepared query %q", r.PathValue("q"))
+				writeErr(w, errQueryNotFound(r.PathValue("q")))
 				return
 			}
 			if req.Query != "" {
@@ -522,11 +567,11 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 			}
 			q, err = parser.ParseQuery(req.Query)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
+				writeErr(w, err)
 				return
 			}
 			if err := q.Validate(sess.db); err != nil {
-				writeError(w, http.StatusUnprocessableEntity, "%v", err)
+				writeErr(w, err)
 				return
 			}
 		}
@@ -535,7 +580,7 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 		defer cancel()
 		release, ok := s.admit(ctx)
 		if !ok {
-			writeError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+			writeErr(w, errBudget("server at capacity: %v", ctx.Err()))
 			return
 		}
 		defer release()
@@ -546,13 +591,13 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 		started := time.Now()
 		eng, engineHit, certHit, err := sess.engineFor(q, qID, toValues(req.Answer), whyNo)
 		if err != nil {
-			writeError(w, statusOf(err), "%v", err)
+			writeErr(w, err)
 			return
 		}
-		exps, err := eng.RankAllParallel(ctx, mode, core.ParallelOptions{Workers: s.cfg.Parallelism})
+		exps, err := eng.RankAllParallel(ctx, mode, core.ParallelOptions{Workers: s.clampWorkers(req.Parallelism)})
 		if err != nil {
 			if ctx.Err() != nil {
-				writeError(w, http.StatusServiceUnavailable, "request canceled: %v", ctx.Err())
+				writeErr(w, errBudget("request canceled: %v", ctx.Err()))
 			} else {
 				writeError(w, http.StatusInternalServerError, "ranking: %v", err)
 			}
@@ -591,9 +636,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	mode, err := parseMode(req.Mode)
+	mode, err := core.ParseMode(req.Mode)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, err)
 		return
 	}
 
@@ -614,7 +659,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case item.QueryID != "":
 			pq, ok := sess.lookupQuery(item.QueryID)
 			if !ok {
-				items[i].err = fmt.Errorf("item %d: unknown prepared query %q", i, item.QueryID)
+				items[i].err = qerr.Tag(qerr.ErrQueryNotFound, fmt.Errorf("item %d: unknown prepared query %q", i, item.QueryID))
 				break
 			}
 			items[i].q, items[i].qID = pq.q, pq.id
@@ -639,7 +684,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	release, ok := s.admit(ctx)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+		writeErr(w, errBudget("server at capacity: %v", ctx.Err()))
 		return
 	}
 	defer release()
@@ -647,17 +692,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.cfg.testHookAdmitted()
 	}
 
-	// A client may lower its batch's parallelism or raise it up to the
-	// server's worker budget — never beyond, so one admitted request
-	// cannot spawn more compute concurrency than admission control
-	// allows in total.
-	workers := req.Parallelism
-	if workers <= 0 {
-		workers = s.cfg.Parallelism
-	}
-	if workers > s.cfg.WorkerBudget {
-		workers = s.cfg.WorkerBudget
-	}
+	workers := s.clampWorkers(req.Parallelism)
 	hits := make([]bool, len(creqs))
 	results, err := core.ExplainBatch(ctx, sess.db, creqs, core.BatchRunOptions{
 		Workers: workers,
@@ -672,7 +707,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "batch canceled: %v", err)
+		writeErr(w, errBudget("batch canceled: %v", err))
 		return
 	}
 	resp := BatchExplainResponse{Database: sess.id, Results: make([]BatchItemResult, len(results))}
@@ -680,6 +715,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out := BatchItemResult{EngineCached: hits[i]}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
+			out.Code = qerr.CodeOf(res.Err)
 		} else {
 			out.Causes = len(res.Explanations)
 			out.Explanations = explanationDTOs(sess.db, res.Explanations)
@@ -687,4 +723,173 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveQuery resolves a body-addressed query reference: a prepared
+// query id, or an inline query string parsed and validated against the
+// session database. Exactly one must be given.
+func (s *Server) resolveQuery(sess *session, queryID, inline string) (*rel.Query, string, error) {
+	switch {
+	case queryID != "" && inline != "":
+		return nil, "", qerr.Tag(qerr.ErrBadQuery, errors.New("query and query_id are mutually exclusive"))
+	case queryID != "":
+		pq, ok := sess.lookupQuery(queryID)
+		if !ok {
+			return nil, "", errQueryNotFound(queryID)
+		}
+		return pq.q, pq.id, nil
+	case inline != "":
+		q, err := parser.ParseQuery(inline)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := q.Validate(sess.db); err != nil {
+			return nil, "", err
+		}
+		return q, "", nil
+	}
+	return nil, "", qerr.Tag(qerr.ErrBadQuery, errors.New("missing query or query_id"))
+}
+
+// handleCauses returns the actual causes (Theorem 3.2) of one answer
+// or non-answer without ranking them — the polynomial half of an
+// explanation. The per-answer engine it builds is cached, so a
+// following explain or stream against the same request skips straight
+// to responsibility ranking.
+func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	done := s.trackInflight()
+	defer done()
+	sess, ok := s.sessionOf(w, r)
+	if !ok {
+		return
+	}
+	var req CausesRequest
+	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q, qID, err := s.resolveQuery(sess, req.QueryID, req.Query)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	// Lineage computation dominates a cold causes call; run it under
+	// the same admission budget as explains.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, ok := s.admit(ctx)
+	if !ok {
+		writeErr(w, errBudget("server at capacity: %v", ctx.Err()))
+		return
+	}
+	defer release()
+	if s.cfg.testHookAdmitted != nil {
+		s.cfg.testHookAdmitted()
+	}
+
+	eng, engineHit, _, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	causes := eng.Causes()
+	ids := make([]int, len(causes))
+	for i, id := range causes {
+		ids[i] = int(id)
+	}
+	writeJSON(w, http.StatusOK, CausesResponse{
+		Database:     sess.id,
+		QueryID:      qID,
+		Query:        q.String(),
+		Answer:       req.Answer,
+		WhyNo:        req.WhyNo,
+		EngineCached: engineHit,
+		Causes:       ids,
+	})
+}
+
+// handleStream serves a ranking as NDJSON: one StreamEvent line per
+// explanation the moment its responsibility computation completes,
+// then a terminal done (or error) event. On the NP-hard side of the
+// dichotomy this turns a minutes-long blocking ranking into a stream
+// whose first line arrives after a single exact search.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.explains.Add(1)
+	done := s.trackInflight()
+	defer done()
+	sess, ok := s.sessionOf(w, r)
+	if !ok {
+		return
+	}
+	var req StreamExplainRequest
+	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q, qID, err := s.resolveQuery(sess, req.QueryID, req.Query)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, ok := s.admit(ctx)
+	if !ok {
+		writeErr(w, errBudget("server at capacity: %v", ctx.Err()))
+		return
+	}
+	defer release()
+	if s.cfg.testHookAdmitted != nil {
+		s.cfg.testHookAdmitted()
+	}
+
+	started := time.Now()
+	eng, _, _, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	workers := s.clampWorkers(req.Parallelism)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false // client went away; the ranged stream stops the workers
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	n := 0
+	for ex, serr := range eng.RankStream(ctx, mode, core.StreamOptions{Workers: workers, CompletionOrder: req.CompletionOrder}) {
+		if serr != nil {
+			// Status is already written; the taxonomy travels in-band.
+			if ctx.Err() != nil {
+				serr = errBudget("stream canceled: %v", serr)
+			}
+			emit(StreamEvent{Error: &ErrorResponse{Error: serr.Error(), Code: qerr.CodeOf(serr)}})
+			return
+		}
+		n++
+		dto := NewExplanationDTO(sess.db, ex)
+		if !emit(StreamEvent{Explanation: &dto}) {
+			return
+		}
+	}
+	emit(StreamEvent{Done: &StreamDone{Causes: n, ElapsedMicros: time.Since(started).Microseconds()}})
 }

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/parser"
+)
+
+func newStreamTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{ReapInterval: -1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func uploadMicro(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	db, _ := imdb.Micro()
+	text, err := parser.FormatDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/databases", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info DatabaseInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestCausesEndpoint: /causes returns the sorted cause ids without
+// ranking, warms the engine cache, and carries taxonomy codes on
+// failures.
+func TestCausesEndpoint(t *testing.T) {
+	_, ts := newStreamTestServer(t)
+	dbID := uploadMicro(t, ts)
+	q := imdb.GenreQuery().String()
+
+	resp := postJSON(t, ts, "/v1/databases/"+dbID+"/causes", CausesRequest{Query: q, Answer: []string{"Musical"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var causes CausesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&causes); err != nil {
+		t.Fatal(err)
+	}
+	if len(causes.Causes) == 0 || causes.EngineCached {
+		t.Fatalf("cold causes = %+v; want non-empty, not cached", causes)
+	}
+	for i := 1; i < len(causes.Causes); i++ {
+		if causes.Causes[i] <= causes.Causes[i-1] {
+			t.Fatalf("causes not sorted: %v", causes.Causes)
+		}
+	}
+
+	// The engine built for /causes serves the explain warm.
+	resp2 := postJSON(t, ts, "/v1/databases/"+dbID+"/whyso", ExplainRequest{Query: q, Answer: []string{"Musical"}})
+	defer resp2.Body.Close()
+	var exp ExplainResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&exp); err != nil {
+		t.Fatal(err)
+	}
+	if !exp.EngineCached {
+		t.Error("explain after /causes missed the engine cache")
+	}
+	if exp.Causes != len(causes.Causes) {
+		t.Errorf("explain ranked %d causes; /causes returned %d", exp.Causes, len(causes.Causes))
+	}
+
+	// Failure taxonomy on the wire.
+	for _, tc := range []struct {
+		req      CausesRequest
+		status   int
+		wantCode string
+	}{
+		{CausesRequest{}, http.StatusBadRequest, "bad_query"},
+		{CausesRequest{Query: "not a query"}, http.StatusBadRequest, "bad_query"},
+		{CausesRequest{Query: q, Answer: []string{"a", "b"}}, http.StatusUnprocessableEntity, "bad_instance"},
+		{CausesRequest{QueryID: "q99"}, http.StatusNotFound, "query_not_found"},
+		{CausesRequest{Query: q, QueryID: "q1"}, http.StatusBadRequest, "bad_query"},
+	} {
+		resp := postJSON(t, ts, "/v1/databases/"+dbID+"/causes", tc.req)
+		var wire ErrorResponse
+		err := json.NewDecoder(resp.Body).Decode(&wire)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status || wire.Code != tc.wantCode {
+			t.Errorf("causes(%+v) = %d %q; want %d %q (%s)", tc.req, resp.StatusCode, wire.Code, tc.status, tc.wantCode, wire.Error)
+		}
+	}
+}
+
+// TestStreamEndpoint: the NDJSON stream carries one explanation event
+// per cause plus a terminal done event, equals the blocking ranking
+// as a set, and supports prepared queries.
+func TestStreamEndpoint(t *testing.T) {
+	_, ts := newStreamTestServer(t)
+	dbID := uploadMicro(t, ts)
+	q := imdb.GenreQuery().String()
+
+	blocking := postJSON(t, ts, "/v1/databases/"+dbID+"/whyso", ExplainRequest{Query: q, Answer: []string{"Musical"}})
+	defer blocking.Body.Close()
+	var want ExplainResponse
+	if err := json.NewDecoder(blocking.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postJSON(t, ts, "/v1/databases/"+dbID+"/explain/stream",
+		StreamExplainRequest{Query: q, Answer: []string{"Musical"}, Parallelism: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("malformed event %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(want.Explanations)+1 {
+		t.Fatalf("stream emitted %d events; want %d explanations + done", len(events), len(want.Explanations))
+	}
+	last := events[len(events)-1]
+	if last.Done == nil || last.Done.Causes != len(want.Explanations) {
+		t.Fatalf("terminal event = %+v; want done with %d causes", last, len(want.Explanations))
+	}
+	// Deterministic default order: ascending tuple id (cause order).
+	for i, ev := range events[:len(events)-1] {
+		if ev.Explanation == nil {
+			t.Fatalf("event %d is not an explanation: %+v", i, ev)
+		}
+		if i > 0 && ev.Explanation.TupleID <= events[i-1].Explanation.TupleID {
+			t.Errorf("deterministic stream out of cause order at %d: %d after %d",
+				i, ev.Explanation.TupleID, events[i-1].Explanation.TupleID)
+		}
+	}
+	// Same multiset as the blocking ranking.
+	seen := make(map[int]ExplanationDTO)
+	for _, ev := range events[:len(events)-1] {
+		seen[ev.Explanation.TupleID] = *ev.Explanation
+	}
+	for _, w := range want.Explanations {
+		got, ok := seen[w.TupleID]
+		if !ok {
+			t.Errorf("cause %d missing from stream", w.TupleID)
+			continue
+		}
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(w)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("cause %d differs: stream %s vs rank %s", w.TupleID, gj, wj)
+		}
+	}
+
+	// Prepared-query streaming.
+	prep := postJSON(t, ts, "/v1/databases/"+dbID+"/queries", PrepareQueryRequest{Query: q})
+	var pq PrepareQueryResponse
+	err := json.NewDecoder(prep.Body).Decode(&pq)
+	prep.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := postJSON(t, ts, "/v1/databases/"+dbID+"/explain/stream",
+		StreamExplainRequest{QueryID: pq.ID, Answer: []string{"Musical"}})
+	defer resp2.Body.Close()
+	n := 0
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		n++
+	}
+	if n != len(want.Explanations)+1 {
+		t.Errorf("prepared-query stream emitted %d lines; want %d", n, len(want.Explanations)+1)
+	}
+
+	// Pre-stream failures are plain JSON errors with codes.
+	resp3 := postJSON(t, ts, "/v1/databases/"+dbID+"/explain/stream", StreamExplainRequest{Query: "bogus"})
+	defer resp3.Body.Close()
+	var wire ErrorResponse
+	if err := json.NewDecoder(resp3.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.StatusCode != http.StatusBadRequest || wire.Code != "bad_query" {
+		t.Errorf("bad stream request = %d %q", resp3.StatusCode, wire.Code)
+	}
+}
+
+// TestStreamEndpointWhyNo covers the why_no flag over the stream.
+func TestStreamEndpointWhyNo(t *testing.T) {
+	_, ts := newStreamTestServer(t)
+	resp, err := ts.Client().Post(ts.URL+"/v1/databases", "text/plain",
+		strings.NewReader("-R(a,b)\n+S(b)\n+S(c)\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info DatabaseInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := postJSON(t, ts, "/v1/databases/"+info.ID+"/explain/stream",
+		StreamExplainRequest{Query: "q :- R(x,y), S(y)", WhyNo: true})
+	defer stream.Body.Close()
+	var explanations, done int
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case ev.Explanation != nil:
+			explanations++
+			if ev.Explanation.Method != "why-no-closed-form" {
+				t.Errorf("method = %q", ev.Explanation.Method)
+			}
+		case ev.Done != nil:
+			done++
+		case ev.Error != nil:
+			t.Fatalf("stream error: %+v", ev.Error)
+		}
+	}
+	if explanations == 0 || done != 1 {
+		t.Errorf("whyno stream: %d explanations, %d done events", explanations, done)
+	}
+}
+
+// TestErrorCodesOnExistingEndpoints spot-checks that the pre-existing
+// endpoints gained wire codes without changing messages or statuses.
+func TestErrorCodesOnExistingEndpoints(t *testing.T) {
+	_, ts := newStreamTestServer(t)
+	dbID := uploadMicro(t, ts)
+
+	check := func(path string, body any, wantStatus int, wantCode string) {
+		t.Helper()
+		resp := postJSON(t, ts, path, body)
+		defer resp.Body.Close()
+		var wire ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != wantStatus || wire.Code != wantCode {
+			t.Errorf("POST %s = %d %q (%s); want %d %q", path, resp.StatusCode, wire.Code, wire.Error, wantStatus, wantCode)
+		}
+	}
+	check("/v1/databases/nope/whyso", ExplainRequest{Query: "q :- Director(a,b,c)"},
+		http.StatusNotFound, "session_not_found")
+	check(fmt.Sprintf("/v1/databases/%s/queries/q9/whyso", dbID), ExplainRequest{},
+		http.StatusNotFound, "query_not_found")
+	check(fmt.Sprintf("/v1/databases/%s/whyso", dbID), ExplainRequest{Query: "garbage"},
+		http.StatusBadRequest, "bad_query")
+	check(fmt.Sprintf("/v1/databases/%s/whyso", dbID), ExplainRequest{Query: imdb.GenreQuery().String(), Answer: []string{"a", "b"}},
+		http.StatusUnprocessableEntity, "bad_instance")
+}
+
+// TestExplainParallelismOverride: the one-shot explain honors the
+// request's parallelism override (clamped to the worker budget) and
+// stays byte-identical to the serial ranking.
+func TestExplainParallelismOverride(t *testing.T) {
+	_, ts := newStreamTestServer(t)
+	dbID := uploadMicro(t, ts)
+	q := imdb.GenreQuery().String()
+
+	rank := func(parallelism int) []ExplanationDTO {
+		t.Helper()
+		resp := postJSON(t, ts, "/v1/databases/"+dbID+"/whyso",
+			ExplainRequest{Query: q, Answer: []string{"Musical"}, Parallelism: parallelism})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parallelism %d: status = %d", parallelism, resp.StatusCode)
+		}
+		var out ExplainResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Explanations
+	}
+	serial := rank(1)
+	for _, p := range []int{0, 4, 1 << 20} { // default, parallel, over-budget (clamped)
+		got := rank(p)
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(serial)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("parallelism %d ranking differs from serial:\n%s\nvs\n%s", p, gj, wj)
+		}
+	}
+}

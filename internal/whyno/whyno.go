@@ -22,14 +22,17 @@ import (
 	"fmt"
 
 	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
 
 // CheckInstance validates the Why-No setting: q must be false on the
 // exogenous part alone and true once the candidate tuples are added.
+// Violations are tagged qerr.ErrInvalidWhyNo so callers — local and
+// over the wire — can branch with errors.Is.
 func CheckInstance(db *rel.Database, q *rel.Query) error {
 	if !q.IsBoolean() {
-		return fmt.Errorf("whyno: query %s is not Boolean; bind the non-answer first", q.Name)
+		return qerr.Tag(qerr.ErrInvalidWhyNo, fmt.Errorf("whyno: query %s is not Boolean; bind the non-answer first", q.Name))
 	}
 	removedEndo := make(map[rel.TupleID]bool)
 	for _, id := range db.EndoIDs() {
@@ -40,14 +43,14 @@ func CheckInstance(db *rel.Database, q *rel.Query) error {
 		return err
 	}
 	if onDx {
-		return fmt.Errorf("whyno: %s already holds on the real database; it is not a non-answer", q.Name)
+		return qerr.Tag(qerr.ErrInvalidWhyNo, fmt.Errorf("whyno: %s already holds on the real database; it is not a non-answer", q.Name))
 	}
 	onAll, err := rel.Holds(db, q)
 	if err != nil {
 		return err
 	}
 	if !onAll {
-		return fmt.Errorf("whyno: %s does not hold even with all candidate tuples; no causes exist", q.Name)
+		return qerr.Tag(qerr.ErrInvalidWhyNo, fmt.Errorf("whyno: %s does not hold even with all candidate tuples; no causes exist", q.Name))
 	}
 	return nil
 }

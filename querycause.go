@@ -3,6 +3,7 @@ package querycause
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/querycause/querycause/internal/causegen"
 	"github.com/querycause/querycause/internal/core"
@@ -108,6 +109,11 @@ func ParseDatabase(r io.Reader) (*Database, error) { return parser.ParseDatabase
 func Answers(db *Database, q *Query) ([]rel.Answer, error) { return rel.Answers(db, q) }
 
 // Explainer ranks the causes of one answer or non-answer.
+//
+// Deprecated: Explainer is the context-free v1 surface. New code
+// should Open (or Dial) a Session and use its context-first Ranking —
+// same results, plus cancellation, streaming (RankStream), and the
+// typed error taxonomy. Explainer remains supported as a thin wrapper.
 type Explainer struct {
 	eng   *core.Engine
 	whyNo bool
@@ -116,6 +122,9 @@ type Explainer struct {
 // WhySo explains why answer ā is returned by q on db: the database's
 // endogenous tuples are the candidate causes (Definition 2.1). Pass no
 // answer values for a Boolean query.
+//
+// Deprecated: use Open(db) and Session.WhySo(ctx, q, answer...),
+// which adds cancellation, streaming, and typed errors.
 func WhySo(db *Database, q *Query, answer ...Value) (*Explainer, error) {
 	eng, err := core.NewWhySo(db, q, answer...)
 	if err != nil {
@@ -127,6 +136,8 @@ func WhySo(db *Database, q *Query, answer ...Value) (*Explainer, error) {
 // WhyNo explains why ā is NOT an answer: the database's endogenous
 // tuples are the candidate missing tuples Dⁿ, its exogenous tuples the
 // real database Dˣ (Section 2, Why-No causality).
+//
+// Deprecated: use Open(db) and Session.WhyNo(ctx, q, nonAnswer...).
 func WhyNo(db *Database, q *Query, nonAnswer ...Value) (*Explainer, error) {
 	eng, err := core.NewWhyNo(db, q, nonAnswer...)
 	if err != nil {
@@ -156,6 +167,10 @@ func (e *Explainer) ResponsibilityMode(t TupleID, m Mode) (Explanation, error) {
 }
 
 // Rank explains every cause, sorted by descending responsibility.
+//
+// Deprecated: use Ranking.Rank(ctx) on a Session for cancellation and
+// parallelism, or Ranking.RankStream(ctx) for incremental results.
+// The output is identical.
 func (e *Explainer) Rank() ([]Explanation, error) { return e.eng.RankAll(core.ModeAuto) }
 
 // MustRank is Rank, panicking on error (for examples and tests).
@@ -206,9 +221,10 @@ func ClassifySound(q *Query, endo func(relName string) bool) (*Certificate, erro
 
 // FormatExplanations renders a ranking as the paper's Fig. 2b table.
 func FormatExplanations(db *Database, exps []Explanation) string {
-	out := "  ρ_t    tuple\n"
+	var b strings.Builder
+	b.WriteString("  ρ_t    tuple\n")
 	for _, e := range exps {
-		out += fmt.Sprintf("  %.3f  %v\n", e.Rho, db.Tuple(e.Tuple))
+		fmt.Fprintf(&b, "  %.3f  %v\n", e.Rho, db.Tuple(e.Tuple))
 	}
-	return out
+	return b.String()
 }

@@ -1,0 +1,203 @@
+package querycause
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync/atomic"
+
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/qerr"
+)
+
+// Session is the explanation API over one database: the same
+// interface whether the engine runs in-process (Open) or behind a
+// querycaused server (Dial). Every method is context-first, failures
+// are tagged with the package's error taxonomy identically on both
+// transports, and rankings — blocking, streamed, or batched — are
+// byte-identical across transports and parallelism degrees.
+//
+// A Session is safe for concurrent use. Close releases the session;
+// all later calls fail with ErrSessionClosed.
+type Session interface {
+	// WhySo opens the explanation of why answer ā is returned by q
+	// (Definition 2.1): the database's endogenous tuples are the
+	// candidate causes. Pass no answer values for a Boolean query. The
+	// causes (Theorem 3.2) are computed here — always polynomial —
+	// while responsibility ranking is deferred to the Ranking.
+	WhySo(ctx context.Context, q *Query, answer ...Value) (Ranking, error)
+	// WhyNo opens the explanation of why ā is NOT an answer: the
+	// endogenous tuples are the candidate missing tuples Dⁿ, the
+	// exogenous tuples the real database Dˣ (Section 2). Invalid
+	// instances fail here with ErrInvalidWhyNo.
+	WhyNo(ctx context.Context, q *Query, nonAnswer ...Value) (Ranking, error)
+	// ExplainAll explains many answers and non-answers in one call,
+	// fanned out across a worker pool. Results arrive in request
+	// order; per-request failures land in BatchResult.Err without
+	// aborting the rest. It returns a non-nil error only when the
+	// whole batch failed (context canceled, transport down).
+	ExplainAll(ctx context.Context, reqs []BatchRequest, opts ...Option) ([]BatchResult, error)
+	// Close releases the session (and drops the server-side session on
+	// a Dial'ed one).
+	Close() error
+}
+
+// Ranking is one opened explanation: the causes of a single answer or
+// non-answer, with their responsibility ranking available blocking
+// (Rank) or incrementally (RankStream). Rankings are safe for
+// concurrent use and remain usable after Session.Close only on the
+// in-process transport; treat them as scoped to their session.
+type Ranking interface {
+	// Causes returns all actual causes, sorted by tuple ID (Theorem
+	// 3.2). It is precomputed — no responsibility search runs.
+	Causes(ctx context.Context) ([]TupleID, error)
+	// Rank explains every cause, sorted by descending responsibility
+	// with ties by ascending tuple ID (the paper's Fig. 2b ranking).
+	// The result is byte-identical for every transport, worker count,
+	// and emission order.
+	Rank(ctx context.Context, opts ...Option) ([]Explanation, error)
+	// RankStream yields each cause's explanation as its responsibility
+	// computation completes: on the NP-hard side of the dichotomy the
+	// first explanation arrives after one exact search instead of all
+	// of them. The default emission order is ascending cause order
+	// (deterministic); WithDeterministic(false) switches to completion
+	// order. A fully drained stream holds exactly Rank's explanations
+	// — sort with SortExplanations to recover the ranking order. The
+	// sequence is single-use; breaking out of the range cancels the
+	// remaining computation. Errors end the sequence as a final
+	// (zero Explanation, err) pair.
+	RankStream(ctx context.Context, opts ...Option) iter.Seq2[Explanation, error]
+}
+
+// Open returns an in-process Session over db. The database must not
+// be mutated while the session is in use. Options set the session's
+// defaults (mode, parallelism, timeout, streaming determinism);
+// per-call options override them.
+func Open(db *Database, opts ...Option) (Session, error) {
+	if db == nil {
+		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Open: nil database"))
+	}
+	return &localSession{db: db, cfg: defaultConfig().apply(opts)}, nil
+}
+
+// SortExplanations sorts a ranking in place into the order Rank
+// returns — descending ρ, ties by ascending tuple ID. Draining
+// RankStream and sorting with SortExplanations reproduces Rank
+// byte-for-byte.
+func SortExplanations(exps []Explanation) { core.SortExplanations(exps) }
+
+// localSession is the in-process transport: a thin, option-aware
+// veneer over internal/core.
+type localSession struct {
+	db     *Database
+	cfg    config
+	closed atomic.Bool
+}
+
+func (s *localSession) checkOpen() error {
+	if s.closed.Load() {
+		return qerr.Tag(qerr.ErrSessionClosed, fmt.Errorf("querycause: session is closed"))
+	}
+	return nil
+}
+
+func (s *localSession) WhySo(ctx context.Context, q *Query, answer ...Value) (Ranking, error) {
+	return s.open(ctx, q, answer, false)
+}
+
+func (s *localSession) WhyNo(ctx context.Context, q *Query, nonAnswer ...Value) (Ranking, error) {
+	return s.open(ctx, q, nonAnswer, true)
+}
+
+func (s *localSession) open(ctx context.Context, q *Query, answer []Value, whyNo bool) (Ranking, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	cctx, cancel := s.cfg.withTimeout(ctx)
+	defer cancel()
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
+	var eng *core.Engine
+	var err error
+	if whyNo {
+		eng, err = core.NewWhyNo(s.db, q, answer...)
+	} else {
+		eng, err = core.NewWhySo(s.db, q, answer...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Engine construction (lineage computation) is not interruptible;
+	// honor a budget that expired during it the way the remote
+	// transport's request deadline would.
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
+	return &localRanking{s: s, eng: eng}, nil
+}
+
+func (s *localSession) ExplainAll(ctx context.Context, reqs []BatchRequest, opts ...Option) ([]BatchResult, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg.apply(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	creqs := make([]core.BatchRequest, len(reqs))
+	for i, r := range reqs {
+		creqs[i] = core.BatchRequest{Query: r.Query, Answer: r.Answer, WhyNo: r.WhyNo}
+	}
+	cres, err := core.ExplainBatch(ctx, s.db, creqs, core.BatchRunOptions{
+		Workers: cfg.parallelism,
+		Mode:    cfg.mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]BatchResult, len(reqs))
+	for i, r := range cres {
+		results[i] = BatchResult{Request: reqs[i], Explanations: r.Explanations, Err: r.Err}
+	}
+	return results, nil
+}
+
+func (s *localSession) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+type localRanking struct {
+	s   *localSession
+	eng *core.Engine
+}
+
+func (r *localRanking) Causes(ctx context.Context) ([]TupleID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.eng.Causes(), nil
+}
+
+func (r *localRanking) Rank(ctx context.Context, opts ...Option) ([]Explanation, error) {
+	cfg := r.s.cfg.apply(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	return r.eng.RankAllParallel(ctx, cfg.mode, core.ParallelOptions{Workers: cfg.parallelism})
+}
+
+func (r *localRanking) RankStream(ctx context.Context, opts ...Option) iter.Seq2[Explanation, error] {
+	cfg := r.s.cfg.apply(opts)
+	return func(yield func(Explanation, error) bool) {
+		ctx, cancel := cfg.withTimeout(ctx)
+		defer cancel()
+		for ex, err := range r.eng.RankStream(ctx, cfg.mode, core.StreamOptions{
+			Workers:         cfg.parallelism,
+			CompletionOrder: cfg.completionOrder,
+		}) {
+			if !yield(ex, err) {
+				return
+			}
+		}
+	}
+}

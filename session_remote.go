@@ -1,0 +1,255 @@
+package querycause
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/qerr"
+)
+
+// Dial opens a Session against a querycaused server: db is uploaded
+// into a server-side session and every Session call becomes an HTTP
+// request against it. The returned Session has the same semantics as
+// Open's — identical rankings byte-for-byte, identical error
+// sentinels under errors.Is — with the server's caches, admission
+// control, and worker budget behind it. Close drops the server-side
+// session.
+//
+// The tuple-ID space is shared: the upload preserves tuple order, so
+// TupleIDs in remote Explanations index db exactly as in-process ones
+// do.
+func Dial(ctx context.Context, baseURL string, db *Database, opts ...Option) (Session, error) {
+	if db == nil {
+		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Dial: nil database"))
+	}
+	cfg := defaultConfig().apply(opts)
+	c := NewClient(baseURL, cfg.httpClient).SetRetries(cfg.retries)
+	dctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	info, err := c.UploadDB(dctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSession{c: c, db: db, dbID: info.ID, cfg: cfg}, nil
+}
+
+// remoteSession is the HTTP transport of the Session interface.
+type remoteSession struct {
+	c      *Client
+	db     *Database
+	dbID   string
+	cfg    config
+	closed atomic.Bool
+}
+
+func (s *remoteSession) checkOpen() error {
+	if s.closed.Load() {
+		return qerr.Tag(qerr.ErrSessionClosed, fmt.Errorf("querycause: session is closed"))
+	}
+	return nil
+}
+
+func (s *remoteSession) WhySo(ctx context.Context, q *Query, answer ...Value) (Ranking, error) {
+	return s.open(ctx, q, answer, false)
+}
+
+func (s *remoteSession) WhyNo(ctx context.Context, q *Query, nonAnswer ...Value) (Ranking, error) {
+	return s.open(ctx, q, nonAnswer, true)
+}
+
+// open mirrors the in-process transport's eager validation: the
+// /causes endpoint parses, validates, and lineages the instance
+// server-side (caching the engine), so invalid queries and invalid
+// Why-No instances fail here — with the same error sentinels — and
+// the later Rank or RankStream starts warm.
+func (s *remoteSession) open(ctx context.Context, q *Query, answer []Value, whyNo bool) (Ranking, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	cctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	resp, err := s.c.Causes(cctx, s.dbID, CausesRequest{
+		Query:  q.String(),
+		Answer: valueStrings(answer),
+		WhyNo:  whyNo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	causes := make([]TupleID, len(resp.Causes))
+	for i, id := range resp.Causes {
+		causes[i] = TupleID(id)
+	}
+	return &remoteRanking{
+		s:      s,
+		query:  q.String(),
+		answer: valueStrings(answer),
+		whyNo:  whyNo,
+		causes: causes,
+	}, nil
+}
+
+func (s *remoteSession) ExplainAll(ctx context.Context, reqs []BatchRequest, opts ...Option) ([]BatchResult, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg.apply(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	wire := BatchExplainRequest{Mode: cfg.mode.String(), Parallelism: cfg.parallelism}
+	for _, r := range reqs {
+		wire.Requests = append(wire.Requests, BatchItem{
+			Query:  r.Query.String(),
+			Answer: valueStrings(r.Answer),
+			WhyNo:  r.WhyNo,
+		})
+	}
+	resp, err := s.c.Batch(ctx, s.dbID, wire)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, fmt.Errorf("querycaused: batch returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	results := make([]BatchResult, len(reqs))
+	for i, item := range resp.Results {
+		results[i].Request = reqs[i]
+		if item.Error != "" {
+			err := errors.New(item.Error)
+			if s := qerr.FromCode(item.Code); s != nil {
+				err = qerr.Tag(s, err)
+			}
+			results[i].Err = err
+			continue
+		}
+		results[i].Explanations = explanationsFromDTOs(item.Explanations)
+	}
+	return results, nil
+}
+
+// Close drops the server-side session. It uses its own short deadline
+// (Close has no context); a session the server already evicted counts
+// as closed, not as an error.
+func (s *remoteSession) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.c.DropDatabase(ctx, s.dbID); err != nil && !errors.Is(err, qerr.ErrSessionNotFound) {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// remoteRanking is one opened explanation on the remote transport.
+// The causes came back with the opening /causes call; Rank and
+// RankStream hit the (now warm) explain endpoints.
+type remoteRanking struct {
+	s      *remoteSession
+	query  string
+	answer []string
+	whyNo  bool
+	causes []TupleID
+}
+
+func (r *remoteRanking) Causes(ctx context.Context) ([]TupleID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return append([]TupleID(nil), r.causes...), nil
+}
+
+func (r *remoteRanking) Rank(ctx context.Context, opts ...Option) ([]Explanation, error) {
+	cfg := r.s.cfg.apply(opts)
+	ctx, cancel := cfg.withTimeout(ctx)
+	defer cancel()
+	req := ExplainRequest{Query: r.query, Answer: r.answer, Mode: cfg.mode.String(), Parallelism: cfg.parallelism}
+	var resp ExplainResponse
+	var err error
+	if r.whyNo {
+		resp, err = r.s.c.WhyNo(ctx, r.s.dbID, "", req)
+	} else {
+		resp, err = r.s.c.WhySo(ctx, r.s.dbID, "", req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return explanationsFromDTOs(resp.Explanations), nil
+}
+
+func (r *remoteRanking) RankStream(ctx context.Context, opts ...Option) iter.Seq2[Explanation, error] {
+	cfg := r.s.cfg.apply(opts)
+	return func(yield func(Explanation, error) bool) {
+		ctx, cancel := cfg.withTimeout(ctx)
+		defer cancel()
+		for dto, err := range r.s.c.ExplainStream(ctx, r.s.dbID, StreamExplainRequest{
+			Query:           r.query,
+			Answer:          r.answer,
+			WhyNo:           r.whyNo,
+			Mode:            cfg.mode.String(),
+			Parallelism:     cfg.parallelism,
+			CompletionOrder: cfg.completionOrder,
+		}) {
+			if err != nil {
+				yield(Explanation{}, err)
+				return
+			}
+			if !yield(explanationFromDTO(dto), nil) {
+				return
+			}
+		}
+	}
+}
+
+func valueStrings(vs []Value) []string {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = string(v)
+	}
+	return out
+}
+
+// explanationFromDTO rehydrates the wire shape into the library's
+// Explanation, bit-for-bit: contingencies come back as tuple IDs, and
+// a cause's empty contingency is the non-nil empty slice the engine
+// produces (nil is reserved for non-causes).
+func explanationFromDTO(d ExplanationDTO) Explanation {
+	ex := Explanation{
+		Tuple:           TupleID(d.TupleID),
+		Rho:             d.Rho,
+		ContingencySize: d.ContingencySize,
+	}
+	if m, ok := core.ParseMethod(d.Method); ok {
+		ex.Method = m
+	}
+	if d.ContingencySize >= 0 {
+		ex.Contingency = make([]TupleID, 0, len(d.ContingencyIDs))
+		for _, id := range d.ContingencyIDs {
+			ex.Contingency = append(ex.Contingency, TupleID(id))
+		}
+	}
+	return ex
+}
+
+func explanationsFromDTOs(dtos []ExplanationDTO) []Explanation {
+	out := make([]Explanation, len(dtos))
+	for i, d := range dtos {
+		out[i] = explanationFromDTO(d)
+	}
+	return out
+}
