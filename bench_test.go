@@ -262,9 +262,10 @@ func parallelSweep() []int {
 // BenchmarkE18_ParallelRanking measures the concurrent batch engine
 // (RankAllParallel) against the serial RankAll on both sides of the
 // responsibility dichotomy: a weakly linear query solved per cause by
-// Algorithm 1 (max-flow over per-worker network clones) and the
-// NP-hard star h₁* solved per cause by exact branch-and-bound over the
-// shared lineage. workers=1 is the serial baseline; the speedup at
+// Algorithm 1 (max-flow over per-worker networks, pooled and Reset
+// across rankings instead of cloned per call) and the NP-hard star
+// h₁* solved per cause by the indexed branch-and-bound over the
+// shared interned lineage. workers=1 is the serial baseline; the speedup at
 // workers=w is serial_ns / parallel_ns on a host with GOMAXPROCS ≥ w
 // (on a single-core host the sweep instead measures fan-out overhead).
 func BenchmarkE18_ParallelRanking(b *testing.B) {
@@ -375,25 +376,34 @@ func BenchmarkE19_ExplainAllBatch(b *testing.B) {
 	}
 }
 
-// BenchmarkAblation_PackingBound quantifies the branch-and-bound
-// packing lower bound: the exact solver with
-// and without it on the h₁* family.
-func BenchmarkAblation_PackingBound(b *testing.B) {
+// BenchmarkAblation_Options quantifies each optimization of the
+// indexed branch-and-bound on the h₁* family: every exact.Options
+// toggle off individually (the differential harness asserts none of
+// them changes an answer; this is the time axis). The full
+// before/after curve lives in BENCH_exact.json
+// (`go run ./cmd/experiments -run exactcurve`).
+func BenchmarkAblation_Options(b *testing.B) {
 	db, q, t := workload.Star(13, 16)
 	n, err := lineage.NLineageOf(db, q)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("with-bound", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			exact.MinContingencyOpts(n, t, exact.Options{})
-		}
-	})
-	b.Run("without-bound", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			exact.MinContingencyOpts(n, t, exact.Options{DisablePackingBound: true})
-		}
-	})
+	for _, v := range []struct {
+		name string
+		opts exact.Options
+	}{
+		{"default", exact.Options{}},
+		{"no-greedy-seed", exact.Options{DisableGreedySeed: true}},
+		{"no-preprocess", exact.Options{DisablePreprocess: true}},
+		{"no-memo", exact.Options{DisableMemo: true}},
+		{"no-packing-bound", exact.Options{DisablePackingBound: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exact.MinContingencyOpts(n, t, v.opts)
+			}
+		})
+	}
 }
 
 // BenchmarkAblation_GreedyVsExact compares the polynomial greedy
@@ -420,8 +430,9 @@ func BenchmarkAblation_GreedyVsExact(b *testing.B) {
 // BenchmarkE17_ScalingLinearVsHard contrasts the two sides of the
 // dichotomy: the weakly linear triangle of Example 4.12a (exogenous S →
 // flow algorithm, polynomial — note the n=200 point) versus the
-// NP-hard star h₁* (exact branch-and-bound, exponential: ~µs at n=8,
-// seconds by n=24, hopeless past n≈32). This is the paper's central
+// NP-hard star h₁* (exact search, still exponential in the worst case;
+// the indexed branch-and-bound pushed the old n≈32 wall out past n=64
+// on this family — see BENCH_exact.json). This is the paper's central
 // claim made measurable.
 func BenchmarkE17_ScalingLinearVsHard(b *testing.B) {
 	for _, n := range []int{8, 16, 24, 200} {

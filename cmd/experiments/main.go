@@ -8,6 +8,11 @@
 //	            [-parallel N]
 //	experiments -run load -server http://localhost:8347
 //	            [-load-clients N] [-load-requests N]
+//	experiments -run exactcurve [-bench-out BENCH_exact.json]
+//
+// The exactcurve experiment regenerates the exact-solver cost curve
+// and ablation baseline (see exactcurve.go); it writes a file, so it
+// is excluded from -run all.
 //
 // -parallel sets the worker count used by the ranking experiments
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
@@ -42,23 +47,28 @@ import (
 // batch ranking APIs (0 = GOMAXPROCS, 1 = serial).
 var parallelism = flag.Int("parallel", 0, "ranking worker count (0 = GOMAXPROCS, 1 = serial)")
 
+// benchOut is where -run exactcurve writes its JSON baseline.
+var benchOut = flag.String("bench-out", "BENCH_exact.json", "output path for the exactcurve baseline")
+
 func main() {
 	run := flag.String("run", "all", "experiment to run (all, fig1, fig2, fig3, fig4, fig6, fig7, fig9, thm415, gap, batch)")
 	flag.Parse()
 	exps := map[string]func(){
-		"fig1":   fig1,
-		"fig2":   fig2,
-		"fig3":   fig3,
-		"fig4":   fig4,
-		"fig6":   fig6,
-		"fig7":   fig7,
-		"fig9":   fig9,
-		"thm415": thm415,
-		"gap":    gap,
-		"batch":  batch,
-		"load":   load,
+		"fig1":       fig1,
+		"fig2":       fig2,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"fig6":       fig6,
+		"fig7":       fig7,
+		"fig9":       fig9,
+		"thm415":     thm415,
+		"gap":        gap,
+		"batch":      batch,
+		"load":       load,
+		"exactcurve": exactCurve,
 	}
-	// load needs a running server, so it is not part of "all".
+	// load needs a running server, and exactcurve writes a bench file,
+	// so neither is part of "all".
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "thm415", "gap", "batch"}
 	if *run == "all" {
 		for _, name := range order {
@@ -68,7 +78,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

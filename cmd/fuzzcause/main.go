@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		constProb   = fs.Float64("const-prob", 0.15, "per-term constant probability (0 disables)")
 		whyNoProb   = fs.Float64("whyno-prob", 0.3, "fraction of why-no instances (0 disables)")
 		selfJoin    = fs.Float64("selfjoin-prob", 0.15, "per-atom self-join probability (0 disables)")
+		hardStar    = fs.Float64("hardstar-prob", 0, "probability of an NP-hard star-family (h1*) instance (default off)")
 		serverDiff  = fs.Bool("server-diff", true, "also replay instances through an in-process HTTP server")
 		serverEvery = fs.Int("server-every", 8, "replay every k-th instance through the server")
 		sessDiff    = fs.Bool("session-diff", true, "also replay instances through the Session API on both transports (Open vs Dial)")
@@ -82,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ConstProb:         flagProb(*constProb),
 		WhyNoProb:         flagProb(*whyNoProb),
 		SelfJoinProb:      flagProb(*selfJoin),
+		// HardStarProb's default is off, so the flag value passes
+		// through unchanged (no 0-means-default translation).
+		HardStarProb: *hardStar,
 	}
 	if *benchOut != "" {
 		return runBench(*benchOut, *workers, *benchQuick, stdout, stderr)
@@ -212,7 +216,11 @@ func runBench(path string, workers int, quick bool, stdout, stderr io.Writer) in
 		Note:   "sweep throughput includes generation + all oracles; oracle curve times exact.MinContingencySet on star h1* lineages of growing width",
 	}
 	scale := 1
-	starSizes := []int{4, 8, 12, 16, 24, 32}
+	// Widths past 147 (n=32) were unreachable before the indexed
+	// branch-and-bound (PR-3 measured 27s/call at n=32); the curve now
+	// extends to n=64. BENCH_exact.json carries the full
+	// before/after/ablation story.
+	starSizes := []int{4, 8, 12, 16, 24, 32, 48, 64}
 	if quick {
 		rep.Note += " (QUICK mode: ~10x scaled down, not a comparable baseline)"
 		scale = 10
@@ -251,9 +259,10 @@ func runBench(path string, workers int, quick bool, stdout, stderr io.Writer) in
 		})
 	}
 
-	// Responsibility on h₁* is NP-hard: the branch-and-bound cost grows
-	// ~4x per 8 tuples of width, so the curve stops where a single call
-	// is still sub-second (n=64 would run for minutes).
+	// Responsibility on h₁* is NP-hard; the indexed branch-and-bound
+	// moves the cost cliff far enough right that every size below is
+	// sub-second per call (regenerate the dedicated before/after curve
+	// with `go run ./cmd/experiments -run exactcurve`).
 	for _, n := range starSizes {
 		db, q, _ := workload.Star(1, n)
 		eng, err := core.NewWhySo(db, q)

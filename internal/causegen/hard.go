@@ -1,0 +1,61 @@
+// Hard-family instance generation: seeded members of the paper's
+// NP-hard star family h₁* with randomized endogenous/exogenous masks,
+// emitted by RandomInstance when GenConfig.HardStarProb is set. The
+// family's lineage width is what the exact solver's cost scales with;
+// with the indexed branch-and-bound these widths are routinely
+// reachable by sweeps (PR-3's map-based solver hit a wall near width
+// 147 — see BENCH_exact.json), so the differential harness can now
+// hammer the solver on the very instances the hardness proofs are
+// about.
+
+package causegen
+
+import (
+	"math/rand"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// maxSweepStarSize bounds the star size RandomInstance draws (sizes
+// 2..maxSweepStarSize+1): large enough to leave the flow-friendly
+// regime, small enough that metamorphic re-rankings keep sweep
+// throughput usable.
+const maxSweepStarSize = 6
+
+// HardStar builds one seeded instance of the star family
+// h₁* :- A(x), B(y), C(z), W(x,y,z) with n tuples per unary relation
+// and 2n triples, each tuple independently exogenous with probability
+// exoProb. The planted witness keeps the query true, so the instance
+// is always a valid Why-So scenario. Deterministic in (seed, n,
+// exoProb).
+func HardStar(seed int64, n int, exoProb float64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return hardStar(seed, rng, n, exoProb)
+}
+
+func hardStar(seed int64, rng *rand.Rand, n int, exoProb float64) *Instance {
+	if n < 1 {
+		n = 1
+	}
+	endo := func() bool { return rng.Float64() >= exoProb }
+	b := newDBBuilder()
+	b.add("A", endo(), []rel.Value{domVal(0)})
+	b.add("B", endo(), []rel.Value{domVal(0)})
+	b.add("C", endo(), []rel.Value{domVal(0)})
+	b.add("W", endo(), []rel.Value{domVal(0), domVal(0), domVal(0)})
+	for i := 1; i < n; i++ {
+		b.add("A", endo(), []rel.Value{domVal(i)})
+		b.add("B", endo(), []rel.Value{domVal(i)})
+		b.add("C", endo(), []rel.Value{domVal(i)})
+	}
+	for i := 1; i < 2*n; i++ {
+		b.add("W", endo(), []rel.Value{domVal(rng.Intn(n)), domVal(rng.Intn(n)), domVal(rng.Intn(n))})
+	}
+	q := rel.NewBoolean(
+		rel.NewAtom("A", rel.V("x")),
+		rel.NewAtom("B", rel.V("y")),
+		rel.NewAtom("C", rel.V("z")),
+		rel.NewAtom("W", rel.V("x"), rel.V("y"), rel.V("z")),
+	)
+	return &Instance{Seed: seed, DB: b.db, Query: q}
+}

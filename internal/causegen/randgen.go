@@ -51,6 +51,13 @@ type GenConfig struct {
 	// WhyNoProb is the probability of generating a Why-No instance
 	// instead of a Why-So one. Default 0.3.
 	WhyNoProb float64
+	// HardStarProb is the probability of emitting a member of the
+	// NP-hard star family h₁* (randomized size and exogenous mask, see
+	// HardStar) instead of a random query instance. Unlike the other
+	// probabilities its default is 0 — off — so existing seeds keep
+	// generating identical instances; sweeps targeting the exact
+	// solver opt in (cmd/fuzzcause -hardstar-prob).
+	HardStarProb float64
 }
 
 // Normalize resolves defaults: zero maxima/probabilities get their
@@ -234,6 +241,11 @@ func randomBinding(rng *rand.Rand, q *rel.Query, domain int) map[string]rel.Valu
 func RandomInstance(seed int64, cfg GenConfig) *Instance {
 	cfg = cfg.Normalize()
 	rng := rand.New(rand.NewSource(seed))
+	// The hard-family branch draws from the rng only when enabled, so
+	// configs without it reproduce their historical instances exactly.
+	if cfg.HardStarProb > 0 && rng.Float64() < cfg.HardStarProb {
+		return hardStar(seed, rng, 2+rng.Intn(maxSweepStarSize), cfg.ExoProb)
+	}
 	q := RandomQuery(rng, cfg)
 	whyNo := rng.Float64() < cfg.WhyNoProb
 	if whyNo {

@@ -150,12 +150,22 @@ type Engine struct {
 	causeSet map[rel.TupleID]bool
 	causes   []rel.TupleID
 
+	// exIndex is the interned lineage backing every exact search on
+	// this engine: built once (lazily — flow-only engines never pay for
+	// it), then shared read-only by all causes and workers.
+	exOnce  sync.Once
+	exIndex *lineage.Index
+
 	// mu guards the lazy caches below; all other fields are read-only
 	// after newEngine returns.
 	mu        sync.Mutex
 	soundCert *rewrite.Certificate
 	paperCert *rewrite.Certificate
 	nets      map[Mode]*respflow.Network
+	// netPool parks worker-private network clones between rankings
+	// (see acquireNet/releaseNet in parallel.go); guarded by poolMu.
+	poolMu  sync.Mutex
+	netPool map[Mode][]*respflow.Network
 	// flowMu serializes use of the cached networks: Contingency
 	// temporarily rewrites edge capacities, so the serial path holds
 	// flowMu around each flow computation and RankAllParallel holds it
@@ -210,6 +220,7 @@ func newEngine(db *rel.Database, bq *rel.Query, isWhyNo bool) (*Engine, error) {
 		nlineage: n,
 		causeSet: make(map[rel.TupleID]bool),
 		nets:     make(map[Mode]*respflow.Network),
+		netPool:  make(map[Mode][]*respflow.Network),
 	}
 	if !n.True {
 		e.causes = n.Vars()
@@ -308,6 +319,14 @@ func (e *Engine) Prime(sound, paper *rewrite.Certificate) {
 	if paper != nil && e.paperCert == nil {
 		e.paperCert = paper
 	}
+}
+
+// exactIndex returns the interned lineage index backing the exact
+// solvers, built on first use and shared (read-only) by every
+// concurrent worker afterwards.
+func (e *Engine) exactIndex() *lineage.Index {
+	e.exOnce.Do(func() { e.exIndex = lineage.NewIndex(e.nlineage) })
+	return e.exIndex
 }
 
 // isCounterfactual reports whether every minimal conjunct contains t.
@@ -428,7 +447,7 @@ func (e *Engine) explain(t rel.TupleID, net *respflow.Network) Explanation {
 		size := len(set)
 		return Explanation{Tuple: t, Rho: 1 / (1 + float64(size)), ContingencySize: size, Contingency: set, Method: MethodFlow}
 	}
-	set, ok := exact.MinContingencySet(e.nlineage, t)
+	set, ok := exact.MinContingencySetIndex(e.exactIndex(), t, exact.Options{})
 	if !ok {
 		return Explanation{Tuple: t, Rho: 0, ContingencySize: -1, Method: MethodExact}
 	}

@@ -3,9 +3,12 @@
 // the shared immutable minimal n-lineage — max-flow per Algorithm 1 on
 // the weakly linear side of the dichotomy, branch-and-bound hitting set
 // on the NP-hard side — so the fan-out needs no locking on the hot
-// path: the exact and Why-No solvers are pure functions of the
-// lineage, and each flow worker operates on a private Clone of the
-// base network (min-cut temporarily rewrites edge capacities).
+// path: the exact and Why-No solvers are pure functions of the shared
+// interned lineage index, and each flow worker operates on a private
+// network (min-cut temporarily rewrites edge capacities) taken from a
+// per-engine pool — cloned from the base on first use, Reset and
+// parked on release, so repeated rankings on one engine stop paying
+// the per-call clone.
 //
 // The output is deterministic: explanations land in a slice indexed by
 // cause position and are then sorted exactly like the serial path, so
@@ -99,26 +102,65 @@ func (e *Engine) RankAllParallel(ctx context.Context, mode Mode, opts ParallelOp
 	}
 
 	results := make([]Explanation, len(e.causes))
+	var acqMu sync.Mutex
+	var acquired []*respflow.Network
 	ForEachIndex(ctx, len(e.causes), workers, func() func(int) {
-		// Private flow state per worker; one clone amortized over all
-		// causes the worker pulls. Cloning locks flowMu so a concurrent
-		// serial caller mid-computation on the shared base cannot be
-		// observed with rewritten capacities.
+		// Private flow state per worker: a pooled network from an
+		// earlier ranking when available, else one clone amortized over
+		// all causes the worker pulls.
 		var net *respflow.Network
 		if base != nil {
-			e.flowMu.Lock()
-			net = base.Clone()
-			e.flowMu.Unlock()
+			net = e.acquireNet(mode, base)
+			acqMu.Lock()
+			acquired = append(acquired, net)
+			acqMu.Unlock()
 		}
 		return func(i int) {
 			results[i] = e.explain(e.causes[i], net)
 		}
 	})
+	for _, net := range acquired {
+		e.releaseNet(mode, net)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sortExplanations(results)
 	return results, nil
+}
+
+// acquireNet returns a worker-private network for mode: a parked one
+// from an earlier ranking when the pool has any (Reset restored it to
+// resting state on release), else a fresh Clone of base. Cloning locks
+// flowMu so a concurrent serial caller mid-computation on the shared
+// base cannot be observed with rewritten capacities; pooled reuse
+// needs no lock at all.
+func (e *Engine) acquireNet(mode Mode, base *respflow.Network) *respflow.Network {
+	e.poolMu.Lock()
+	if pool := e.netPool[mode]; len(pool) > 0 {
+		net := pool[len(pool)-1]
+		e.netPool[mode] = pool[:len(pool)-1]
+		e.poolMu.Unlock()
+		return net
+	}
+	e.poolMu.Unlock()
+	e.flowMu.Lock()
+	net := base.Clone()
+	e.flowMu.Unlock()
+	return net
+}
+
+// releaseNet resets net and parks it for the next ranking's workers.
+// The pool is bounded by GOMAXPROCS — more workers than cores never
+// pay off, so anything beyond that is discarded rather than held for
+// the engine's lifetime.
+func (e *Engine) releaseNet(mode Mode, net *respflow.Network) {
+	net.Reset()
+	e.poolMu.Lock()
+	if len(e.netPool[mode]) < runtime.GOMAXPROCS(0) {
+		e.netPool[mode] = append(e.netPool[mode], net)
+	}
+	e.poolMu.Unlock()
 }
 
 // rankAllCtx is the serial ranking with cancellation checks between

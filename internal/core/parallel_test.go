@@ -115,6 +115,56 @@ func TestRankAllParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestNetworkPoolReuse: repeated parallel rankings on one engine
+// reuse pooled, Reset networks instead of fresh clones — every
+// repetition must stay byte-identical to the serial ranking, and the
+// pool must actually be primed after the first call.
+func TestNetworkPoolReuse(t *testing.T) {
+	for _, w := range parallelWorkloads() {
+		if w.whyNo {
+			continue
+		}
+		eng := newEngineFor(t, w, 3)
+		serial, err := eng.RankAll(ModeAuto)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", w.name, err)
+		}
+		usesFlow := false
+		for _, ex := range serial {
+			if ex.Method == MethodFlow {
+				usesFlow = true
+			}
+		}
+		for round := 0; round < 4; round++ {
+			par, err := eng.RankAllParallel(context.Background(), ModeAuto, ParallelOptions{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s round %d: %v", w.name, round, err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("%s round %d: pooled ranking diverged\nserial:\n%s\nparallel:\n%s",
+					w.name, round, renderRanking(serial), renderRanking(par))
+			}
+			var streamed []Explanation
+			for ex, serr := range eng.RankStream(context.Background(), ModeAuto, StreamOptions{Workers: 4}) {
+				if serr != nil {
+					t.Fatalf("%s round %d: stream: %v", w.name, round, serr)
+				}
+				streamed = append(streamed, ex)
+			}
+			SortExplanations(streamed)
+			if !reflect.DeepEqual(serial, streamed) {
+				t.Fatalf("%s round %d: pooled stream diverged", w.name, round)
+			}
+		}
+		eng.poolMu.Lock()
+		pooled := len(eng.netPool[ModeAuto])
+		eng.poolMu.Unlock()
+		if usesFlow && pooled == 0 {
+			t.Errorf("%s: flow-path engine has an empty network pool after 4 parallel rankings", w.name)
+		}
+	}
+}
+
 // TestRankAllParallelFig2 pins the parallel ranking to the paper's
 // Fig. 2b instance: the worked example must come out identical under
 // any parallelism.

@@ -79,18 +79,20 @@ func (e *Engine) RankStream(ctx context.Context, mode Mode, opts StreamOptions) 
 		ch := make(chan item, workers)
 		var wg sync.WaitGroup
 		var next atomic.Int64
+		var acqMu sync.Mutex
+		var acquired []*respflow.Network
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				var net *respflow.Network
 				if base != nil {
-					// Clone under flowMu so a concurrent serial caller
-					// mid-computation on the shared base is never observed
-					// with rewritten capacities.
-					e.flowMu.Lock()
-					net = base.Clone()
-					e.flowMu.Unlock()
+					// Pooled from an earlier ranking, or cloned under
+					// flowMu (see acquireNet).
+					net = e.acquireNet(mode, base)
+					acqMu.Lock()
+					acquired = append(acquired, net)
+					acqMu.Unlock()
 				}
 				for {
 					i := int(next.Add(1)) - 1
@@ -107,6 +109,12 @@ func (e *Engine) RankStream(ctx context.Context, mode Mode, opts StreamOptions) 
 		}
 		go func() {
 			wg.Wait()
+			// All workers are done (their appends happen-before Wait
+			// returns), so the acquired list is stable: park the
+			// networks for the next ranking.
+			for _, net := range acquired {
+				e.releaseNet(mode, net)
+			}
 			close(ch)
 		}()
 		// On every exit — early break included — cancel the workers and

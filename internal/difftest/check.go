@@ -42,6 +42,14 @@ type CheckOptions struct {
 	// count). Defaults 3 and 40.
 	DatalogAtomCap  int
 	DatalogTupleCap int
+	// AblationVarCap: re-run the exact solver with every exact.Options
+	// optimization toggled off (individually and all together) and
+	// require identical sizes, on Why-So instances whose lineage has at
+	// most this many variables. Default 14; negative disables.
+	AblationVarCap int
+	// AblationSample bounds how many ranked causes per instance get the
+	// ablation re-checks. Default 4.
+	AblationSample int
 	// Metamorphic applies the mutation invariants.
 	Metamorphic bool
 	// Server, when non-nil, replays the instance through the HTTP
@@ -73,7 +81,28 @@ func (o CheckOptions) withDefaults() CheckOptions {
 	if o.DatalogTupleCap <= 0 {
 		o.DatalogTupleCap = 40
 	}
+	if o.AblationVarCap == 0 {
+		o.AblationVarCap = 14
+	}
+	if o.AblationSample <= 0 {
+		o.AblationSample = 4
+	}
 	return o
+}
+
+// ablationVariants are the exact.Options configurations the ablation
+// invariant sweeps: every optimization toggled off individually, and
+// all of them off at once (the bare branch and bound). None of them
+// may change a single answer — they only trade time.
+var ablationVariants = []struct {
+	name string
+	opts exact.Options
+}{
+	{"no-greedy-seed", exact.Options{DisableGreedySeed: true}},
+	{"no-preprocess", exact.Options{DisablePreprocess: true}},
+	{"no-memo", exact.Options{DisableMemo: true}},
+	{"no-packing-bound", exact.Options{DisablePackingBound: true}},
+	{"none", exact.Options{DisableGreedySeed: true, DisablePreprocess: true, DisableMemo: true, DisablePackingBound: true}},
 }
 
 // CheckStats reports which oracles a CheckInstance call exercised.
@@ -81,6 +110,7 @@ type CheckStats struct {
 	FlowRanked         bool
 	ExactRanked        bool
 	BruteChecked       int
+	AblationChecked    int
 	DatalogChecked     int
 	MetamorphicChecked int
 	ServerChecked      int
@@ -153,10 +183,9 @@ func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, erro
 		}
 	}
 
-	// Brute-force oracles and the greedy upper bound.
-	n, err := checkOracles(inst, nl, causeSet, rankAuto, opts)
-	stats.BruteChecked += n
-	if err != nil {
+	// Brute-force oracles, the greedy upper bound, and the exact-solver
+	// ablation invariant.
+	if err := checkOracles(inst, nl, causeSet, rankAuto, opts, &stats); err != nil {
 		return stats, err
 	}
 
@@ -323,22 +352,23 @@ func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
 
 // checkOracles confirms every reported minimum against the
 // definition-level brute-force searches and the greedy upper bound,
-// and spot-checks that non-causes admit no contingency at all.
-// Returns the number of brute-force comparisons performed.
-func checkOracles(inst *causegen.Instance, nl lineage.DNF, causeSet map[rel.TupleID]bool, rank []core.Explanation, opts CheckOptions) (int, error) {
-	checked := 0
+// spot-checks that non-causes admit no contingency at all, and
+// asserts the exact-solver ablation invariant: disabling any
+// optimization (or all of them) must not change a single size.
+// Comparison counts are accumulated into stats.
+func checkOracles(inst *causegen.Instance, nl lineage.DNF, causeSet map[rel.TupleID]bool, rank []core.Explanation, opts CheckOptions, stats *CheckStats) error {
 	if inst.WhyNo {
 		if len(inst.DB.EndoIDs()) > opts.WhyNoBruteEndoCap {
-			return 0, nil
+			return nil
 		}
 		for _, ex := range rank {
 			size, ok, err := whyno.BruteForceMinContingency(inst.DB, inst.Query, ex.Tuple)
 			if err != nil {
-				return checked, err
+				return err
 			}
-			checked++
+			stats.BruteChecked++
 			if !ok || size != ex.ContingencySize {
-				return checked, fmt.Errorf("whyno cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
+				return fmt.Errorf("whyno cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
 					ex.Tuple, ex.ContingencySize, size, ok)
 			}
 		}
@@ -350,32 +380,50 @@ func checkOracles(inst *causegen.Instance, nl lineage.DNF, causeSet map[rel.Tupl
 			sampled++
 			size, ok, err := whyno.BruteForceMinContingency(inst.DB, inst.Query, id)
 			if err != nil {
-				return checked, err
+				return err
 			}
-			checked++
+			stats.BruteChecked++
 			if ok {
-				return checked, fmt.Errorf("whyno non-cause %d: brute force found contingency of size %d", id, size)
+				return fmt.Errorf("whyno non-cause %d: brute force found contingency of size %d", id, size)
 			}
 		}
-		return checked, nil
+		return nil
 	}
 
+	// One interned index backs every lineage-level oracle run on this
+	// instance — brute force, greedy, and the ablation re-checks.
+	ix := lineage.NewIndex(nl)
 	vars := nl.Vars()
 	for _, ex := range rank {
 		if len(vars) <= opts.BruteVarCap {
-			size, ok := exact.BruteForceMinContingency(nl, ex.Tuple)
-			checked++
+			size, ok := exact.BruteForceMinContingencyIndex(ix, ex.Tuple)
+			stats.BruteChecked++
 			if !ok || size != ex.ContingencySize {
-				return checked, fmt.Errorf("whyso cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
+				return fmt.Errorf("whyso cause %d: engine min|Γ|=%d, brute force says (%d,%v)",
 					ex.Tuple, ex.ContingencySize, size, ok)
 			}
 		}
-		g, gOK := exact.GreedyMinContingency(nl, ex.Tuple)
+		g, gOK := exact.GreedyMinContingencyIndex(ix, ex.Tuple)
 		if !gOK {
-			return checked, fmt.Errorf("whyso cause %d: greedy misreports a cause as a non-cause", ex.Tuple)
+			return fmt.Errorf("whyso cause %d: greedy misreports a cause as a non-cause", ex.Tuple)
 		}
 		if g < ex.ContingencySize {
-			return checked, fmt.Errorf("whyso cause %d: greedy %d undercuts exact minimum %d", ex.Tuple, g, ex.ContingencySize)
+			return fmt.Errorf("whyso cause %d: greedy %d undercuts exact minimum %d", ex.Tuple, g, ex.ContingencySize)
+		}
+	}
+	if opts.AblationVarCap > 0 && len(vars) <= opts.AblationVarCap {
+		for i, ex := range rank {
+			if i >= opts.AblationSample {
+				break
+			}
+			for _, ab := range ablationVariants {
+				size, ok := exact.MinContingencyIndex(ix, ex.Tuple, ab.opts)
+				stats.AblationChecked++
+				if !ok || size != ex.ContingencySize {
+					return fmt.Errorf("ablation %s: cause %d got (%d,%v), want (%d,true)",
+						ab.name, ex.Tuple, size, ok, ex.ContingencySize)
+				}
+			}
 		}
 	}
 	if len(vars) <= opts.NonCauseBruteCap {
@@ -385,17 +433,17 @@ func checkOracles(inst *causegen.Instance, nl lineage.DNF, causeSet map[rel.Tupl
 				continue
 			}
 			sampled++
-			size, ok := exact.BruteForceMinContingency(nl, id)
-			checked++
+			size, ok := exact.BruteForceMinContingencyIndex(ix, id)
+			stats.BruteChecked++
 			if ok {
-				return checked, fmt.Errorf("whyso non-cause %d: brute force found contingency of size %d", id, size)
+				return fmt.Errorf("whyso non-cause %d: brute force found contingency of size %d", id, size)
 			}
-			if g, gOK := exact.GreedyMinContingency(nl, id); gOK {
-				return checked, fmt.Errorf("whyso non-cause %d: greedy claims a contingency of size %d", id, g)
+			if g, gOK := exact.GreedyMinContingencyIndex(ix, id); gOK {
+				return fmt.Errorf("whyso non-cause %d: greedy claims a contingency of size %d", id, g)
 			}
 		}
 	}
-	return checked, nil
+	return nil
 }
 
 func equalIDs(a, b []rel.TupleID) bool {

@@ -1,0 +1,150 @@
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// corpusDNFs collects every lineage the checked-in testdata pins: the
+// raw .dnf regressions plus the minimal n-lineage of every .inst
+// instance.
+func corpusDNFs(t *testing.T) map[string]lineage.DNF {
+	t.Helper()
+	out := make(map[string]lineage.DNF)
+	dnfFiles, err := filepath.Glob(filepath.Join("testdata", "*.dnf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range dnfFiles {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := parseDNF(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		out[filepath.Base(f)] = d
+	}
+	instFiles, err := filepath.Glob(filepath.Join("testdata", "*.inst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range instFiles {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Decode(string(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		nl, err := lineage.NLineageOf(inst.DB, inst.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if nl.True || len(nl.Conjuncts) == 0 {
+			continue // no lineage-level search to compare
+		}
+		out[filepath.Base(f)] = nl
+	}
+	if len(out) == 0 {
+		t.Fatal("empty testdata corpus")
+	}
+	return out
+}
+
+// TestExactIndexCorpusEquality asserts the indexed branch-and-bound —
+// under the default configuration and under every ablation variant —
+// returns sizes identical to BruteForceMinContingency on every
+// checked-in testdata DNF, for every variable (causes and non-causes
+// alike), and that every returned set is witness-valid by definition.
+func TestExactIndexCorpusEquality(t *testing.T) {
+	for name, d := range corpusDNFs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, v := range d.Vars() {
+				want, wantOK := exact.BruteForceMinContingency(d, v)
+				variants := append([]struct {
+					name string
+					opts exact.Options
+				}{{"default", exact.Options{}}}, ablationVariants...)
+				for _, ab := range variants {
+					set, ok := exact.MinContingencySetOpts(d, v, ab.opts)
+					if ok != wantOK || (ok && len(set) != want) {
+						t.Errorf("var %d, %s: exact=(%d,%v) brute=(%d,%v)", v, ab.name, len(set), ok, want, wantOK)
+						continue
+					}
+					if ok {
+						if err := validateDNFWitness(d, v, set); err != nil {
+							t.Errorf("var %d, %s: %v", v, ab.name, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// validateDNFWitness checks a contingency set against the lineage by
+// definition: the DNF must stay satisfiable without Γ and die without
+// Γ ∪ {t}.
+func validateDNFWitness(d lineage.DNF, t rel.TupleID, set []rel.TupleID) error {
+	removed := make(map[rel.TupleID]bool, len(set)+1)
+	for _, id := range set {
+		if id == t {
+			return fmt.Errorf("contingency %v contains the cause %d itself", set, t)
+		}
+		if removed[id] {
+			return fmt.Errorf("contingency %v repeats %d", set, id)
+		}
+		removed[id] = true
+	}
+	if !d.EvalWithout(removed) {
+		return fmt.Errorf("lineage dies removing Γ=%v alone", set)
+	}
+	removed[t] = true
+	if d.EvalWithout(removed) {
+		return fmt.Errorf("lineage survives removing Γ∪{t}, Γ=%v", set)
+	}
+	return nil
+}
+
+// TestHardFamilySweep points the full differential battery at the
+// NP-hard star family itself: every instance is a seeded h₁* member
+// with a randomized exogenous mask (causegen.HardStar via
+// GenConfig.HardStarProb), sizes the PR-3 solver made impractical to
+// sweep. The ablation cap is raised so the optimization invariant is
+// exercised on genuinely hard lineages.
+func TestHardFamilySweep(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 30
+	}
+	opts := Options{
+		Seed:             *seedFlag,
+		N:                n,
+		Gen:              causegen.GenConfig{HardStarProb: 1},
+		MetamorphicEvery: 4,
+		Check:            CheckOptions{AblationVarCap: 30},
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("%v", rep)
+	failOnMismatches(t, rep, opts)
+	if rep.ExactRanked == 0 {
+		t.Error("hard-family sweep never exercised the exact solver")
+	}
+	if rep.AblationChecked == 0 {
+		t.Error("hard-family sweep never exercised the ablation invariant")
+	}
+}

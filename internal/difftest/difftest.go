@@ -171,6 +171,10 @@ func (m Mismatch) ReplayCommand() string {
 	cmd := fmt.Sprintf("go run ./cmd/fuzzcause -seed %d -n 1 -max-atoms %d -max-arity %d -max-vars %d -domain %d -tuples %d -exo-prob %g -const-prob %g -whyno-prob %g -selfjoin-prob %g",
 		m.Seed, g.MaxAtoms, g.MaxArity, g.MaxVars, g.DomainSize, g.TuplesPerRelation,
 		g.ExoProb, g.ConstProb, g.WhyNoProb, g.SelfJoinProb)
+	if g.HardStarProb > 0 {
+		// Off by default; rendered only when it can affect generation.
+		cmd += fmt.Sprintf(" -hardstar-prob %g", g.HardStarProb)
+	}
 	return cmd + m.checkCaveat()
 }
 
@@ -205,6 +209,9 @@ type Report struct {
 	ExactRanked int
 	// BruteChecked counts brute-force oracle comparisons performed.
 	BruteChecked int
+	// AblationChecked counts exact-solver ablation re-checks performed
+	// (every exact.Options toggle must leave every size unchanged).
+	AblationChecked int
 	// DatalogChecked counts instances cross-checked against the
 	// Theorem 3.4 cause program.
 	DatalogChecked int
@@ -228,9 +235,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d datalog=%d metamorphic=%d server=%d session=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked,
 		len(r.Mismatches))
 }
 
@@ -254,6 +261,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		flow      atomic.Int64
 		exactN    atomic.Int64
 		brute     atomic.Int64
+		ablation  atomic.Int64
 		datalog   atomic.Int64
 		metamorph atomic.Int64
 		serverN   atomic.Int64
@@ -289,6 +297,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				exactN.Add(1)
 			}
 			brute.Add(int64(stats.BruteChecked))
+			ablation.Add(int64(stats.AblationChecked))
 			datalog.Add(int64(stats.DatalogChecked))
 			metamorph.Add(int64(stats.MetamorphicChecked))
 			serverN.Add(int64(stats.ServerChecked))
@@ -317,6 +326,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.FlowRanked = int(flow.Load())
 	rep.ExactRanked = int(exactN.Load())
 	rep.BruteChecked = int(brute.Load())
+	rep.AblationChecked = int(ablation.Load())
 	rep.DatalogChecked = int(datalog.Load())
 	rep.MetamorphicChecked = int(metamorph.Load())
 	rep.ServerChecked = int(serverN.Load())

@@ -97,6 +97,7 @@ func TestDifferentialSweep(t *testing.T) {
 			"flow-ranked instances":  rep.FlowRanked,
 			"exact-ranked instances": rep.ExactRanked,
 			"brute-force checks":     rep.BruteChecked,
+			"ablation checks":        rep.AblationChecked,
 			"datalog cross-checks":   rep.DatalogChecked,
 			"metamorphic checks":     rep.MetamorphicChecked,
 			"server replays":         rep.ServerChecked,

@@ -1,16 +1,46 @@
 // Package exact computes minimum contingency sets (and hence
 // responsibilities, Definition 2.3 of Meliou et al., VLDB 2010) by
-// exhaustive search. It is exponential in the worst case — responsibility
+// exact search. It is exponential in the worst case — responsibility
 // is NP-hard for non-weakly-linear queries (Theorem 4.1) — and serves
 // three roles: the solver for hard queries on moderate instances, the
-// correctness oracle for the polynomial flow algorithm, and the baseline
-// in the scaling benchmarks.
+// correctness oracle for the polynomial flow algorithm, and the
+// baseline in the scaling benchmarks.
 //
-// The search works on the minimal endogenous lineage Φⁿ: a contingency Γ
-// for tuple t must (i) leave some conjunct containing t intact — the
+// The search works on the minimal endogenous lineage Φⁿ: a contingency
+// Γ for tuple t must (i) leave some conjunct containing t intact — the
 // "protected" conjunct — and (ii) hit every conjunct not containing t.
 // Minimizing over protected conjuncts reduces the problem to minimum
-// hitting set with forbidden elements, solved by branch and bound.
+// hitting set with forbidden elements (the causality ↔ minimal
+// hitting set connection Salimi & Bertossi make explicit).
+//
+// # The indexed solver
+//
+// The solver runs on a lineage.Index: tuple IDs interned into dense
+// uint32 slots, conjuncts precomputed as []uint64 bitsets with an
+// element→conjuncts occurrence index. "Covered", "forbidden" and
+// "chosen" are bitset words, coverage is maintained incrementally by
+// per-target hit counters (never rescanned per node), and branching
+// is over the uncovered target with the fewest alternatives. On top
+// of the core, four independently toggleable optimizations (Options):
+//
+//   - per-subproblem preprocessing: duplicate/superset target
+//     elimination, unit propagation for singleton targets, and
+//     element-dominance removal;
+//   - a greedy seed: GreedyMinContingency's solution primes the upper
+//     bound, shared across all protected-conjunct subproblems, which
+//     are searched best-first by greedy estimate;
+//   - a memo table keyed by the uncovered-target signature, collapsing
+//     the symmetric subtrees of self-similar families like the star
+//     h₁*;
+//   - a disjoint-target packing lower bound (one AND-popcount pass
+//     per node).
+//
+// Identical protectable conjuncts are deduplicated before searching,
+// so self-join lineages run each subproblem once. One Index per
+// lineage also backs GreedyMinContingency and the brute-force
+// oracle's evaluation loop; build it once per lineage (core.Engine
+// does) and call the *Index entry points to amortize it across
+// causes.
 package exact
 
 import (
@@ -21,17 +51,32 @@ import (
 )
 
 // Options tunes the branch-and-bound search; the zero value is the
-// default configuration. Used by the ablation benchmarks.
+// default (fully optimized) configuration. Each field disables one
+// optimization independently — the ablation benchmarks
+// (BENCH_exact.json, `go run ./cmd/experiments -run exactcurve`)
+// record the cost of every toggle, and the differential harness
+// asserts that no toggle changes any answer.
 type Options struct {
 	// DisablePackingBound turns off the disjoint-target packing lower
 	// bound, leaving only the depth-vs-best pruning.
 	DisablePackingBound bool
+	// DisablePreprocess turns off per-subproblem preprocessing:
+	// duplicate/superset target elimination, unit propagation for
+	// singleton targets, and element-dominance removal.
+	DisablePreprocess bool
+	// DisableMemo turns off the memo table keyed by the
+	// uncovered-target signature (symmetric subtrees are re-searched).
+	DisableMemo bool
+	// DisableGreedySeed turns off seeding the upper bound with the
+	// greedy solution and the best-first ordering of protected
+	// conjuncts by greedy estimate.
+	DisableGreedySeed bool
 }
 
 // MinContingency computes the size of the smallest contingency set for
-// tuple t over the minimal (redundancy-free) n-lineage d. It returns
-// ok=false when t is not an actual cause (no conjunct of d contains t,
-// or d is the constant true).
+// tuple t over the n-lineage d. It returns ok=false when t is not an
+// actual cause (no conjunct of d contains t, or d is the constant
+// true).
 func MinContingency(d lineage.DNF, t rel.TupleID) (size int, ok bool) {
 	return MinContingencyOpts(d, t, Options{})
 }
@@ -44,52 +89,52 @@ func MinContingencyOpts(d lineage.DNF, t rel.TupleID, opts Options) (size int, o
 
 // MinContingencySet returns an actual minimum contingency set for t
 // (sorted), not just its size: removing exactly these tuples makes t
-// counterfactual. ok=false when t is not an actual cause. The empty set
-// with ok=true means t is already counterfactual.
+// counterfactual. ok=false when t is not an actual cause. The empty
+// set with ok=true means t is already counterfactual.
 func MinContingencySet(d lineage.DNF, t rel.TupleID) ([]rel.TupleID, bool) {
 	return MinContingencySetOpts(d, t, Options{})
 }
 
 // MinContingencySetOpts is MinContingencySet with explicit options.
+// The DNF is minimized (RemoveRedundant) and interned into a fresh
+// lineage.Index first; callers explaining many causes over one
+// lineage should build the Index once and use MinContingencySetIndex.
 func MinContingencySetOpts(d lineage.DNF, t rel.TupleID, opts Options) ([]rel.TupleID, bool) {
 	if d.True {
 		return nil, false
 	}
-	protectable := d.ConjunctsWith(t)
-	if len(protectable) == 0 {
+	return MinContingencySetIndex(lineage.NewIndex(lineage.RemoveRedundant(d)), t, opts)
+}
+
+// MinContingencyIndex is MinContingencySetIndex returning only the
+// size.
+func MinContingencyIndex(ix *lineage.Index, t rel.TupleID, opts Options) (int, bool) {
+	set, ok := MinContingencySetIndex(ix, t, opts)
+	return len(set), ok
+}
+
+// MinContingencySetIndex computes an actual minimum contingency set
+// for t over an interned lineage, reusing the index's precomputed
+// bitsets. The index should be built over the minimal
+// (redundancy-free) lineage; the result is correct for any DNF, but
+// redundant conjuncts cost search time. The index is read-only and
+// may be shared by concurrent calls.
+func MinContingencySetIndex(ix *lineage.Index, t rel.TupleID, opts Options) ([]rel.TupleID, bool) {
+	tslot, ok := ix.Slot(t)
+	if !ok || ix.NumConjuncts() == 0 {
 		return nil, false
 	}
-	// Conjuncts not containing t must be hit.
-	var targets []lineage.Conjunct
-	for _, c := range d.Conjuncts {
-		if !c.Contains(t) {
-			targets = append(targets, c)
-		}
-	}
-	best := -1
-	var bestSet []rel.TupleID
-	for _, p := range protectable {
-		forbidden := make(map[rel.TupleID]bool, len(p)+1)
-		for _, id := range p {
-			forbidden[id] = true
-		}
-		forbidden[t] = true
-		ub := best // prune against the best found so far
-		if set, feasible := minHittingSet(targets, forbidden, ub, opts); feasible {
-			if best < 0 || len(set) < best {
-				best = len(set)
-				bestSet = set
-			}
-			if best == 0 {
-				break
-			}
-		}
-	}
-	if best < 0 {
+	s := &searcher{ix: ix, tslot: tslot, opts: opts, best: -1}
+	s.run()
+	if s.best < 0 {
 		return nil, false
 	}
-	sort.Slice(bestSet, func(i, j int) bool { return bestSet[i] < bestSet[j] })
-	return bestSet, true
+	out := make([]rel.TupleID, len(s.bestSet))
+	for i, e := range s.bestSet {
+		out[i] = ix.ID(e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
 }
 
 // Responsibility computes ρ_t = 1/(1+min|Γ|), or 0 if t is not a cause.
@@ -99,105 +144,6 @@ func Responsibility(d lineage.DNF, t rel.TupleID) float64 {
 		return 0
 	}
 	return 1 / (1 + float64(size))
-}
-
-// minHittingSet finds a minimum set S of non-forbidden elements hitting
-// every target, with |S| strictly better than ub when ub >= 0. It
-// returns feasible=false if some target consists solely of forbidden
-// elements or the bound cannot be beaten.
-func minHittingSet(targets []lineage.Conjunct, forbidden map[rel.TupleID]bool, ub int, opts Options) ([]rel.TupleID, bool) {
-	// Reduce targets to allowed elements; sort by size for branching.
-	reduced := make([][]rel.TupleID, 0, len(targets))
-	for _, c := range targets {
-		var allowed []rel.TupleID
-		for _, id := range c {
-			if !forbidden[id] {
-				allowed = append(allowed, id)
-			}
-		}
-		if len(allowed) == 0 {
-			return nil, false
-		}
-		reduced = append(reduced, allowed)
-	}
-	best := -1
-	if ub >= 0 {
-		best = ub
-	}
-	var bestSet []rel.TupleID
-	haveSet := false
-	chosen := make(map[rel.TupleID]bool)
-
-	var rec func(depth int)
-	rec = func(depth int) {
-		if best >= 0 && depth >= best {
-			return
-		}
-		// Gather uncovered targets; pick the smallest for branching and
-		// greedily pack pairwise-disjoint ones for a lower bound.
-		var pick []rel.TupleID
-		var uncovered [][]rel.TupleID
-		for _, alts := range reduced {
-			hit := false
-			for _, id := range alts {
-				if chosen[id] {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				uncovered = append(uncovered, alts)
-				if pick == nil || len(alts) < len(pick) {
-					pick = alts
-				}
-			}
-		}
-		if len(uncovered) == 0 {
-			best = depth
-			bestSet = bestSet[:0]
-			for id := range chosen {
-				bestSet = append(bestSet, id)
-			}
-			haveSet = true
-			return
-		}
-		if best >= 0 && !opts.DisablePackingBound {
-			// Disjoint targets need one element each: a packing lower
-			// bound.
-			used := make(map[rel.TupleID]bool)
-			lb := 0
-			for _, alts := range uncovered {
-				disjoint := true
-				for _, id := range alts {
-					if used[id] {
-						disjoint = false
-						break
-					}
-				}
-				if disjoint {
-					lb++
-					for _, id := range alts {
-						used[id] = true
-					}
-				}
-			}
-			if depth+lb >= best {
-				return
-			}
-		}
-		for _, id := range pick {
-			chosen[id] = true
-			rec(depth + 1)
-			delete(chosen, id)
-		}
-	}
-	rec(0)
-	if !haveSet {
-		// Infeasible, or no improvement over the caller's bound: the
-		// caller keeps its previous answer.
-		return nil, false
-	}
-	return bestSet, true
 }
 
 // MinContingencyDB computes the minimum contingency for t of the Boolean
@@ -215,46 +161,63 @@ func MinContingencyDB(db *rel.Database, q *rel.Query, t rel.TupleID) (int, bool,
 // BruteForceMinContingency is the definition-level oracle: it enumerates
 // candidate contingency sets Γ ⊆ vars(Φⁿ)\{t} in order of increasing
 // size and returns the first valid one's size. A Γ is valid when the
-// minimal n-lineage stays satisfiable without Γ and becomes
-// unsatisfiable without Γ∪{t} (Theorem 3.2, condition 2).
+// n-lineage stays satisfiable without Γ and becomes unsatisfiable
+// without Γ∪{t} (Theorem 3.2, condition 2).
 //
 // Exponential in the lineage's variable count; intended for tests on
-// small instances.
+// small instances. The evaluation loop runs on a lineage.Index
+// (bitset satisfiability checks); oracle loops over one lineage
+// should build the Index once and call the Index form.
 func BruteForceMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 	if d.True {
 		return 0, false
 	}
-	vars := d.Vars()
-	universe := vars[:0:0]
-	for _, id := range vars {
-		if id != t {
-			universe = append(universe, id)
+	return BruteForceMinContingencyIndex(lineage.NewIndex(d), t)
+}
+
+// BruteForceMinContingencyIndex is BruteForceMinContingency over a
+// prebuilt index of the same DNF.
+func BruteForceMinContingencyIndex(ix *lineage.Index, t rel.TupleID) (int, bool) {
+	if ix.NumConjuncts() == 0 {
+		return 0, false
+	}
+	tslot, ok := ix.Slot(t)
+	if !ok {
+		// t occurs nowhere: removing it never changes the lineage, so no
+		// Γ can be both satisfiability-preserving and t-killing.
+		return 0, false
+	}
+	universe := make([]uint32, 0, ix.NumVars()-1)
+	for s := uint32(0); s < uint32(ix.NumVars()); s++ {
+		if s != tslot {
+			universe = append(universe, s)
 		}
 	}
-	removed := make(map[rel.TupleID]bool, len(universe)+1)
+	removed := ix.NewSlotBits()
 	valid := func() bool {
-		if !d.EvalWithout(removed) {
+		if !ix.SatisfiableWithout(removed) {
 			return false
 		}
-		removed[t] = true
-		dead := !d.EvalWithout(removed)
-		delete(removed, t)
+		removed.Set(tslot)
+		dead := !ix.SatisfiableWithout(removed)
+		removed.Clear(tslot)
 		return dead
 	}
-	// Size 0 upward.
+	// Size 0 upward, subsets in lexicographic order (the first valid
+	// size is the answer; order keeps the oracle deterministic).
 	var search func(start, k int) bool
 	search = func(start, k int) bool {
 		if k == 0 {
 			return valid()
 		}
 		for i := start; i <= len(universe)-k; i++ {
-			id := universe[i]
-			removed[id] = true
+			s := universe[i]
+			removed.Set(s)
 			if search(i+1, k-1) {
-				delete(removed, id)
+				removed.Clear(s)
 				return true
 			}
-			delete(removed, id)
+			removed.Clear(s)
 		}
 		return false
 	}
@@ -269,9 +232,10 @@ func BruteForceMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 // GreedyMinContingency computes an upper bound on the minimum
 // contingency by greedy hitting: protect a conjunct containing t, then
 // repeatedly pick the allowed element covering the most uncovered
-// targets. Used as a polynomial-time baseline in benchmarks; not exact
-// — but it over-approximates only: it reports ok on exactly the actual
-// causes, and its size is never below the true minimum.
+// targets. Used as a polynomial-time baseline and as the exact
+// solver's seed bound; not exact — but it over-approximates only: it
+// reports ok on exactly the actual causes, and its size is never below
+// the true minimum.
 //
 // The input is minimized first (RemoveRedundant). On a non-minimal
 // DNF, a conjunct containing t may strictly contain a target conjunct,
@@ -285,16 +249,23 @@ func GreedyMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 	if d.True {
 		return 0, false
 	}
-	protectable := d.ConjunctsWith(t)
-	if len(protectable) == 0 {
+	return GreedyMinContingencyIndex(lineage.NewIndex(d), t)
+}
+
+// GreedyMinContingencyIndex is GreedyMinContingency over a prebuilt
+// index. The index must be built over a minimal (redundancy-free)
+// DNF — on non-minimal lineages greedy can misreport causes as
+// non-causes; use the DNF form, which minimizes first.
+func GreedyMinContingencyIndex(ix *lineage.Index, t rel.TupleID) (int, bool) {
+	tslot, ok := ix.Slot(t)
+	if !ok || ix.NumConjuncts() == 0 {
 		return 0, false
 	}
-	sort.Slice(protectable, func(i, j int) bool { return len(protectable[i]) < len(protectable[j]) })
 	best := -1
-	for _, p := range protectable {
-		size, ok := greedyHit(d, t, p)
-		if ok && (best < 0 || size < best) {
-			best = size
+	for _, p := range protections(ix, tslot) {
+		set, feasible := greedyProtection(ix, tslot, p)
+		if feasible && (best < 0 || len(set) < best) {
+			best = len(set)
 			if best == 0 {
 				break
 			}
@@ -304,68 +275,4 @@ func GreedyMinContingency(d lineage.DNF, t rel.TupleID) (int, bool) {
 		return 0, false
 	}
 	return best, true
-}
-
-// greedyHit runs one greedy hitting pass with conjunct p protected:
-// every conjunct not containing t must be hit by elements outside
-// p ∪ {t}. ok=false when some target consists solely of forbidden
-// elements (impossible on minimal DNFs, where no target is a subset of
-// a protected conjunct).
-func greedyHit(d lineage.DNF, t rel.TupleID, p lineage.Conjunct) (int, bool) {
-	forbidden := make(map[rel.TupleID]bool, len(p)+1)
-	for _, id := range p {
-		forbidden[id] = true
-	}
-	forbidden[t] = true
-
-	var targets [][]rel.TupleID
-	for _, c := range d.Conjuncts {
-		if c.Contains(t) {
-			continue
-		}
-		var allowed []rel.TupleID
-		for _, id := range c {
-			if !forbidden[id] {
-				allowed = append(allowed, id)
-			}
-		}
-		if len(allowed) == 0 {
-			return 0, false
-		}
-		targets = append(targets, allowed)
-	}
-	chosen := make(map[rel.TupleID]bool)
-	size := 0
-	for {
-		counts := make(map[rel.TupleID]int)
-		uncovered := 0
-		for _, alts := range targets {
-			hit := false
-			for _, id := range alts {
-				if chosen[id] {
-					hit = true
-					break
-				}
-			}
-			if hit {
-				continue
-			}
-			uncovered++
-			for _, id := range alts {
-				counts[id]++
-			}
-		}
-		if uncovered == 0 {
-			return size, true
-		}
-		var bestID rel.TupleID
-		bestCount := -1
-		for id, c := range counts {
-			if c > bestCount || (c == bestCount && id < bestID) {
-				bestID, bestCount = id, c
-			}
-		}
-		chosen[bestID] = true
-		size++
-	}
 }

@@ -143,6 +143,72 @@ func TestAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// TestAblationsAgainstBruteForce re-runs the randomized oracle
+// comparison with every optimization toggled off, individually and
+// all together: no Options configuration may change an answer.
+func TestAblationsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		d := randomMinimalDNF(rng, 9, 7, 3)
+		for v := rel.TupleID(0); v < 9; v++ {
+			want, wantOK := BruteForceMinContingency(d, v)
+			for _, opts := range fuzzVariants {
+				got, gotOK := MinContingencyOpts(d, v, opts)
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("trial %d, var %d, opts %+v, DNF %v: bb=(%d,%v) brute=(%d,%v)",
+						trial, v, opts, d, got, gotOK, want, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexReuse checks that one shared Index answers identically to
+// the per-call DNF entry points across all solvers — the sharing the
+// engine and the difftest oracles rely on.
+func TestIndexReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		d := randomMinimalDNF(rng, 8, 6, 3)
+		ix := lineage.NewIndex(d)
+		for v := rel.TupleID(0); v < 8; v++ {
+			wantSet, wantOK := MinContingencySet(d, v)
+			gotSet, gotOK := MinContingencySetIndex(ix, v, Options{})
+			if gotOK != wantOK || len(gotSet) != len(wantSet) {
+				t.Fatalf("trial %d var %d: indexed=(%v,%v) direct=(%v,%v)", trial, v, gotSet, gotOK, wantSet, wantOK)
+			}
+			gb, gbOK := GreedyMinContingencyIndex(ix, v)
+			wb, wbOK := GreedyMinContingency(d, v)
+			if gb != wb || gbOK != wbOK {
+				t.Fatalf("trial %d var %d: greedy indexed=(%d,%v) direct=(%d,%v)", trial, v, gb, gbOK, wb, wbOK)
+			}
+			bb, bbOK := BruteForceMinContingencyIndex(ix, v)
+			wbb, wbbOK := BruteForceMinContingency(d, v)
+			if bb != wbb || bbOK != wbbOK {
+				t.Fatalf("trial %d var %d: brute indexed=(%d,%v) direct=(%d,%v)", trial, v, bb, bbOK, wbb, wbbOK)
+			}
+		}
+	}
+}
+
+// TestProtectionDedupe pins the self-join satellite: duplicated
+// protectable conjuncts collapse to one subproblem, and duplicates
+// must not change any answer.
+func TestProtectionDedupe(t *testing.T) {
+	// d = ta ∨ ta ∨ b ∨ bc: duplicate protection {t,a}.
+	d := lineage.DNF{Conjuncts: []lineage.Conjunct{
+		lineage.NewConjunct(0, 1),
+		lineage.NewConjunct(0, 1),
+		lineage.NewConjunct(2),
+		lineage.NewConjunct(2, 3),
+	}}
+	size, ok := MinContingency(d, 0)
+	want, wantOK := BruteForceMinContingency(d, 0)
+	if ok != wantOK || size != want {
+		t.Fatalf("exact=(%d,%v) brute=(%d,%v)", size, ok, want, wantOK)
+	}
+}
+
 // TestGreedyIsUpperBound checks the greedy baseline never undershoots
 // the optimum and agrees on feasibility.
 func TestGreedyIsUpperBound(t *testing.T) {

@@ -269,6 +269,20 @@ func (n *Network) Clone() *Network {
 	}
 }
 
+// Reset returns the network to its post-Build resting state: every
+// tuple edge back to its default capacity and all residual flow
+// cleared. A Reset network answers exactly like a fresh Clone, so
+// ranking workers can park a network between rankings and reuse it
+// instead of cloning per call (see core's network pool).
+func (n *Network) Reset() {
+	for id, es := range n.edgeByTuple {
+		for _, e := range es {
+			n.g.SetCap(e, n.defaultCap[id])
+		}
+	}
+	n.g.Reset()
+}
+
 // MinContingency computes the minimum contingency size for tuple t.
 // ok=false means t is not an actual cause (no finite protected cut, or t
 // on no valuation).
