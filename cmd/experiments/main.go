@@ -9,10 +9,13 @@
 //	experiments -run load -server http://localhost:8347
 //	            [-load-clients N] [-load-requests N]
 //	experiments -run exactcurve [-bench-out BENCH_exact.json]
+//	experiments -run evalcurve [-eval-out BENCH_eval.json]
+//	            [-eval-sizes 1000,10300,103000]
 //
 // The exactcurve experiment regenerates the exact-solver cost curve
-// and ablation baseline (see exactcurve.go); it writes a file, so it
-// is excluded from -run all.
+// and ablation baseline (see exactcurve.go); evalcurve records the
+// naive-vs-planned data-plane size curve (see evalcurve.go). Both
+// write files, so they are excluded from -run all.
 //
 // -parallel sets the worker count used by the ranking experiments
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
@@ -66,6 +69,7 @@ func main() {
 		"batch":      batch,
 		"load":       load,
 		"exactcurve": exactCurve,
+		"evalcurve":  evalCurve,
 	}
 	// load needs a running server, and exactcurve writes a bench file,
 	// so neither is part of "all".
@@ -78,7 +82,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

@@ -57,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sessDiff    = fs.Bool("session-diff", true, "also replay instances through the Session API on both transports (Open vs Dial)")
 		sessEvery   = fs.Int("session-every", 8, "replay every k-th instance through the Session differential")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
+		plannerDiff = fs.Bool("planner-diff", true, "differential-test the planned streaming evaluator against the naive reference on every instance")
+		evalEvery   = fs.Int("eval-every", 1, "apply the naive-vs-planned evaluator differential to every k-th instance")
 		reproDir    = fs.String("repro", "", "directory for minimized failing instances (default: print only)")
 		benchOut    = fs.String("bench", "", "write the BENCH_difftest.json baseline to this path and exit")
 		benchQuick  = fs.Bool("bench-quick", false, "scale the bench down ~10x (format smoke test, not a comparable baseline)")
@@ -101,7 +103,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Gen:              gen,
 		ServerEvery:      *serverEvery,
 		MetamorphicEvery: *metaEvery,
+		EvalEvery:        *evalEvery,
 		ProgressEvery:    *progress,
+	}
+	if !*plannerDiff {
+		opts.EvalEvery = -1
 	}
 	if *serverDiff {
 		sd := difftest.NewServerDiff()
@@ -183,6 +189,7 @@ type benchSweep struct {
 	ExactRanked     int     `json:"exact_ranked"`
 	BruteChecked    int     `json:"brute_checked"`
 	ServerChecked   int     `json:"server_checked"`
+	EvalChecked     int     `json:"eval_checked"`
 }
 
 type benchOracle struct {
@@ -256,6 +263,7 @@ func runBench(path string, workers int, quick bool, stdout, stderr io.Writer) in
 			Config: c.name, Instances: r.Instances, Seconds: r.Elapsed.Seconds(),
 			InstancesPerSec: r.InstancesPerSec(), FlowRanked: r.FlowRanked,
 			ExactRanked: r.ExactRanked, BruteChecked: r.BruteChecked, ServerChecked: r.ServerChecked,
+			EvalChecked: r.EvalChecked,
 		})
 	}
 

@@ -113,6 +113,21 @@
 // deprecated wrappers; see the "API v2 migration" section in
 // README.md for the mapping.
 //
+// # The data plane
+//
+// Databases are stored columnar and dictionary-interned
+// (internal/rel): per-column uint32 code vectors over a per-database
+// value dictionary, with lazily built copy-on-write code indexes.
+// Query evaluation is a planned streaming pipeline (internal/ra) —
+// atoms ordered by selectivity, hash joins keyed on shared variables,
+// bindings flowing through reusable buffers — and every valuation
+// carries the witness rows that produced it, so lineage is captured
+// during evaluation rather than recomputed in a second pass. The
+// naive row-at-a-time reference evaluator remains available
+// (rel.EvalNaive), and the differential harness holds the two planes
+// to identical valuations and byte-identical lineage DNFs.
+// BENCH_eval.json records the size curve to a million tuples.
+//
 // # Verifying the dichotomy
 //
 // The dichotomy is not just implemented but continuously enforced by

@@ -66,7 +66,7 @@ func HintsFromDB(db *rel.Database) Hints {
 	h := make(Hints)
 	for name, r := range db.Relations {
 		e := struct{ HasEndo, HasExo bool }{}
-		for _, t := range r.Tuples {
+		for _, t := range r.Tuples() {
 			if t.Endo {
 				e.HasEndo = true
 			} else {

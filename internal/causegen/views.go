@@ -26,7 +26,7 @@ func (v DBViews) Facts(pred string) [][]rel.Value {
 		return nil
 	}
 	var out [][]rel.Value
-	for _, t := range r.Tuples {
+	for _, t := range r.Tuples() {
 		switch suffix {
 		case EndoSuffix:
 			if !t.Endo {
@@ -65,7 +65,7 @@ func Causes(db *rel.Database, q *rel.Query) ([]rel.TupleID, *datalog.Program, er
 			continue
 		}
 		for _, row := range rows {
-			for _, t := range r.Tuples {
+			for _, t := range r.Tuples() {
 				if t.Endo && rowEqual(t.Args, row) {
 					idSet[t.ID] = true
 				}

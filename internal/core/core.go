@@ -252,12 +252,7 @@ func EndoFn(db *rel.Database) func(relName string) bool {
 		if r == nil {
 			return false
 		}
-		for _, t := range r.Tuples {
-			if t.Endo {
-				return true
-			}
-		}
-		return false
+		return r.HasEndo()
 	}
 }
 

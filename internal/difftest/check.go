@@ -52,6 +52,11 @@ type CheckOptions struct {
 	AblationSample int
 	// Metamorphic applies the mutation invariants.
 	Metamorphic bool
+	// EvalDiff runs the naive-vs-planned evaluator equivalence check:
+	// identical valuation sets and structurally identical minimal
+	// endogenous lineages from both backends. The sweep enables it on
+	// every instance (Options.EvalEvery).
+	EvalDiff bool
 	// Server, when non-nil, replays the instance through the HTTP
 	// server and requires byte-identical rankings.
 	Server *ServerDiff
@@ -115,6 +120,7 @@ type CheckStats struct {
 	MetamorphicChecked int
 	ServerChecked      int
 	SessionChecked     int
+	EvalChecked        int
 }
 
 // CheckInstance runs the full differential battery on one instance.
@@ -123,6 +129,16 @@ type CheckStats struct {
 func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, error) {
 	opts = opts.withDefaults()
 	var stats CheckStats
+
+	// The evaluator differential runs first: if the planned data plane
+	// disagrees with the naive reference, every downstream layer is
+	// suspect and the direct comparison is the most useful report.
+	if opts.EvalDiff {
+		if err := checkEvalEquivalence(inst); err != nil {
+			return stats, err
+		}
+		stats.EvalChecked++
+	}
 
 	eng, err := newEngine(inst)
 	if err != nil {
@@ -291,7 +307,10 @@ func checkRankingShape(inst *causegen.Instance, causes []rel.TupleID, rank []cor
 }
 
 // validateWitness checks the returned contingency set against the
-// database by definition, independently of the lineage machinery.
+// database by definition, independently of the lineage machinery —
+// and independently of the planned evaluator under test: the holds
+// oracle is the naive reference backend (rel.HoldsWithoutNaive), so a
+// data-plane bug cannot validate its own wrong answers.
 //
 // Why-So (Definition 2.3): q must still hold after removing Γ and
 // fail after removing Γ ∪ {t}.
@@ -311,7 +330,7 @@ func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
 			}
 		}
 		// Dˣ ∪ Γ: every candidate outside Γ (t included) removed.
-		held, err := rel.HoldsWithout(inst.DB, inst.Query, absent)
+		held, err := rel.HoldsWithoutNaive(inst.DB, inst.Query, absent)
 		if err != nil {
 			return err
 		}
@@ -319,7 +338,7 @@ func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
 			return fmt.Errorf("whyno cause %d: q already holds on Dˣ ∪ Γ for Γ=%v", ex.Tuple, ex.Contingency)
 		}
 		delete(absent, ex.Tuple)
-		held, err = rel.HoldsWithout(inst.DB, inst.Query, absent)
+		held, err = rel.HoldsWithoutNaive(inst.DB, inst.Query, absent)
 		if err != nil {
 			return err
 		}
@@ -332,7 +351,7 @@ func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
 	for _, id := range ex.Contingency {
 		removed[id] = true
 	}
-	held, err := rel.HoldsWithout(inst.DB, inst.Query, removed)
+	held, err := rel.HoldsWithoutNaive(inst.DB, inst.Query, removed)
 	if err != nil {
 		return err
 	}
@@ -340,7 +359,7 @@ func validateWitness(inst *causegen.Instance, ex core.Explanation) error {
 		return fmt.Errorf("whyso cause %d: q fails after removing Γ=%v alone", ex.Tuple, ex.Contingency)
 	}
 	removed[ex.Tuple] = true
-	held, err = rel.HoldsWithout(inst.DB, inst.Query, removed)
+	held, err = rel.HoldsWithoutNaive(inst.DB, inst.Query, removed)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,11 @@
 // RandomInstance), runs every engine layer against every applicable
 // oracle, and checks paper-derived metamorphic invariants:
 //
+//   - The planned streaming evaluator (internal/ra) agrees with the
+//     naive reference evaluator (rel.EvalNaive) on every instance:
+//     identical valuation sets, and the lineage captured during
+//     evaluation equals the two-pass naive construction structurally
+//     (canonical conjunct order makes the DNFs byte-comparable).
 //   - ModeAuto vs ModeExact rankings agree on (tuple, ρ, min|Γ|) for
 //     every instance (flow == exact wherever flow dispatches).
 //   - Every returned contingency set is witness-validated against the
@@ -90,6 +95,10 @@ type Options struct {
 	// MetamorphicEvery applies the metamorphic invariants to every
 	// k-th instance (default 1 = every instance; <0 disables).
 	MetamorphicEvery int
+	// EvalEvery applies the naive-vs-planned evaluator equivalence
+	// check to every k-th instance (default 1 = every instance; <0
+	// disables).
+	EvalEvery int
 	// MaxMismatches stops the sweep early once this many mismatches
 	// are collected (default 5).
 	MaxMismatches int
@@ -108,6 +117,7 @@ func (o Options) ShrinkCheck() CheckOptions {
 	o = o.withDefaults()
 	chk := o.Check
 	chk.Metamorphic = o.MetamorphicEvery > 0
+	chk.EvalDiff = o.EvalEvery > 0
 	chk.Server = o.Server
 	chk.Session = o.Session
 	return chk
@@ -122,6 +132,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MetamorphicEvery == 0 {
 		o.MetamorphicEvery = 1
+	}
+	if o.EvalEvery == 0 {
+		o.EvalEvery = 1
 	}
 	if o.MaxMismatches <= 0 {
 		o.MaxMismatches = 5
@@ -222,8 +235,11 @@ type Report struct {
 	// SessionChecked counts instances replayed through the Session
 	// API's transport-equivalence differential.
 	SessionChecked int
-	Mismatches     []Mismatch
-	Elapsed        time.Duration
+	// EvalChecked counts instances run through the naive-vs-planned
+	// evaluator equivalence differential.
+	EvalChecked int
+	Mismatches  []Mismatch
+	Elapsed     time.Duration
 }
 
 // InstancesPerSec is the sweep throughput.
@@ -235,9 +251,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d eval=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.EvalChecked,
 		len(r.Mismatches))
 }
 
@@ -266,6 +282,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		metamorph atomic.Int64
 		serverN   atomic.Int64
 		sessionN  atomic.Int64
+		evalN     atomic.Int64
 		done      atomic.Int64
 	)
 	sweepCtx, stop := context.WithCancel(ctx)
@@ -283,6 +300,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			}
 			chk := opts.Check
 			chk.Metamorphic = opts.MetamorphicEvery > 0 && i%opts.MetamorphicEvery == 0
+			chk.EvalDiff = opts.EvalEvery > 0 && i%opts.EvalEvery == 0
 			if opts.Server != nil && i%opts.ServerEvery == 0 {
 				chk.Server = opts.Server
 			}
@@ -302,6 +320,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			metamorph.Add(int64(stats.MetamorphicChecked))
 			serverN.Add(int64(stats.ServerChecked))
 			sessionN.Add(int64(stats.SessionChecked))
+			evalN.Add(int64(stats.EvalChecked))
 			if err != nil {
 				mu.Lock()
 				rep.Mismatches = append(rep.Mismatches, Mismatch{Seed: seed, Gen: opts.Gen, Check: opts.Check, Index: i, Err: err, Instance: inst})
@@ -331,6 +350,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.MetamorphicChecked = int(metamorph.Load())
 	rep.ServerChecked = int(serverN.Load())
 	rep.SessionChecked = int(sessionN.Load())
+	rep.EvalChecked = int(evalN.Load())
 	rep.Elapsed = time.Since(start)
 	// Early stop on mismatch budget is not a caller error; only the
 	// caller's own cancellation is.

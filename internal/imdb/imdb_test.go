@@ -11,18 +11,18 @@ func TestMicroShape(t *testing.T) {
 	if len(keys) != 9 {
 		t.Fatalf("keys = %d, want 9 endogenous tuples", len(keys))
 	}
-	if db.Relation("Director") == nil || len(db.Relation("Director").Tuples) != 3 {
+	if db.Relation("Director") == nil || len(db.Relation("Director").Tuples()) != 3 {
 		t.Fatal("want 3 directors")
 	}
-	if len(db.Relation("Movie").Tuples) != 6 {
+	if len(db.Relation("Movie").Tuples()) != 6 {
 		t.Fatal("want 6 movies")
 	}
-	for _, tup := range db.Relation("MovieDirectors").Tuples {
+	for _, tup := range db.Relation("MovieDirectors").Tuples() {
 		if tup.Endo {
 			t.Fatal("MovieDirectors must be exogenous")
 		}
 	}
-	for _, tup := range db.Relation("Genre").Tuples {
+	for _, tup := range db.Relation("Genre").Tuples() {
 		if tup.Endo {
 			t.Fatal("Genre must be exogenous")
 		}
@@ -77,5 +77,28 @@ func TestSyntheticHasBurtonAnswers(t *testing.T) {
 		if tup.Endo != wantEndo {
 			t.Fatalf("tuple %v endo=%v, want %v", tup, tup.Endo, wantEndo)
 		}
+	}
+}
+
+// TestSyntheticScales: the generator reaches the ~100k-tuple scale in
+// one test-budget-friendly call, and the bound genre query explains
+// end-to-end on it. The full 1M-tuple point is exercised by
+// `experiments -run evalcurve` (nightly CI) and recorded in
+// BENCH_eval.json.
+func TestSyntheticScales(t *testing.T) {
+	db := Synthetic(Config{Seed: 7, Directors: 10300, BurtonShare: 0.02})
+	if n := db.NumTuples(); n < 90000 {
+		t.Fatalf("10300 directors produced only %d tuples, want ≈100k", n)
+	}
+	bq, err := GenreQuery().Bind("Musical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := rel.Holds(db, bq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !held {
+		t.Fatal("Musical is not an answer on the 100k-tuple instance")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/querycause/querycause/internal/ra"
 	"github.com/querycause/querycause/internal/rel"
 )
 
@@ -94,7 +95,10 @@ type DNF struct {
 
 // Build computes the lineage Φ of the Boolean query q over db: one
 // conjunct per valuation, containing the variables of all witness tuples
-// (Section 3). Duplicate conjuncts are merged.
+// (Section 3). Duplicate conjuncts are merged. Evaluation goes through
+// the registered backend (rel.Valuations); for the endogenous lineage
+// prefer NLineageOf, which captures Φⁿ during evaluation instead of
+// materializing Φ first.
 func Build(db *rel.Database, q *rel.Query) (DNF, error) {
 	if !q.IsBoolean() {
 		return DNF{}, fmt.Errorf("lineage: query %s is not Boolean; call Bind first", q.Name)
@@ -103,6 +107,25 @@ func Build(db *rel.Database, q *rel.Query) (DNF, error) {
 	if err != nil {
 		return DNF{}, err
 	}
+	return buildFrom(vals), nil
+}
+
+// BuildNaive is Build over the naive reference evaluator
+// (rel.EvalNaive), regardless of the registered backend. The
+// differential harness composes it into NLineageOfNaive to check the
+// streamed lineage against the definitional two-pass construction.
+func BuildNaive(db *rel.Database, q *rel.Query) (DNF, error) {
+	if !q.IsBoolean() {
+		return DNF{}, fmt.Errorf("lineage: query %s is not Boolean; call Bind first", q.Name)
+	}
+	vals, err := rel.EvalNaive(db, q)
+	if err != nil {
+		return DNF{}, err
+	}
+	return buildFrom(vals), nil
+}
+
+func buildFrom(vals []rel.Valuation) DNF {
 	d := DNF{}
 	seen := make(map[string]bool)
 	for _, v := range vals {
@@ -113,7 +136,7 @@ func Build(db *rel.Database, q *rel.Query) (DNF, error) {
 			d.Conjuncts = append(d.Conjuncts, c)
 		}
 	}
-	return d, nil
+	return d
 }
 
 // NLineage computes Φⁿ = Φ[X_t := true ∀ t ∈ Dx] (Definition 3.1):
@@ -129,7 +152,7 @@ func NLineage(d DNF, db *rel.Database) DNF {
 	for _, c := range d.Conjuncts {
 		nc := make(Conjunct, 0, len(c))
 		for _, id := range c {
-			if db.Tuple(id).Endo {
+			if db.Endo(id) {
 				nc = append(nc, id)
 			}
 		}
@@ -148,14 +171,17 @@ func NLineage(d DNF, db *rel.Database) DNF {
 // RemoveRedundant drops every conjunct that strictly contains another
 // conjunct (Section 3: "a conjunct c is redundant if there exists another
 // conjunct c′ that is a strict subset of c"). The result is the unique
-// minimal equivalent DNF of a monotone expression.
+// minimal equivalent DNF of a monotone expression, in canonical order
+// (by size, then lexicographically by tuple ID) — independent of the
+// evaluation backend that produced the conjuncts, so naive and planned
+// lineages compare byte-for-byte.
 func RemoveRedundant(d DNF) DNF {
 	if d.True {
 		return d
 	}
-	// Sort by size so potential subsets come first.
+	// Canonical order also puts potential subsets first.
 	cs := append([]Conjunct(nil), d.Conjuncts...)
-	sort.Slice(cs, func(i, j int) bool { return len(cs[i]) < len(cs[j]) })
+	sort.Slice(cs, func(i, j int) bool { return conjunctLess(cs[i], cs[j]) })
 	var kept []Conjunct
 	for _, c := range cs {
 		redundant := false
@@ -170,6 +196,20 @@ func RemoveRedundant(d DNF) DNF {
 		}
 	}
 	return DNF{Conjuncts: kept}
+}
+
+// conjunctLess orders conjuncts canonically: by size, then
+// lexicographically by tuple ID.
+func conjunctLess(a, b Conjunct) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }
 
 // Satisfiable reports whether the positive DNF is satisfiable: it is
@@ -250,21 +290,46 @@ func (d DNF) String() string {
 // when the query already holds on the exogenous part alone (no
 // endogenous tuple makes a difference).
 func Causes(db *rel.Database, q *rel.Query) ([]rel.TupleID, error) {
-	phi, err := Build(db, q)
+	n, err := NLineageOf(db, q)
 	if err != nil {
 		return nil, err
 	}
-	n := NLineage(phi, db)
 	if n.True {
 		return nil, nil
 	}
-	return RemoveRedundant(n).Vars(), nil
+	return n.Vars(), nil
 }
 
-// NLineageOf is a convenience composing Build, NLineage and
-// RemoveRedundant: it returns the minimal endogenous lineage of q on db.
+// NLineageOf returns the minimal endogenous lineage Φⁿ of q on db. The
+// conjuncts are captured during evaluation: the streaming evaluator
+// (internal/ra) drops exogenous witnesses as bindings are produced, so
+// there is no second pass over the valuations and the full Φ is never
+// materialized. Only redundancy removal runs afterwards.
 func NLineageOf(db *rel.Database, q *rel.Query) (DNF, error) {
-	phi, err := Build(db, q)
+	if !q.IsBoolean() {
+		return DNF{}, fmt.Errorf("lineage: query %s is not Boolean; call Bind first", q.Name)
+	}
+	conjs, isTrue, err := ra.NLineageConjuncts(db, q)
+	if err != nil {
+		return DNF{}, err
+	}
+	if isTrue {
+		return DNF{True: true}, nil
+	}
+	d := DNF{Conjuncts: make([]Conjunct, 0, len(conjs))}
+	for _, c := range conjs {
+		d.Conjuncts = append(d.Conjuncts, Conjunct(c))
+	}
+	return RemoveRedundant(d), nil
+}
+
+// NLineageOfNaive composes BuildNaive, NLineage and RemoveRedundant —
+// the definitional two-pass construction of the minimal Φⁿ over the
+// naive reference evaluator. The differential harness checks it against
+// the streamed NLineageOf; thanks to canonical conjunct order the two
+// are identical structures, not merely equivalent expressions.
+func NLineageOfNaive(db *rel.Database, q *rel.Query) (DNF, error) {
+	phi, err := BuildNaive(db, q)
 	if err != nil {
 		return DNF{}, err
 	}

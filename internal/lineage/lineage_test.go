@@ -13,7 +13,7 @@ func mustIDs(t *testing.T, db *rel.Database, relName string, args ...rel.Value) 
 		t.Fatalf("no relation %s", relName)
 	}
 outer:
-	for _, tup := range r.Tuples {
+	for _, tup := range r.Tuples() {
 		for i, a := range args {
 			if tup.Args[i] != a {
 				continue outer
@@ -244,5 +244,57 @@ func TestDNFString(t *testing.T) {
 	d := DNF{Conjuncts: []Conjunct{NewConjunct(2, 1)}}
 	if got := d.String(); got != "X1·X2" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestRemoveRedundantCanonicalOrder: the minimal DNF comes out in
+// canonical order (size, then lexicographic by tuple ID) regardless of
+// input order, so lineages from different evaluation backends compare
+// structurally.
+func TestRemoveRedundantCanonicalOrder(t *testing.T) {
+	a := DNF{Conjuncts: []Conjunct{
+		NewConjunct(5, 6, 7), NewConjunct(2, 9), NewConjunct(1, 3), NewConjunct(4),
+	}}
+	b := DNF{Conjuncts: []Conjunct{
+		NewConjunct(4), NewConjunct(1, 3), NewConjunct(5, 6, 7), NewConjunct(2, 9),
+	}}
+	ma, mb := RemoveRedundant(a), RemoveRedundant(b)
+	if ma.String() != mb.String() {
+		t.Fatalf("input order leaked into the minimal DNF: %s vs %s", ma, mb)
+	}
+	want := []Conjunct{NewConjunct(4), NewConjunct(1, 3), NewConjunct(2, 9), NewConjunct(5, 6, 7)}
+	if len(ma.Conjuncts) != len(want) {
+		t.Fatalf("got %d conjuncts, want %d", len(ma.Conjuncts), len(want))
+	}
+	for i := range want {
+		if !ma.Conjuncts[i].Equal(want[i]) {
+			t.Fatalf("conjunct %d = %v, want %v", i, ma.Conjuncts[i], want[i])
+		}
+	}
+}
+
+// TestNLineageOfStreamedEqualsNaive: the streamed single-pass lineage
+// equals the two-pass naive construction structurally on Example 3.3.
+func TestNLineageOfStreamedEqualsNaive(t *testing.T) {
+	db := example33DB(t)
+	q := rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.C("a3")),
+		rel.NewAtom("S", rel.C("a3")),
+	)
+	streamed, err := NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NLineageOfNaive(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.True != naive.True || len(streamed.Conjuncts) != len(naive.Conjuncts) {
+		t.Fatalf("streamed %s vs naive %s", streamed, naive)
+	}
+	for i := range streamed.Conjuncts {
+		if !streamed.Conjuncts[i].Equal(naive.Conjuncts[i]) {
+			t.Fatalf("conjunct %d differs: %v vs %v", i, streamed.Conjuncts[i], naive.Conjuncts[i])
+		}
 	}
 }

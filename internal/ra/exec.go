@@ -1,0 +1,160 @@
+package ra
+
+import (
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// runner is the per-evaluation state of a compiled plan: step inputs
+// are prepared lazily (a hash table or filtered row list is only built
+// the first time the pipeline reaches that step, so an early empty scan
+// costs nothing downstream), and the slot and witness buffers are
+// reused across the whole enumeration.
+type runner struct {
+	p        *plan
+	removed  map[rel.TupleID]bool
+	prepared []bool
+	all      []bool               // scan step streams every row unfiltered
+	lists    [][]int32            // scan steps: filtered row list
+	tables   []map[string][]int32 // join steps: packed join codes → rows
+	slots    []uint32
+	witness  []rel.TupleID
+	keyBuf   []byte
+	yield    func(slots []uint32, witness []rel.TupleID) bool
+}
+
+// run streams every valuation of the plan through yield as (slot codes,
+// per-atom witness IDs). Both slices are reused between calls — yield
+// must copy what it keeps. Returning false from yield stops the
+// enumeration. Rows whose tuple ID is in removed never enter the
+// pipeline.
+func (p *plan) run(removed map[rel.TupleID]bool, yield func([]uint32, []rel.TupleID) bool) {
+	r := &runner{
+		p:        p,
+		removed:  removed,
+		prepared: make([]bool, len(p.steps)),
+		all:      make([]bool, len(p.steps)),
+		lists:    make([][]int32, len(p.steps)),
+		tables:   make([]map[string][]int32, len(p.steps)),
+		slots:    make([]uint32, len(p.varNames)),
+		witness:  make([]rel.TupleID, p.numAtoms),
+		yield:    yield,
+	}
+	r.dfs(0)
+}
+
+func (r *runner) dfs(i int) bool {
+	if i == len(r.p.steps) {
+		return r.yield(r.slots, r.witness)
+	}
+	st := &r.p.steps[i]
+	if !r.prepared[i] {
+		r.prepare(i, st)
+	}
+	if len(st.join) > 0 {
+		r.keyBuf = r.keyBuf[:0]
+		for _, cs := range st.join {
+			r.keyBuf = appendCode(r.keyBuf, r.slots[cs.slot])
+		}
+		return r.emit(st, r.tables[i][string(r.keyBuf)], i)
+	}
+	if r.all[i] {
+		n := st.rl.Len()
+		for row := 0; row < n; row++ {
+			if !r.emitRow(st, int32(row), i) {
+				return false
+			}
+		}
+		return true
+	}
+	return r.emit(st, r.lists[i], i)
+}
+
+func (r *runner) emit(st *step, rows []int32, i int) bool {
+	for _, row := range rows {
+		if !r.emitRow(st, row, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *runner) emitRow(st *step, row int32, i int) bool {
+	for _, cs := range st.bind {
+		r.slots[cs.slot] = st.rl.Col(cs.col)[row]
+	}
+	r.witness[st.atom] = st.rl.RowID(int(row))
+	return r.dfs(i + 1)
+}
+
+// prepare builds the step's input on first contact: a hash table over
+// the packed join-column codes for probe steps, a filtered row list for
+// scans — or nothing at all for a full unfiltered scan.
+func (r *runner) prepare(i int, st *step) {
+	r.prepared[i] = true
+	if len(st.join) == 0 {
+		if len(st.consts) == 0 && len(st.eq) == 0 && r.removed == nil {
+			r.all[i] = true
+			return
+		}
+		var list []int32
+		r.candidateRows(st, func(row int32) { list = append(list, row) })
+		r.lists[i] = list
+		return
+	}
+	tbl := make(map[string][]int32)
+	var buf []byte
+	r.candidateRows(st, func(row int32) {
+		buf = buf[:0]
+		for _, cs := range st.join {
+			buf = appendCode(buf, st.rl.Col(cs.col)[row])
+		}
+		tbl[string(buf)] = append(tbl[string(buf)], row)
+	})
+	r.tables[i] = tbl
+}
+
+// candidateRows visits the rows passing the step's constant, intra-atom
+// equality, and removal filters, in ascending row order. When constant
+// columns exist, the smallest matching bucket of the lazy code indexes
+// seeds the iteration instead of a full scan.
+func (r *runner) candidateRows(st *step, visit func(row int32)) {
+	rl := st.rl
+	pass := func(row int32) bool {
+		for _, cc := range st.consts {
+			if rl.Col(cc.col)[row] != cc.code {
+				return false
+			}
+		}
+		for _, e := range st.eq {
+			if rl.Col(e[0])[row] != rl.Col(e[1])[row] {
+				return false
+			}
+		}
+		return r.removed == nil || !r.removed[rl.RowID(int(row))]
+	}
+	if len(st.consts) > 0 {
+		seed := rl.CodeIndex(st.consts[0].col)[st.consts[0].code]
+		for _, cc := range st.consts[1:] {
+			if rows := rl.CodeIndex(cc.col)[cc.code]; len(rows) < len(seed) {
+				seed = rows
+			}
+		}
+		for _, row := range seed {
+			if pass(row) {
+				visit(row)
+			}
+		}
+		return
+	}
+	for row := int32(0); int(row) < rl.Len(); row++ {
+		if pass(row) {
+			visit(row)
+		}
+	}
+}
+
+// appendCode packs an interned code into 4 little-endian bytes of a
+// hash key.
+func appendCode(dst []byte, c uint32) []byte {
+	return append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}

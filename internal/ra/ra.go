@@ -1,0 +1,169 @@
+// Package ra is the planned streaming evaluator of the relational data
+// plane: composable relational-algebra iterators — scan, selection,
+// projection-to-slots, and hash join keyed on shared variables — running
+// directly over internal/rel's dictionary-interned columnar relations.
+//
+// A conjunctive query is compiled once into a left-deep pipeline whose
+// atom order a small planner picks by estimated selectivity: atoms
+// joined to an already-bound variable before unconnected (cartesian)
+// arms, then by constants bound, shared-variable count, and relation
+// cardinality (see plan.go). Evaluation then streams variable bindings through the
+// pipeline as dense uint32 code slots: the first step scans its
+// relation (constant columns pre-filtered through the lazy code
+// indexes), and every later step probes a hash table built over its
+// relation keyed by the columns holding already-bound variables.
+// Comparisons are uint32 code comparisons; no Value string is touched
+// until a result is materialized.
+//
+// Provenance rides along: every streamed binding carries the
+// contributing tuple IDs (one witness per atom), so the endogenous
+// lineage of Meliou et al. (VLDB 2010, §3) is captured during
+// evaluation — NLineageConjuncts assembles Φⁿ's conjuncts, already in
+// the dense TupleID space lineage.Index interns, in the same pass that
+// evaluates the query, instead of a second evaluation pass.
+//
+// Importing this package installs it as the backend behind
+// rel.Valuations / rel.Holds / rel.HoldsWithout (see
+// rel.RegisterEvaluator); the naive reference evaluator stays available
+// as rel.EvalNaive, and internal/difftest differential-tests the two on
+// every sweep.
+package ra
+
+import (
+	"github.com/querycause/querycause/internal/rel"
+)
+
+func init() {
+	rel.RegisterEvaluator(&rel.Evaluator{
+		Valuations:   Valuations,
+		Holds:        Holds,
+		HoldsWithout: HoldsWithout,
+	})
+}
+
+// Valuations enumerates all valuations of the query body over db
+// through the planned pipeline. Semantics match rel.EvalNaive (the
+// head, if any, is ignored); enumeration order is the deterministic
+// pipeline order, which differs from the naive backtracking order.
+func Valuations(db *rel.Database, q *rel.Query) ([]rel.Valuation, error) {
+	p, err := compile(db, q)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, nil
+	}
+	var out []rel.Valuation
+	p.run(nil, func(slots []uint32, witness []rel.TupleID) bool {
+		binding := make(map[string]rel.Value, len(p.varNames))
+		for s, name := range p.varNames {
+			binding[name] = db.Dict().Value(slots[s])
+		}
+		out = append(out, rel.Valuation{Binding: binding, Witness: append([]rel.TupleID(nil), witness...)})
+		return true
+	})
+	return out, nil
+}
+
+// Holds reports whether the Boolean query holds, stopping at the first
+// streamed valuation (hash tables for later pipeline steps are never
+// even built when an early step has no matches).
+func Holds(db *rel.Database, q *rel.Query) (bool, error) {
+	return HoldsWithout(db, q, nil)
+}
+
+// HoldsWithout reports whether q holds with the given tuples removed.
+// The removal filter is pushed into the scans and hash-table builds, so
+// pruned rows never enter the pipeline, and evaluation stops at the
+// first surviving valuation.
+func HoldsWithout(db *rel.Database, q *rel.Query, removed map[rel.TupleID]bool) (bool, error) {
+	p, err := compile(db, q)
+	if err != nil {
+		return false, err
+	}
+	if p == nil {
+		return false, nil
+	}
+	found := false
+	p.run(removed, func([]uint32, []rel.TupleID) bool {
+		found = true
+		return false
+	})
+	return found, nil
+}
+
+// NLineageConjuncts evaluates the Boolean query and returns the
+// conjuncts of its endogenous lineage Φⁿ (Definition 3.1), captured
+// during evaluation: for each streamed valuation the exogenous
+// witnesses are dropped on the spot, the surviving tuple IDs form one
+// conjunct (sorted, set semantics), and duplicate conjuncts are merged
+// as they stream. A valuation witnessed by exogenous tuples alone makes
+// Φⁿ ≡ true, reported via isTrue with evaluation cut short.
+//
+// The caller (lineage.NLineageOf) only minimizes the result; there is
+// no separate lineage-building evaluation pass.
+func NLineageConjuncts(db *rel.Database, q *rel.Query) (conjuncts [][]rel.TupleID, isTrue bool, err error) {
+	p, err := compile(db, q)
+	if err != nil {
+		return nil, false, err
+	}
+	if p == nil {
+		return nil, false, nil
+	}
+	seen := make(map[string]bool)
+	var key []byte
+	conj := make([]rel.TupleID, 0, len(q.Atoms))
+	p.run(nil, func(_ []uint32, witness []rel.TupleID) bool {
+		conj = conj[:0]
+		for _, id := range witness {
+			if db.Endo(id) {
+				conj = append(conj, id)
+			}
+		}
+		if len(conj) == 0 {
+			isTrue = true
+			return false
+		}
+		sortIDs(conj)
+		conj = dedupIDs(conj)
+		key = key[:0]
+		for _, id := range conj {
+			key = appendID(key, id)
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			conjuncts = append(conjuncts, append([]rel.TupleID(nil), conj...))
+		}
+		return true
+	})
+	if isTrue {
+		return nil, true, nil
+	}
+	return conjuncts, false, nil
+}
+
+// sortIDs sorts a small TupleID slice in place (insertion sort: witness
+// lists are atom-count long).
+func sortIDs(ids []rel.TupleID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// dedupIDs removes adjacent duplicates from a sorted slice in place.
+func dedupIDs(ids []rel.TupleID) []rel.TupleID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || ids[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func appendID(dst []byte, id rel.TupleID) []byte {
+	u := uint64(id)
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}

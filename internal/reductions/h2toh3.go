@@ -24,7 +24,7 @@ func H2ToH3(db *rel.Database) (*rel.Database, map[rel.TupleID]rel.TupleID, error
 		if r == nil {
 			return nil, nil, fmt.Errorf("reductions: h2 instance missing relation %s", name)
 		}
-		for _, tup := range r.Tuples {
+		for _, tup := range r.Tuples() {
 			nid := out.MustAdd(unaryOf[name], tup.Endo, valOf(tup.ID))
 			mapping[tup.ID] = nid
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/querycause/querycause/internal/qerr"
 )
@@ -202,13 +203,48 @@ type Answer struct {
 	Valuations []Valuation
 }
 
+// Evaluator is a pluggable evaluation backend for the package-level
+// entry points. internal/ra registers its planned streaming evaluator
+// here from an init function, so any binary linking that package gets
+// selectivity-ordered hash-join evaluation for Valuations, Holds and
+// HoldsWithout; binaries that never import it keep the naive reference
+// evaluator. The naive path stays reachable forever through EvalNaive,
+// HoldsNaive and HoldsWithoutNaive — internal/difftest differential-
+// tests the two backends against each other on every sweep.
+type Evaluator struct {
+	Valuations   func(db *Database, q *Query) ([]Valuation, error)
+	Holds        func(db *Database, q *Query) (bool, error)
+	HoldsWithout func(db *Database, q *Query, removed map[TupleID]bool) (bool, error)
+}
+
+var evaluator atomic.Pointer[Evaluator]
+
+// RegisterEvaluator installs the planned evaluation backend. Intended
+// to be called from internal/ra's init; passing nil restores the naive
+// backend (tests only).
+func RegisterEvaluator(e *Evaluator) { evaluator.Store(e) }
+
 // Valuations enumerates all valuations of the Boolean query q over db.
 // For non-Boolean queries it enumerates valuations of the body (the head
 // is ignored); use Answers to group them by head value.
 //
-// The enumeration uses a greedy bound-variable join order with hash
-// indexes on bound columns.
+// With the planned backend registered (see Evaluator) this streams a
+// selectivity-ordered hash-join pipeline; otherwise it falls back to
+// EvalNaive. Valuation order is deterministic per backend but differs
+// between backends; callers needing a canonical order sort.
 func Valuations(db *Database, q *Query) ([]Valuation, error) {
+	if e := evaluator.Load(); e != nil && e.Valuations != nil {
+		return e.Valuations(db, q)
+	}
+	return EvalNaive(db, q)
+}
+
+// EvalNaive enumerates all valuations with the naive reference
+// evaluator: a greedy bound-variable join order with hash indexes on
+// bound columns, one backtracking search over the tuple adapters. It is
+// the permanently available baseline the planned evaluator is
+// differential-tested against.
+func EvalNaive(db *Database, q *Query) ([]Valuation, error) {
 	for _, a := range q.Atoms {
 		r := db.Relation(a.Pred)
 		if r == nil {
@@ -237,8 +273,9 @@ func Valuations(db *Database, q *Query) ([]Valuation, error) {
 		used[ai] = true
 		a := q.Atoms[ai]
 		r := db.Relation(a.Pred)
+		rows := r.Tuples()
 		for _, ti := range candidates(r, a, binding) {
-			tup := r.Tuples[ti]
+			tup := rows[ti]
 			newVars, ok := matchAtom(a, tup, binding)
 			if !ok {
 				continue
@@ -278,9 +315,9 @@ func pickNextAtom(q *Query, used []bool, binding map[string]Value) int {
 	return best
 }
 
-// candidates returns indexes into r.Tuples worth testing for atom a under
-// the current binding, using a column index when some term is bound.
-func candidates(r *Relation, a Atom, binding map[string]Value) []int {
+// candidates returns rows of r worth testing for atom a under the
+// current binding, using a code index when some term is bound.
+func candidates(r *Relation, a Atom, binding map[string]Value) []int32 {
 	col, val := -1, Value("")
 	for i, t := range a.Terms {
 		if !t.IsVar {
@@ -293,13 +330,17 @@ func candidates(r *Relation, a Atom, binding map[string]Value) []int {
 		}
 	}
 	if col < 0 {
-		all := make([]int, len(r.Tuples))
+		all := make([]int32, r.Len())
 		for i := range all {
-			all[i] = i
+			all[i] = int32(i)
 		}
 		return all
 	}
-	return r.ensureIndex(col)[val]
+	code, ok := r.db.dict.Code(val)
+	if !ok {
+		return nil // value never interned: no row can match
+	}
+	return r.ensureIndex(col)[code]
 }
 
 // matchAtom attempts to unify atom a with tuple tup under binding. On
@@ -333,9 +374,18 @@ func unwind(binding map[string]Value, newVars []string) ([]string, bool) {
 	return nil, false
 }
 
-// Holds reports whether the Boolean query q is true on db.
+// Holds reports whether the Boolean query q is true on db. The planned
+// backend short-circuits on the first streamed valuation.
 func Holds(db *Database, q *Query) (bool, error) {
-	vals, err := Valuations(db, q)
+	if e := evaluator.Load(); e != nil && e.Holds != nil {
+		return e.Holds(db, q)
+	}
+	return HoldsNaive(db, q)
+}
+
+// HoldsNaive is Holds on the naive reference evaluator.
+func HoldsNaive(db *Database, q *Query) (bool, error) {
+	vals, err := EvalNaive(db, q)
 	if err != nil {
 		return false, err
 	}
@@ -389,12 +439,25 @@ func joinValues(vs []Value) string {
 }
 
 // HoldsWithout reports whether q is true on db with the given tuples
-// removed. It does not mutate db.
+// removed. It does not mutate db. The planned backend pushes the
+// removal filter into its scans and stops at the first surviving
+// valuation.
 func HoldsWithout(db *Database, q *Query, removed map[TupleID]bool) (bool, error) {
-	if len(removed) == 0 {
-		return Holds(db, q)
+	if e := evaluator.Load(); e != nil && e.HoldsWithout != nil {
+		return e.HoldsWithout(db, q, removed)
 	}
-	vals, err := Valuations(db, q)
+	return HoldsWithoutNaive(db, q, removed)
+}
+
+// HoldsWithoutNaive is HoldsWithout on the naive reference evaluator:
+// enumerate every valuation, then filter. The differential harness uses
+// it as the definitional oracle so witness validation stays independent
+// of the planned evaluator under test.
+func HoldsWithoutNaive(db *Database, q *Query, removed map[TupleID]bool) (bool, error) {
+	if len(removed) == 0 {
+		return HoldsNaive(db, q)
+	}
+	vals, err := EvalNaive(db, q)
 	if err != nil {
 		return false, err
 	}

@@ -9,6 +9,28 @@
 // is one with an empty head. Non-Boolean queries are reduced to Boolean
 // ones by substituting the answer tuple into the head variables
 // (Query.Bind).
+//
+// # Storage layout
+//
+// Relations are stored column-major over a per-database value
+// dictionary: every constant is interned once into a dense uint32 code
+// (Dict), and a Relation holds one code vector per column plus the
+// row → TupleID map. Tuple identity is the dense insertion-order ID, so
+// lineage and the exact solvers keep working in the same ID space. The
+// classic row view ([]*Tuple) is materialized lazily by Tuples and
+// Database.Tuple — a thin adapter over the columnar plane, paid for only
+// by callers that need it (formatting, the naive evaluator); the
+// streaming evaluator in internal/ra runs on the code vectors directly.
+//
+// # Evaluation backends
+//
+// Valuations, Holds, HoldsWithout and Answers delegate to the planned
+// streaming evaluator (internal/ra) whenever that package is linked into
+// the binary — importing it installs the backend via RegisterEvaluator.
+// The naive reference evaluator is permanently available as EvalNaive /
+// HoldsNaive / HoldsWithoutNaive so the differential harness
+// (internal/difftest) can compare the two forever; binaries that never
+// import internal/ra simply keep the naive backend for everything.
 package rel
 
 import (
@@ -27,7 +49,10 @@ type Value string
 // in insertion order, and stable for the lifetime of the database.
 type TupleID int
 
-// Tuple is a row of a relation together with its causal status.
+// Tuple is a row of a relation together with its causal status. Tuples
+// handed out by Database.Tuple / Tuples are adapters materialized from
+// the columnar store; callers must treat them as read-only and use
+// Database.SetEndo to flip causal status.
 type Tuple struct {
 	ID   TupleID
 	Rel  string
@@ -49,28 +74,115 @@ func (t Tuple) String() string {
 	return fmt.Sprintf("%s^%s(%s)", t.Rel, tag, strings.Join(parts, ","))
 }
 
-// Relation is a named collection of same-arity tuples.
-type Relation struct {
-	Name   string
-	Arity  int
-	Tuples []*Tuple
-
-	// index holds a map[int]map[Value][]int listing, per column, the
-	// positions in Tuples whose col-th argument equals a value. Built
-	// lazily by ensureIndex with copy-on-write under indexMu and
-	// published atomically, so any number of goroutines may evaluate
-	// queries over a frozen relation concurrently without locking on
-	// the read path.
-	index   atomic.Pointer[map[int]map[Value][]int]
-	indexMu sync.Mutex
+// Dict interns constants into dense uint32 codes, once per database.
+// Code order is insertion order; code comparisons are identity only
+// (two values are equal iff their codes are equal), not lexicographic.
+// Interning happens on Database.Add; lookups are read-only and safe for
+// any number of concurrent readers once the database is frozen.
+type Dict struct {
+	codes map[Value]uint32
+	vals  []Value
 }
 
-// ensureIndex returns a hash index on the given column, building it on
-// first use. Database.Add invalidates all indexes of the relation, so an
+// Code returns the code of v, if v was ever added to the database.
+func (d *Dict) Code(v Value) (uint32, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the constant interned at code c.
+func (d *Dict) Value(c uint32) Value { return d.vals[c] }
+
+// Len returns the number of interned constants.
+func (d *Dict) Len() int { return len(d.vals) }
+
+func (d *Dict) intern(v Value) uint32 {
+	if c, ok := d.codes[v]; ok {
+		return c
+	}
+	if d.codes == nil {
+		d.codes = make(map[Value]uint32)
+	}
+	c := uint32(len(d.vals))
+	d.codes[v] = c
+	d.vals = append(d.vals, v)
+	return c
+}
+
+// Relation is a named collection of same-arity tuples, stored as one
+// interned code vector per column.
+type Relation struct {
+	Name  string
+	Arity int
+
+	db     *Database
+	cols   [][]uint32 // Arity code vectors, one per column
+	rowIDs []TupleID  // row → global tuple ID
+
+	// index holds a map[int]map[uint32][]int32 listing, per column, the
+	// rows whose col-th code equals a code. Built lazily by ensureIndex
+	// with copy-on-write under indexMu and published atomically, so any
+	// number of goroutines may evaluate queries over a frozen relation
+	// concurrently without locking on the read path.
+	index   atomic.Pointer[map[int]map[uint32][]int32]
+	indexMu sync.Mutex
+
+	// rows caches the lazily materialized adapter view (see Tuples).
+	rows atomic.Pointer[[]*Tuple]
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rowIDs) }
+
+// Col returns the interned code vector of column c. Callers must not
+// modify it.
+func (r *Relation) Col(c int) []uint32 { return r.cols[c] }
+
+// RowID returns the global tuple ID of the given row.
+func (r *Relation) RowID(row int) TupleID { return r.rowIDs[row] }
+
+// RowIDs returns the row → tuple ID map. Callers must not modify it.
+func (r *Relation) RowIDs() []TupleID { return r.rowIDs }
+
+// HasEndo reports whether the relation holds at least one endogenous
+// tuple, straight off the columnar endo flags.
+func (r *Relation) HasEndo() bool {
+	for _, id := range r.rowIDs {
+		if r.db.endo[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// Tuples materializes the row view of the relation: the i-th entry is
+// the adapter for row i. The slice and the tuples are shared and cached;
+// callers must not modify them. The pointers are identical to those
+// returned by Database.Tuple, so SetEndo updates are visible through
+// either view.
+func (r *Relation) Tuples() []*Tuple {
+	if rows := r.rows.Load(); rows != nil {
+		return *rows
+	}
+	all := r.db.adapterRows()
+	rows := make([]*Tuple, len(r.rowIDs))
+	for i, id := range r.rowIDs {
+		rows[i] = all[id]
+	}
+	// Racing builders produce identical views; last store wins.
+	r.rows.Store(&rows)
+	return rows
+}
+
+// CodeIndex returns a hash index on the given column, keyed by interned
+// code: code → rows whose col-th argument carries it. Built on first
+// use; Database.Add invalidates all indexes of the relation, so an
 // existing index is always current. Concurrent callers are safe as long
 // as no tuple is added concurrently (databases are frozen after load in
 // concurrent settings, e.g. the explanation server's session registry).
-func (r *Relation) ensureIndex(col int) map[Value][]int {
+func (r *Relation) CodeIndex(col int) map[uint32][]int32 { return r.ensureIndex(col) }
+
+func (r *Relation) ensureIndex(col int) map[uint32][]int32 {
 	if tbl := r.index.Load(); tbl != nil {
 		if idx, ok := (*tbl)[col]; ok {
 			return idx
@@ -85,11 +197,12 @@ func (r *Relation) ensureIndex(col int) map[Value][]int {
 			return idx
 		}
 	}
-	idx := make(map[Value][]int, len(r.Tuples))
-	for i, t := range r.Tuples {
-		idx[t.Args[col]] = append(idx[t.Args[col]], i)
+	vec := r.cols[col]
+	idx := make(map[uint32][]int32, len(vec))
+	for i, code := range vec {
+		idx[code] = append(idx[code], int32(i))
 	}
-	next := make(map[int]map[Value][]int)
+	next := make(map[int]map[uint32][]int32)
 	if old != nil {
 		for c, m := range *old {
 			next[c] = m
@@ -103,7 +216,21 @@ func (r *Relation) ensureIndex(col int) map[Value][]int {
 // Database is a set of relations plus a global tuple registry.
 type Database struct {
 	Relations map[string]*Relation
-	byID      []*Tuple
+
+	dict Dict
+	refs []rowRef // TupleID → (relation, row)
+	endo []bool   // TupleID → endogenous
+
+	// adapters caches the lazily materialized []*Tuple row view,
+	// published copy-on-write under adapterMu (same discipline as the
+	// relation indexes).
+	adapters  atomic.Pointer[[]*Tuple]
+	adapterMu sync.Mutex
+}
+
+type rowRef struct {
+	rel *Relation
+	row int32
 }
 
 // NewDatabase returns an empty database.
@@ -116,23 +243,41 @@ func (db *Database) Relation(name string) *Relation {
 	return db.Relations[name]
 }
 
+// Dict returns the database's value dictionary.
+func (db *Database) Dict() *Dict { return &db.dict }
+
 // Add inserts a tuple and returns its ID. It creates the relation on
 // first use and enforces consistent arity. Duplicate rows are permitted
 // by the engine but callers normally avoid them (set semantics).
 func (db *Database) Add(rel string, endo bool, args ...Value) (TupleID, error) {
 	r, ok := db.Relations[rel]
 	if !ok {
-		r = &Relation{Name: rel, Arity: len(args)}
+		r = &Relation{Name: rel, Arity: len(args), db: db, cols: make([][]uint32, len(args))}
 		db.Relations[rel] = r
 	}
 	if r.Arity != len(args) {
 		return 0, fmt.Errorf("rel: relation %s has arity %d, got %d args", rel, r.Arity, len(args))
 	}
-	t := &Tuple{ID: TupleID(len(db.byID)), Rel: rel, Args: append([]Value(nil), args...), Endo: endo}
-	r.Tuples = append(r.Tuples, t)
-	r.index.Store(nil) // invalidate
-	db.byID = append(db.byID, t)
-	return t.ID, nil
+	id := TupleID(len(db.refs))
+	for c, v := range args {
+		r.cols[c] = append(r.cols[c], db.dict.intern(v))
+	}
+	r.rowIDs = append(r.rowIDs, id)
+	r.index.Store(nil) // invalidate code indexes
+	r.rows.Store(nil)  // invalidate the relation's adapter view
+	db.refs = append(db.refs, rowRef{rel: r, row: int32(r.Len() - 1)})
+	db.endo = append(db.endo, endo)
+	// Extend a materialized adapter view in place so previously handed
+	// out *Tuple pointers stay the live adapters for their IDs.
+	if ad := db.adapters.Load(); ad != nil {
+		db.adapterMu.Lock()
+		if cur := db.adapters.Load(); cur != nil && len(*cur) == int(id) {
+			next := append(*cur, db.materializeOne(id))
+			db.adapters.Store(&next)
+		}
+		db.adapterMu.Unlock()
+	}
+	return id, nil
 }
 
 // MustAdd is Add, panicking on arity mismatch. Intended for tests and
@@ -145,43 +290,90 @@ func (db *Database) MustAdd(rel string, endo bool, args ...Value) TupleID {
 	return id
 }
 
+func (db *Database) materializeOne(id TupleID) *Tuple {
+	ref := db.refs[id]
+	args := make([]Value, ref.rel.Arity)
+	for c := range args {
+		args[c] = db.dict.vals[ref.rel.cols[c][ref.row]]
+	}
+	return &Tuple{ID: id, Rel: ref.rel.Name, Args: args, Endo: db.endo[id]}
+}
+
+// adapterRows materializes (once) the full []*Tuple adapter view.
+func (db *Database) adapterRows() []*Tuple {
+	if ad := db.adapters.Load(); ad != nil && len(*ad) == len(db.refs) {
+		return *ad
+	}
+	db.adapterMu.Lock()
+	defer db.adapterMu.Unlock()
+	if ad := db.adapters.Load(); ad != nil && len(*ad) == len(db.refs) {
+		return *ad
+	}
+	out := make([]*Tuple, len(db.refs))
+	for id := range db.refs {
+		out[id] = db.materializeOne(TupleID(id))
+	}
+	db.adapters.Store(&out)
+	return out
+}
+
 // Tuple returns the tuple with the given ID. It panics on out-of-range
 // IDs, which indicate a bug in the caller.
 func (db *Database) Tuple(id TupleID) *Tuple {
-	return db.byID[id]
+	if int(id) < 0 || int(id) >= len(db.refs) {
+		panic(fmt.Sprintf("rel: tuple id %d out of range [0,%d)", id, len(db.refs)))
+	}
+	return db.adapterRows()[id]
 }
 
 // NumTuples returns the number of tuples in the database.
-func (db *Database) NumTuples() int { return len(db.byID) }
+func (db *Database) NumTuples() int { return len(db.refs) }
 
 // Tuples returns all tuples in insertion order. The slice is shared;
 // callers must not modify it.
-func (db *Database) Tuples() []*Tuple { return db.byID }
+func (db *Database) Tuples() []*Tuple { return db.adapterRows() }
+
+// Endo reports whether the identified tuple is endogenous, straight off
+// the columnar flag vector (no adapter materialization).
+func (db *Database) Endo(id TupleID) bool { return db.endo[id] }
 
 // EndoIDs returns the IDs of all endogenous tuples, sorted.
 func (db *Database) EndoIDs() []TupleID {
 	var out []TupleID
-	for _, t := range db.byID {
-		if t.Endo {
-			out = append(out, t.ID)
+	for id, e := range db.endo {
+		if e {
+			out = append(out, TupleID(id))
 		}
 	}
 	return out
 }
 
 // SetEndo flags the identified tuple endogenous or exogenous.
-func (db *Database) SetEndo(id TupleID, endo bool) { db.byID[id].Endo = endo }
+func (db *Database) SetEndo(id TupleID, endo bool) {
+	db.endo[id] = endo
+	if ad := db.adapters.Load(); ad != nil && int(id) < len(*ad) {
+		(*ad)[id].Endo = endo
+	}
+}
 
 // Clone returns a deep copy of the database. Tuple IDs are preserved.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
-	out.byID = make([]*Tuple, len(db.byID))
+	out.dict.vals = append([]Value(nil), db.dict.vals...)
+	out.dict.codes = make(map[Value]uint32, len(db.dict.codes))
+	for v, c := range db.dict.codes {
+		out.dict.codes[v] = c
+	}
+	out.refs = make([]rowRef, len(db.refs))
+	out.endo = append([]bool(nil), db.endo...)
 	for name, r := range db.Relations {
-		nr := &Relation{Name: name, Arity: r.Arity, Tuples: make([]*Tuple, len(r.Tuples))}
-		for i, t := range r.Tuples {
-			ct := &Tuple{ID: t.ID, Rel: t.Rel, Args: append([]Value(nil), t.Args...), Endo: t.Endo}
-			nr.Tuples[i] = ct
-			out.byID[t.ID] = ct
+		nr := &Relation{Name: name, Arity: r.Arity, db: out, cols: make([][]uint32, r.Arity)}
+		for c := range r.cols {
+			nr.cols[c] = append([]uint32(nil), r.cols[c]...)
+		}
+		nr.rowIDs = append([]TupleID(nil), r.rowIDs...)
+		for row, id := range nr.rowIDs {
+			out.refs[id] = rowRef{rel: nr, row: int32(row)}
 		}
 		out.Relations[name] = nr
 	}
@@ -189,18 +381,10 @@ func (db *Database) Clone() *Database {
 }
 
 // ActiveDomain returns the set of all values occurring in the database,
-// sorted for determinism.
+// sorted for determinism. With interned columnar storage this is the
+// dictionary itself (every interned value occurs in some tuple).
 func (db *Database) ActiveDomain() []Value {
-	seen := make(map[Value]bool)
-	for _, t := range db.byID {
-		for _, v := range t.Args {
-			seen[v] = true
-		}
-	}
-	out := make([]Value, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
+	out := append([]Value(nil), db.dict.vals...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -216,7 +400,7 @@ func (db *Database) String() string {
 	for _, n := range names {
 		r := db.Relations[n]
 		fmt.Fprintf(&b, "%s/%d:\n", n, r.Arity)
-		for _, t := range r.Tuples {
+		for _, t := range r.Tuples() {
 			fmt.Fprintf(&b, "  %s\n", t)
 		}
 	}

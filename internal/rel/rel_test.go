@@ -1,8 +1,10 @@
 package rel
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -305,5 +307,88 @@ func TestTupleString(t *testing.T) {
 	id := db.MustAdd("Movie", true, "526338", "Sweeney Todd")
 	if got := db.Tuple(id).String(); got != "Movie^n(526338,Sweeney Todd)" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestConcurrentCodeIndexBuild: two evaluators sharing one frozen
+// database may race to build the same lazy column index. Under -race
+// this pins the copy-on-write publication in ensureIndex; functionally,
+// every goroutine must observe the identical index.
+func TestConcurrentCodeIndexBuild(t *testing.T) {
+	db := NewDatabase()
+	for i := 0; i < 200; i++ {
+		db.MustAdd("R", i%3 == 0, Value(fmt.Sprintf("a%d", i%17)), Value(fmt.Sprintf("b%d", i%5)))
+	}
+	r := db.Relation("R")
+	const goroutines = 8
+	results := make([][]map[uint32][]int32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Interleave column order so builders collide on both columns.
+			if g%2 == 0 {
+				results[g] = []map[uint32][]int32{r.CodeIndex(0), r.CodeIndex(1)}
+			} else {
+				idx1 := r.CodeIndex(1)
+				results[g] = []map[uint32][]int32{r.CodeIndex(0), idx1}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for col := 0; col < 2; col++ {
+			a, b := results[0][col], results[g][col]
+			if len(a) != len(b) {
+				t.Fatalf("goroutine %d col %d: %d codes vs %d", g, col, len(b), len(a))
+			}
+			for code, rows := range a {
+				brows := b[code]
+				if len(rows) != len(brows) {
+					t.Fatalf("goroutine %d col %d code %d: row counts differ", g, col, code)
+				}
+				for i := range rows {
+					if rows[i] != brows[i] {
+						t.Fatalf("goroutine %d col %d code %d: rows differ at %d", g, col, code, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentEvaluationSharedDB: two engines evaluating over the
+// same frozen database concurrently (the explanation server's session
+// pattern) must agree and not race on index or adapter construction.
+func TestConcurrentEvaluationSharedDB(t *testing.T) {
+	db := NewDatabase()
+	for i := 0; i < 50; i++ {
+		db.MustAdd("R", true, Value(fmt.Sprintf("x%d", i%7)), Value(fmt.Sprintf("y%d", i%11)))
+		db.MustAdd("S", false, Value(fmt.Sprintf("y%d", i%11)), Value(fmt.Sprintf("z%d", i%5)))
+	}
+	q := NewBoolean(
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+	)
+	var wg sync.WaitGroup
+	counts := make([]int, 8)
+	errs := make([]error, 8)
+	for g := range counts {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals, err := Valuations(db, q)
+			counts[g], errs[g] = len(vals), err
+		}(g)
+	}
+	wg.Wait()
+	for g := range counts {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if counts[g] != counts[0] {
+			t.Fatalf("goroutine %d found %d valuations, goroutine 0 found %d", g, counts[g], counts[0])
+		}
 	}
 }

@@ -19,7 +19,7 @@ func endoByRelation(db *rel.Database) func(string) bool {
 		if r == nil {
 			return false
 		}
-		for _, t := range r.Tuples {
+		for _, t := range r.Tuples() {
 			if t.Endo {
 				return true
 			}

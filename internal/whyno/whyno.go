@@ -193,7 +193,7 @@ func PotentialTuples(db *rel.Database, relName string, limit int) ([]rel.TupleID
 		return nil, fmt.Errorf("whyno: unknown relation %s", relName)
 	}
 	existing := make(map[string]bool)
-	for _, t := range r.Tuples {
+	for _, t := range r.Tuples() {
 		existing[joinKey(t.Args)] = true
 	}
 	adom := db.ActiveDomain()

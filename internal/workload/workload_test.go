@@ -57,12 +57,12 @@ func TestGeneratorsDeterministic(t *testing.T) {
 
 func TestTriangleExoSFlags(t *testing.T) {
 	db, _, _ := TriangleExoS(3, 10)
-	for _, tup := range db.Relation("S").Tuples {
+	for _, tup := range db.Relation("S").Tuples() {
 		if tup.Endo {
 			t.Fatal("S must be exogenous in TriangleExoS")
 		}
 	}
-	for _, tup := range db.Relation("R").Tuples {
+	for _, tup := range db.Relation("R").Tuples() {
 		if !tup.Endo {
 			t.Fatal("R must be endogenous")
 		}
@@ -71,12 +71,12 @@ func TestTriangleExoSFlags(t *testing.T) {
 
 func TestWhyNoChainShape(t *testing.T) {
 	db, q := WhyNoChain(5, 15)
-	for _, tup := range db.Relation("R").Tuples {
+	for _, tup := range db.Relation("R").Tuples() {
 		if tup.Endo {
 			t.Fatal("real database must be exogenous")
 		}
 	}
-	for _, tup := range db.Relation("S").Tuples {
+	for _, tup := range db.Relation("S").Tuples() {
 		if !tup.Endo {
 			t.Fatal("candidates must be endogenous")
 		}
