@@ -54,6 +54,9 @@ type (
 	StreamEvent = server.StreamEvent
 	// StreamDone is the terminal event of a successful stream.
 	StreamDone = server.StreamDone
+	// ClusterInfo is the /v1/cluster topology payload: the answering
+	// node's identity and the full static peer list.
+	ClusterInfo = server.ClusterResponse
 )
 
 // Client is a thin Go client for a querycaused server.
@@ -175,31 +178,66 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // doOnce performs one HTTP exchange; retry reports whether the failure
-// is transient enough for an idempotent retry.
+// is transient enough for an idempotent retry. A cluster 307/308 is
+// followed exactly once — it is a re-route, not a retry, so it does
+// not consume a retry attempt — and a second redirect is an error
+// (the topology the first hop was based on no longer holds, or two
+// nodes disagree about ownership).
 func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out any) (retry bool, err error) {
-	var body io.Reader
-	if hasBody {
-		body = bytes.NewReader(raw)
+	url := c.base + path
+	for hop := 0; ; hop++ {
+		var body io.Reader
+		if hasBody {
+			body = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, body)
+		if err != nil {
+			return false, err
+		}
+		if hasBody {
+			req.Header.Set("Content-Type", "application/json")
+			// net/http would transparently re-POST the body on a 307 (it
+			// knows how to rewind a bytes.Reader) under its own 10-hop
+			// budget; clearing GetBody surfaces the redirect here so the
+			// one-hop/loop policy above is enforceable.
+			req.GetBody = nil
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return true, err // transport error: retryable for GETs
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+			loc, err := redirectTarget(resp)
+			if err != nil {
+				return false, err
+			}
+			if hop > 0 {
+				return false, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc)
+			}
+			url = loc
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return retryableGET(resp.StatusCode), decodeAPIError(resp)
+		}
+		if out == nil {
+			return false, nil
+		}
+		return false, json.NewDecoder(resp.Body).Decode(out)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+}
+
+// redirectTarget drains a redirect response and resolves its Location
+// header against the request URL.
+func redirectTarget(resp *http.Response) (string, error) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	loc, err := resp.Location()
 	if err != nil {
-		return false, err
+		return "", fmt.Errorf("querycaused: %d redirect without a Location header", resp.StatusCode)
 	}
-	if hasBody {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return true, err // transport error: retryable for GETs
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return retryableGET(resp.StatusCode), decodeAPIError(resp)
-	}
-	if out == nil {
-		return false, nil
-	}
-	return false, json.NewDecoder(resp.Body).Decode(out)
+	return loc.String(), nil
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError. The body
@@ -316,17 +354,35 @@ func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExpl
 			yield(ExplanationDTO{}, err)
 			return
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.base+"/v1/databases/"+dbID+"/explain/stream", bytes.NewReader(raw))
-		if err != nil {
-			yield(ExplanationDTO{}, err)
-			return
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := c.http.Do(req)
-		if err != nil {
-			yield(ExplanationDTO{}, err)
-			return
+		url := c.base + "/v1/databases/" + dbID + "/explain/stream"
+		var resp *http.Response
+		for hop := 0; ; hop++ {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+			if err != nil {
+				yield(ExplanationDTO{}, err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.GetBody = nil // same one-hop cluster redirect policy as doOnce
+			resp, err = c.http.Do(req)
+			if err != nil {
+				yield(ExplanationDTO{}, err)
+				return
+			}
+			if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+				loc, err := redirectTarget(resp)
+				if err != nil {
+					yield(ExplanationDTO{}, err)
+					return
+				}
+				if hop > 0 {
+					yield(ExplanationDTO{}, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc))
+					return
+				}
+				url = loc
+				continue
+			}
+			break
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -377,6 +433,16 @@ func rehydrate(wire *server.ErrorResponse) error {
 		return qerr.Tag(s, err)
 	}
 	return err
+}
+
+// Cluster fetches the server's topology. A non-clustered server
+// answers 200 with an empty ClusterInfo, so callers can probe
+// unconditionally; Dial uses this to pick the upload node itself and
+// avoid ever being redirected.
+func (c *Client) Cluster(ctx context.Context) (ClusterInfo, error) {
+	var out ClusterInfo
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out)
+	return out, err
 }
 
 // Stats fetches the server's cache and admission counters.

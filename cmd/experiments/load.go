@@ -52,7 +52,7 @@ func load() {
 	if err := c.Health(ctx); err != nil {
 		log.Fatalf("server not healthy: %v", err)
 	}
-	targets, cleanup, err := loadTargets(ctx, c)
+	targets, cleanup, err := loadTargets(ctx, c, *serverURL)
 	if err != nil {
 		log.Fatalf("preparing workloads: %v", err)
 	}
@@ -111,7 +111,7 @@ func load() {
 // and returns the mixed request shapes the clients cycle through —
 // all but one written against the Session interface, so the same
 // closures would drive an in-process Open'ed session unchanged.
-func loadTargets(ctx context.Context, c *qc.Client) (targets []loadTarget, cleanup func(), err error) {
+func loadTargets(ctx context.Context, c *qc.Client, baseURL string) (targets []loadTarget, cleanup func(), err error) {
 	var sessions []qc.Session
 	cleanup = func() {
 		for _, s := range sessions {
@@ -119,7 +119,7 @@ func loadTargets(ctx context.Context, c *qc.Client) (targets []loadTarget, clean
 		}
 	}
 	dial := func(db *qc.Database, opts ...qc.Option) (qc.Session, error) {
-		sess, err := qc.Dial(ctx, *serverURL, db, opts...)
+		sess, err := qc.Dial(ctx, baseURL, db, opts...)
 		if err == nil {
 			sessions = append(sessions, sess)
 		}

@@ -11,6 +11,8 @@
 //	experiments -run exactcurve [-bench-out BENCH_exact.json]
 //	experiments -run evalcurve [-eval-out BENCH_eval.json]
 //	            [-eval-sizes 1000,10300,103000]
+//	experiments -run cluster [-cluster-out BENCH_cluster.json]
+//	            [-cluster-clients N] [-cluster-requests N]
 //
 // The exactcurve experiment regenerates the exact-solver cost curve
 // and ablation baseline (see exactcurve.go); evalcurve records the
@@ -24,6 +26,14 @@
 // workload databases to a running querycaused server and hammers the
 // why-so/why-no/batch endpoints from -load-clients concurrent clients
 // (see load.go). It is excluded from -run all.
+//
+// The cluster experiment is a self-contained chaos soak: it boots a
+// 3-replica consistent-hash ring in-process with per-node snapshot
+// directories, drives the load-generator mix through one node, kills
+// and warm-restarts a replica mid-run, and writes latency percentiles
+// plus the measured warm-restart time to -cluster-out (see
+// cluster.go). It writes a bench file, so it too is excluded from
+// -run all.
 package main
 
 import (
@@ -70,9 +80,10 @@ func main() {
 		"load":       load,
 		"exactcurve": exactCurve,
 		"evalcurve":  evalCurve,
+		"cluster":    clusterSoak,
 	}
-	// load needs a running server, and exactcurve writes a bench file,
-	// so neither is part of "all".
+	// load needs a running server, and exactcurve/evalcurve/cluster
+	// write bench files, so none of them is part of "all".
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "thm415", "gap", "batch"}
 	if *run == "all" {
 		for _, name := range order {
@@ -82,7 +93,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

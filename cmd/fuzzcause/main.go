@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		serverEvery = fs.Int("server-every", 8, "replay every k-th instance through the server")
 		sessDiff    = fs.Bool("session-diff", true, "also replay instances through the Session API on both transports (Open vs Dial)")
 		sessEvery   = fs.Int("session-every", 8, "replay every k-th instance through the Session differential")
+		clustDiff   = fs.Bool("cluster-diff", true, "also replay instances through a 3-replica consistent-hash cluster")
+		clustEvery  = fs.Int("cluster-every", 8, "replay every k-th instance through the cluster differential")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
 		plannerDiff = fs.Bool("planner-diff", true, "differential-test the planned streaming evaluator against the naive reference on every instance")
 		evalEvery   = fs.Int("eval-every", 1, "apply the naive-vs-planned evaluator differential to every k-th instance")
@@ -119,6 +121,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer sd.Close()
 		opts.Session = sd
 		opts.SessionEvery = *sessEvery
+	}
+	if *clustDiff {
+		cd := difftest.NewClusterDiff()
+		defer cd.Close()
+		opts.Cluster = cd
+		opts.ClusterEvery = *clustEvery
 	}
 
 	start := time.Now()

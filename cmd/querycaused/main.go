@@ -8,6 +8,16 @@
 //
 //	querycaused [-addr :8347] [-max-sessions 64] [-session-ttl 30m]
 //	            [-worker-budget N] [-parallel N] [-request-timeout 30s]
+//	            [-persist-dir DIR] [-self URL -peers URL,URL,...]
+//
+// With -persist-dir, sessions are snapshotted write-behind to DIR (one
+// versioned, checksummed .qcs file per session) and reloaded on the
+// next start, so restarts are warm: prepared queries keep their ids and
+// certificates, and no client re-uploads. With -self and -peers, the
+// node joins a static consistent-hash ring over session ids: requests
+// for sessions owned elsewhere answer 307 to the owner (or are proxied
+// with -cluster-proxy), and GET /v1/cluster publishes the topology so
+// clients can route themselves.
 //
 // Endpoints (see internal/server for the full API):
 //
@@ -18,8 +28,8 @@
 //	GET  /healthz, GET /v1/stats
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
-// in-flight explains drain through context cancellation, and the
-// process exits 0.
+// in-flight explains drain through context cancellation, pending
+// session snapshots flush to the persist dir, and the process exits 0.
 package main
 
 import (
@@ -29,28 +39,37 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/querycause/querycause/internal/persist"
 	"github.com/querycause/querycause/internal/server"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8347", "listen address")
-		maxSessions  = flag.Int("max-sessions", 64, "max registered databases; adding beyond evicts the LRU session")
-		sessionTTL   = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction")
-		certCache    = flag.Int("cert-cache", 256, "per-session certificate cache entries")
-		engineCache  = flag.Int("engine-cache", 1024, "per-session engine (lineage) cache entries")
-		workerBudget = flag.Int("worker-budget", 0, "max concurrently computing explain requests (0 = 2*GOMAXPROCS)")
-		parallel     = flag.Int("parallel", 1, "ranking workers per admitted request (0 = GOMAXPROCS)")
-		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request timeout, admission queueing included")
-		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight work is canceled")
+		addr          = flag.String("addr", ":8347", "listen address")
+		maxSessions   = flag.Int("max-sessions", 64, "max registered databases; adding beyond evicts the LRU session")
+		sessionTTL    = flag.Duration("session-ttl", 30*time.Minute, "idle session lifetime before eviction")
+		certCache     = flag.Int("cert-cache", 256, "per-session certificate cache entries")
+		engineCache   = flag.Int("engine-cache", 1024, "per-session engine (lineage) cache entries")
+		workerBudget  = flag.Int("worker-budget", 0, "max concurrently computing explain requests (0 = 2*GOMAXPROCS)")
+		parallel      = flag.Int("parallel", 1, "ranking workers per admitted request (0 = GOMAXPROCS)")
+		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request timeout, admission queueing included")
+		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight work is canceled")
+		sessionBudget = flag.Int("session-budget", 0, "max concurrent explains per session before shedding (0 = unlimited)")
+		persistDir    = flag.String("persist-dir", "", "directory for write-behind session snapshots (empty = no persistence)")
+		persistEvery  = flag.Duration("persist-interval", 2*time.Second, "write-behind flush interval (<0 = flush only on drain)")
+		self          = flag.String("self", "", "this node's base URL as peers reach it (enables clustering with -peers)")
+		peers         = flag.String("peers", "", "comma-separated base URLs of all cluster nodes, including -self")
+		clusterProxy  = flag.Bool("cluster-proxy", false, "proxy wrong-node requests to the owner instead of 307-redirecting")
 	)
 	flag.Parse()
-	if err := run(*addr, server.Config{
+	cfg := server.Config{
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
 		CertCacheSize:   *certCache,
@@ -58,10 +77,46 @@ func main() {
 		WorkerBudget:    *workerBudget,
 		Parallelism:     *parallel,
 		RequestTimeout:  *reqTimeout,
-	}, *drainTimeout); err != nil {
+		SessionBudget:   *sessionBudget,
+		PersistInterval: *persistEvery,
+		ClusterProxy:    *clusterProxy,
+	}
+	if cfg.Self, cfg.Peers = *self, splitPeers(*peers); (cfg.Self == "") != (len(cfg.Peers) == 0) {
+		fmt.Fprintln(os.Stderr, "querycaused: -self and -peers must be set together")
+		os.Exit(2)
+	}
+	for _, p := range append(cfg.Peers, cfg.Self) {
+		if p == "" {
+			continue
+		}
+		if u, err := url.Parse(p); err != nil || u.Scheme == "" || u.Host == "" {
+			fmt.Fprintf(os.Stderr, "querycaused: peer %q is not an absolute URL\n", p)
+			os.Exit(2)
+		}
+	}
+	if *persistDir != "" {
+		st, err := persist.Open(*persistDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "querycaused:", err)
+			os.Exit(1)
+		}
+		cfg.Persist = st
+	}
+	if err := run(*addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "querycaused:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag, tolerating blanks and whitespace.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
@@ -104,6 +159,13 @@ func run(addr string, cfg server.Config, drainTimeout time.Duration) error {
 		}
 	}
 	<-errc
+	// The listener is closed and in-flight work has drained; anything
+	// still dirty must reach disk before we report a clean exit, or a
+	// restart would come up cold (or stale) for those sessions.
+	if err := srv.Flush(); err != nil {
+		log.Printf("querycaused: snapshot flush failed: %v", err)
+		return err
+	}
 	log.Printf("querycaused: shut down cleanly")
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/querycause/querycause/internal/persist"
 	"github.com/querycause/querycause/internal/server"
 )
 
@@ -76,5 +78,85 @@ func TestGracefulShutdown(t *testing.T) {
 	// The listener must actually be gone.
 	if _, err := http.Get(url); err == nil {
 		t.Error("healthz still answering after shutdown")
+	}
+}
+
+// TestShutdownFlushesSnapshots: with background flushing disabled
+// (persist-interval < 0), the only thing standing between a dirty
+// session and data loss is the drain-time flush. SIGTERM must leave a
+// complete, reloadable snapshot dir behind before run returns nil.
+func TestShutdownFlushesSnapshots(t *testing.T) {
+	st, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(addr, server.Config{Persist: st, PersistInterval: -1}, 10*time.Second)
+	}()
+
+	base := fmt.Sprintf("http://%s", addr)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Upload a database and prepare a query — both dirty the session.
+	resp, err := http.Post(base+"/v1/databases", "text/plain",
+		strings.NewReader("+R(a4,a3)\n+S(a3)\n+S(a2)\n+R(a5,a2)\n"))
+	if err != nil || resp.StatusCode != 201 {
+		t.Fatalf("upload: %v %v", err, resp)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decoding upload response: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/databases/"+info.ID+"/queries", "application/json",
+		strings.NewReader(`{"query": "q(x) :- R(x,y), S(y)"}`))
+	if err != nil || resp.StatusCode != 201 {
+		t.Fatalf("prepare: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Nothing may have hit disk yet — the background flusher is off.
+	if st.Exists(info.ID) {
+		t.Fatalf("snapshot written before shutdown with background flushing disabled")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; want nil (exit 0)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down within the drain budget")
+	}
+
+	// The snapshot dir is complete and reloadable: a fresh server over
+	// the same store comes up warm with the session and its query.
+	if !st.Exists(info.ID) {
+		t.Fatalf("drain did not flush session %s to disk", info.ID)
+	}
+	srv2 := server.New(server.Config{Persist: st, PersistInterval: -1, ReapInterval: -1})
+	defer srv2.Close()
+	if got := srv2.Restored(); got != 1 {
+		t.Fatalf("fresh server restored %d sessions, want 1", got)
 	}
 }

@@ -113,6 +113,24 @@
 // deprecated wrappers; see the "API v2 migration" section in
 // README.md for the mapping.
 //
+// # Clustering and durability
+//
+// querycaused shards horizontally: started with -self and a static
+// -peers list, each node joins a consistent-hash ring
+// (internal/cluster) that assigns every session id exactly one owner.
+// Session-id minting picks ids the creating node owns, so uploads
+// never hop; a request landing on the wrong node is answered with a
+// 307 to the owner (or reverse-proxied under -cluster-proxy), and GET
+// /v1/cluster publishes the topology. The client follows one cluster
+// hop transparently, and Dial probes the topology to connect straight
+// to the owner. With -persist-dir set, sessions are snapshotted
+// write-behind (versioned, checksummed gob, one file per session
+// under the directory) every -persist-interval, flushed on SIGTERM,
+// and restored warm at boot — same session ids, prepared-query ids,
+// and cached certificates — so a drained replica loses nothing.
+// Per-session explain budgets (-session-budget) shed runaway tenants
+// with ErrBudgetExceeded. See "Running a cluster" in README.md.
+//
 // # The data plane
 //
 // Databases are stored columnar and dictionary-interned

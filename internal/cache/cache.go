@@ -111,6 +111,21 @@ func (c *LRU[K, V]) Remove(key K) bool {
 	return true
 }
 
+// Peek returns the cached value without refreshing recency or touching
+// the hit/miss counters. Snapshotters (the persistence layer serializes
+// the hot certificate cache) use it so observability counters keep
+// reflecting request traffic only.
+func (c *LRU[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
 // Len returns the number of cached entries.
 func (c *LRU[K, V]) Len() int {
 	c.mu.Lock()

@@ -65,6 +65,12 @@ type CheckOptions struct {
 	// transport indistinguishability: equal cause sets, byte-identical
 	// blocking/streamed rankings, and errors.Is-equal failures.
 	Session *SessionDiff
+	// Cluster, when non-nil, replays the instance through a 3-replica
+	// consistent-hash cluster and requires single-node
+	// indistinguishability: byte-identical rankings via topology-aware
+	// Dial and via a wrong-node 307 hop, errors.Is-equal failures, and
+	// cluster-wide session teardown.
+	Cluster *ClusterDiff
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -120,6 +126,7 @@ type CheckStats struct {
 	MetamorphicChecked int
 	ServerChecked      int
 	SessionChecked     int
+	ClusterChecked     int
 	EvalChecked        int
 }
 
@@ -238,6 +245,13 @@ func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, erro
 			return stats, err
 		}
 		stats.SessionChecked++
+	}
+
+	if opts.Cluster != nil {
+		if err := opts.Cluster.Check(inst, rankAuto); err != nil {
+			return stats, err
+		}
+		stats.ClusterChecked++
 	}
 	return stats, nil
 }

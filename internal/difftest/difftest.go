@@ -46,6 +46,10 @@
 //     emission sequences, and errors.Is-equal failures with the same
 //     taxonomy code when the instance is flipped into an invalid
 //     request.
+//   - Cluster equivalence: a 3-replica consistent-hash cluster is
+//     indistinguishable from a single node — byte-identical rankings
+//     through topology-aware Dial and through a wrong-node 307 hop,
+//     errors.Is-equal failures, and cluster-wide session teardown.
 //
 // Every instance derives from a single int64 seed, so any CI failure
 // reproduces with one command (printed on failure):
@@ -92,6 +96,13 @@ type Options struct {
 	// SessionEvery replays every k-th instance through Session
 	// (default 8; 1 = every instance). Ignored when Session is nil.
 	SessionEvery int
+	// Cluster, when non-nil, replays instances through a 3-replica
+	// consistent-hash cluster and requires single-node
+	// indistinguishability.
+	Cluster *ClusterDiff
+	// ClusterEvery replays every k-th instance through Cluster
+	// (default 8; 1 = every instance). Ignored when Cluster is nil.
+	ClusterEvery int
 	// MetamorphicEvery applies the metamorphic invariants to every
 	// k-th instance (default 1 = every instance; <0 disables).
 	MetamorphicEvery int
@@ -120,6 +131,7 @@ func (o Options) ShrinkCheck() CheckOptions {
 	chk.EvalDiff = o.EvalEvery > 0
 	chk.Server = o.Server
 	chk.Session = o.Session
+	chk.Cluster = o.Cluster
 	return chk
 }
 
@@ -129,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SessionEvery <= 0 {
 		o.SessionEvery = 8
+	}
+	if o.ClusterEvery <= 0 {
+		o.ClusterEvery = 8
 	}
 	if o.MetamorphicEvery == 0 {
 		o.MetamorphicEvery = 1
@@ -235,6 +250,9 @@ type Report struct {
 	// SessionChecked counts instances replayed through the Session
 	// API's transport-equivalence differential.
 	SessionChecked int
+	// ClusterChecked counts instances replayed through the 3-replica
+	// cluster-equivalence differential.
+	ClusterChecked int
 	// EvalChecked counts instances run through the naive-vs-planned
 	// evaluator equivalence differential.
 	EvalChecked int
@@ -251,9 +269,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d eval=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d cluster=%d eval=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.EvalChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.ClusterChecked, r.EvalChecked,
 		len(r.Mismatches))
 }
 
@@ -282,6 +300,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		metamorph atomic.Int64
 		serverN   atomic.Int64
 		sessionN  atomic.Int64
+		clusterN  atomic.Int64
 		evalN     atomic.Int64
 		done      atomic.Int64
 	)
@@ -307,6 +326,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			if opts.Session != nil && i%opts.SessionEvery == 0 {
 				chk.Session = opts.Session
 			}
+			if opts.Cluster != nil && i%opts.ClusterEvery == 0 {
+				chk.Cluster = opts.Cluster
+			}
 			stats, err := CheckInstance(inst, chk)
 			if stats.FlowRanked {
 				flow.Add(1)
@@ -320,6 +342,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			metamorph.Add(int64(stats.MetamorphicChecked))
 			serverN.Add(int64(stats.ServerChecked))
 			sessionN.Add(int64(stats.SessionChecked))
+			clusterN.Add(int64(stats.ClusterChecked))
 			evalN.Add(int64(stats.EvalChecked))
 			if err != nil {
 				mu.Lock()
@@ -350,6 +373,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.MetamorphicChecked = int(metamorph.Load())
 	rep.ServerChecked = int(serverN.Load())
 	rep.SessionChecked = int(sessionN.Load())
+	rep.ClusterChecked = int(clusterN.Load())
 	rep.EvalChecked = int(evalN.Load())
 	rep.Elapsed = time.Since(start)
 	// Early stop on mismatch budget is not a caller error; only the

@@ -28,8 +28,9 @@ import (
 //
 //	go test ./internal/difftest -run 'TestDifferentialSweep$' -args -seed=<N> -n=1
 var (
-	seedFlag = flag.Int64("seed", 1, "base seed for the differential sweep (instance i uses seed+i)")
-	nFlag    = flag.Int("n", 0, "instances for the differential sweep (0 = suite default)")
+	seedFlag    = flag.Int64("seed", 1, "base seed for the differential sweep (instance i uses seed+i)")
+	nFlag       = flag.Int("n", 0, "instances for the differential sweep (0 = suite default)")
+	clusterFlag = flag.Bool("cluster-diff", true, "replay sweep instances through the 3-replica cluster-equivalence differential")
 )
 
 func sweepSize() int {
@@ -81,6 +82,12 @@ func TestDifferentialSweep(t *testing.T) {
 		SessionEvery:     8,
 		MetamorphicEvery: 2,
 	}
+	if *clusterFlag {
+		cd := NewClusterDiff()
+		defer cd.Close()
+		opts.Cluster = cd
+		opts.ClusterEvery = 8
+	}
 	rep, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("sweep: %v", err)
@@ -106,6 +113,9 @@ func TestDifferentialSweep(t *testing.T) {
 			if got == 0 {
 				t.Errorf("sweep of %d instances exercised zero %s", n, what)
 			}
+		}
+		if *clusterFlag && rep.ClusterChecked == 0 {
+			t.Errorf("sweep of %d instances exercised zero cluster replays", n)
 		}
 	}
 }
@@ -433,6 +443,34 @@ func TestServerDiffDetectsDivergence(t *testing.T) {
 	wrong[0].Rho /= 2
 	if err := sd.Check(inst, wrong); err == nil {
 		t.Fatal("comparator accepted a corrupted ranking")
+	}
+}
+
+// TestClusterDiffDetectsDivergence: the cluster comparator must not be
+// vacuous either — a corrupted reference ranking must be rejected, and
+// the true one accepted.
+func TestClusterDiffDetectsDivergence(t *testing.T) {
+	cd := NewClusterDiff()
+	defer cd.Close()
+	inst := whySoInstance(t)
+	eng, err := core.NewWhySo(inst.DB, inst.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := eng.RankAll(core.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) == 0 {
+		t.Fatal("want a non-empty ranking")
+	}
+	if err := cd.Check(inst, rank); err != nil {
+		t.Fatalf("true ranking rejected: %v", err)
+	}
+	wrong := append([]core.Explanation(nil), rank...)
+	wrong[0].Rho /= 2
+	if err := cd.Check(inst, wrong); err == nil {
+		t.Fatal("cluster comparator accepted a corrupted ranking")
 	}
 }
 

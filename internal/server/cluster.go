@@ -1,0 +1,128 @@
+// Cluster routing: when a server is configured with Self + Peers, the
+// replicas form a consistent-hash ring over session IDs
+// (internal/cluster). Session IDs are minted to hash onto the node
+// that created them, so the common path — a client that uploaded to
+// some node and keeps talking to it — never leaves the owner. Requests
+// that do arrive at the wrong node are either 307-redirected to the
+// owner (default; the redirect is cheap and the client follows it once
+// and repins) or reverse-proxied on the client's behalf (ClusterProxy,
+// for clients that cannot follow redirects).
+//
+// Membership is static: every replica is started with the same -peers
+// list and builds the same ring, so ownership needs no coordination.
+// The ring sits behind the cluster.Ring interface; dynamic membership
+// only has to swap the implementation.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+
+	"github.com/querycause/querycause/internal/cluster"
+	"github.com/querycause/querycause/internal/qerr"
+)
+
+// clusterState is the routing half of a clustered server.
+type clusterState struct {
+	self    string
+	ring    cluster.Ring
+	proxy   bool
+	proxies map[string]*httputil.ReverseProxy
+}
+
+// sessionPathID extracts the session id from a /v1/databases/{id}[/…]
+// path, reporting false for paths that are not session-addressed
+// (upload, list, stats, health — those are answered locally by any
+// node).
+func sessionPathID(path string) (string, bool) {
+	rest, ok := strings.CutPrefix(path, "/v1/databases/")
+	if !ok || rest == "" {
+		return "", false
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	return id, id != ""
+}
+
+// clusterHandler wraps the mux with ownership routing. Non-clustered
+// servers never reach it (Handler returns the mux directly).
+func (s *Server) clusterHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := sessionPathID(r.URL.Path)
+		if !ok {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		owner := s.cluster.ring.Owner(id)
+		if owner == "" || owner == s.cluster.self {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		if s.cluster.proxy {
+			s.clusterProxied.Add(1)
+			s.cluster.proxies[owner].ServeHTTP(w, r)
+			return
+		}
+		s.clusterRedirected.Add(1)
+		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	})
+}
+
+// newClusterState validates the cluster config and builds the routing
+// state. Self is implicitly a member even if absent from Peers.
+func newClusterState(cfg Config, ring cluster.Ring) (*clusterState, error) {
+	cs := &clusterState{self: cfg.Self, ring: ring, proxy: cfg.ClusterProxy, proxies: make(map[string]*httputil.ReverseProxy)}
+	for _, node := range ring.Nodes() {
+		if node == cfg.Self {
+			continue
+		}
+		target, err := url.Parse(node)
+		if err != nil || target.Scheme == "" || target.Host == "" {
+			return nil, fmt.Errorf("server: invalid peer URL %q", node)
+		}
+		p := httputil.NewSingleHostReverseProxy(target)
+		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxying to session owner %s: %v", target, err)})
+		}
+		cs.proxies[node] = p
+	}
+	return cs, nil
+}
+
+// handleCluster serves GET /v1/cluster: the topology clients use for
+// client-side routing. Non-clustered servers answer with empty Peers.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	resp := ClusterResponse{}
+	if s.cluster != nil {
+		resp.Self = s.cluster.self
+		resp.Peers = s.cluster.ring.Nodes()
+		resp.Proxy = s.cluster.proxy
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// admitSession applies the per-session fairness budget: a session may
+// have at most SessionBudget explains in flight (queued for the global
+// worker budget or computing). Requests over the cap are shed
+// immediately — no queueing — with qerr.ErrBudgetExceeded, so one hot
+// session cannot occupy every admission slot and starve the rest.
+// Budget 0 disables the cap.
+func (s *Server) admitSession(sess *session) (release func(), ok bool) {
+	if s.cfg.SessionBudget <= 0 {
+		return func() {}, true
+	}
+	if n := sess.inflight.Add(1); n > int64(s.cfg.SessionBudget) {
+		sess.inflight.Add(-1)
+		s.sessionSheds.Add(1)
+		return nil, false
+	}
+	return func() { sess.inflight.Add(-1) }, true
+}
+
+func errSessionBudget(sess *session, budget int) error {
+	return qerr.Tag(qerr.ErrBudgetExceeded, fmt.Errorf("session %s over its fairness budget (%d concurrent explains)", sess.id, budget))
+}

@@ -159,6 +159,46 @@ type StatsResponse struct {
 	AdmissionRejects uint64      `json:"admission_rejects"`
 	CertCache        cache.Stats `json:"cert_cache"`
 	EngineCache      cache.Stats `json:"engine_cache"`
+
+	// SessionBudget is the per-session fairness cap on concurrent
+	// explains (0 = unlimited); SessionSheds counts requests shed for
+	// exceeding it (surfaced to clients as budget_exceeded / 503).
+	SessionBudget int    `json:"session_budget,omitempty"`
+	SessionSheds  uint64 `json:"session_sheds,omitempty"`
+
+	// Cluster routing counters, present only on clustered servers: Node
+	// is this replica's advertised URL, ClusterPeers the ring size.
+	// ClusterRedirected counts requests 307-redirected to their owner,
+	// ClusterProxied requests reverse-proxied on the client's behalf.
+	Node              string `json:"node,omitempty"`
+	ClusterPeers      int    `json:"cluster_peers,omitempty"`
+	ClusterRedirected uint64 `json:"cluster_redirected,omitempty"`
+	ClusterProxied    uint64 `json:"cluster_proxied,omitempty"`
+
+	// Persistence counters, present only when a snapshot store is
+	// configured: RestoredSessions counts sessions loaded warm (at boot
+	// or lazily on first touch), SnapshotWrites the snapshots written by
+	// the write-behind flusher, SnapshotsPending the sessions currently
+	// marked dirty.
+	PersistEnabled   bool   `json:"persist_enabled,omitempty"`
+	RestoredSessions uint64 `json:"restored_sessions,omitempty"`
+	SnapshotWrites   uint64 `json:"snapshot_writes,omitempty"`
+	SnapshotsPending int    `json:"snapshots_pending,omitempty"`
+}
+
+// ClusterResponse is the GET /v1/cluster payload: the receiving node's
+// advertised URL and the full static membership. Clients build the
+// same consistent-hash ring from Peers and route session requests
+// straight to owners; a non-clustered server answers with empty Peers.
+type ClusterResponse struct {
+	// Self is the advertised URL of the answering node ("" when the
+	// server is not clustered).
+	Self string `json:"self,omitempty"`
+	// Peers is the full membership, including Self, sorted.
+	Peers []string `json:"peers,omitempty"`
+	// Proxy reports whether this node proxies non-owned requests
+	// instead of 307-redirecting them.
+	Proxy bool `json:"proxy,omitempty"`
 }
 
 // ErrorResponse is the uniform error payload. Code, when present, is

@@ -1,0 +1,220 @@
+// Session persistence: the bridge between the live session registry
+// and internal/persist snapshots. Handlers mark a session dirty after
+// any state-changing work (upload, prepare, certificate classification)
+// and the write-behind flusher serializes the latest state in the
+// background; graceful drain flushes synchronously so a SIGTERM'd
+// server persists everything before exiting. On boot the registry is
+// rehydrated from every snapshot on disk, and a request for a session
+// that is not in memory (evicted, or owned by a restarted node) falls
+// back to a lazy disk load — the warm-restart path.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/querycause/querycause/internal/cache"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/persist"
+)
+
+// snapshot serializes the session's current state: the interned
+// database, prepared queries in preparation order, and the hot
+// certificate cache (MRU first). Safe to run concurrently with request
+// traffic — the database is frozen and the caches lock internally.
+func (s *session) snapshot() (*persist.Snapshot, error) {
+	snap := &persist.Snapshot{ID: s.id}
+	snap.SetDatabase(s.db)
+
+	s.mu.RLock()
+	snap.NextQueryID = s.nextQ
+	queries := make([]*preparedQuery, 0, len(s.byID))
+	for _, pq := range s.byID {
+		queries = append(queries, pq)
+	}
+	s.mu.RUnlock()
+	// q%d ids order by their numeric suffix = preparation order.
+	sort.Slice(queries, func(i, j int) bool {
+		return querySeq(queries[i].id) < querySeq(queries[j].id)
+	})
+	for _, pq := range queries {
+		snap.Queries = append(snap.Queries, persist.Query{ID: pq.id, Text: pq.key, Program: pq.program})
+	}
+
+	for _, key := range s.certs.Keys() { // MRU → LRU
+		ce, ok := s.certs.Peek(key)
+		if !ok {
+			continue // evicted between Keys and Peek
+		}
+		snap.Certs = append(snap.Certs, persist.Certificate{Key: key, Sound: ce.sound, Paper: ce.paper})
+	}
+	return snap, nil
+}
+
+func querySeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "q"))
+	return n
+}
+
+// sessionSeq extracts the numeric component of a session id ("d12" or
+// "d12-3" for ring-salted ids) so restore can advance the id sequence
+// past every restored session.
+func sessionSeq(id string) int {
+	s := strings.TrimPrefix(id, "d")
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		s = s[:i]
+	}
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+// restore rehydrates one snapshot into the registry. Restoring an id
+// that is already live is a no-op returning the live session (two
+// requests racing on a lazy load both win). The restored session's
+// database, prepared-query ids, classifications, and certificates are
+// byte-identical to the snapshotted ones; per-answer engines rebuild
+// on demand.
+func (r *registry) restore(snap *persist.Snapshot) (*session, error) {
+	db, err := snap.Database()
+	if err != nil {
+		return nil, err
+	}
+	endo := 0
+	for _, t := range db.Tuples() {
+		if t.Endo {
+			endo++
+		}
+	}
+	now := r.clock()
+	s := &session{
+		id:      snap.ID,
+		db:      db,
+		endo:    endo,
+		created: now,
+		byID:    make(map[string]*preparedQuery),
+		certs:   cache.New[string, *certEntry](r.certCap, nil),
+		engines: cache.New[string, *core.Engine](r.engineCap, nil),
+	}
+	s.prepared = cache.New[string, *preparedQuery](r.preparedCap, func(_ string, pq *preparedQuery) {
+		s.mu.Lock()
+		delete(s.byID, pq.id)
+		s.mu.Unlock()
+	})
+	s.touch(now)
+
+	// Certificates first (reverse order: the snapshot is MRU-first,
+	// Put refreshes recency) so query rehydration below hits the cache
+	// instead of re-running classification searches.
+	for i := len(snap.Certs) - 1; i >= 0; i-- {
+		c := snap.Certs[i]
+		s.certs.Put(c.Key, &certEntry{sound: c.Sound, paper: c.Paper})
+	}
+	s.nextQ = snap.NextQueryID
+	for _, sq := range snap.Queries {
+		q, err := parser.ParseQuery(sq.Text)
+		if err != nil {
+			return nil, fmt.Errorf("restoring query %s of session %s: %w", sq.ID, snap.ID, err)
+		}
+		if err := q.Validate(db); err != nil {
+			return nil, fmt.Errorf("restoring query %s of session %s: %w", sq.ID, snap.ID, err)
+		}
+		certs, _, err := s.certsFor(q)
+		if err != nil {
+			return nil, fmt.Errorf("reclassifying query %s of session %s: %w", sq.ID, snap.ID, err)
+		}
+		pq := &preparedQuery{id: sq.ID, key: q.String(), q: q, certs: certs, program: sq.Program}
+		s.byID[pq.id] = pq
+		s.prepared.Put(pq.key, pq)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if live, ok := r.sessions[snap.ID]; ok {
+		return live, nil
+	}
+	for len(r.sessions) >= r.maxSessions {
+		r.evictLRULocked()
+	}
+	if seq := sessionSeq(snap.ID); seq > r.nextID {
+		r.nextID = seq
+	}
+	r.sessions[s.id] = s
+	return s, nil
+}
+
+// markDirty flags a session for the write-behind flusher; no-op
+// without a snapshot store.
+func (s *Server) markDirty(sess *session) {
+	if s.wb == nil {
+		return
+	}
+	s.wb.Mark(sess.id, sess.snapshot)
+}
+
+// loadSession is the lazy warm path: a request for a session that is
+// not in memory loads its snapshot from disk. Misses and corrupt
+// snapshots report false (the caller answers session-not-found).
+func (s *Server) loadSession(id string) (*session, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	snap, err := s.store.Load(id)
+	if err != nil {
+		return nil, false
+	}
+	sess, err := s.reg.restore(snap)
+	if err != nil {
+		return nil, false
+	}
+	s.restored.Add(1)
+	return sess, true
+}
+
+// restoreAll rehydrates every snapshot in the store; New calls it
+// before the server starts serving, so a restarted replica is warm.
+// Unreadable snapshots are skipped (and counted) — one corrupt file
+// must not keep the node down.
+func (s *Server) restoreAll() (restored int, failed int) {
+	snaps, errs := s.store.LoadAll()
+	failed = len(errs)
+	for _, snap := range snaps {
+		if _, err := s.reg.restore(snap); err != nil {
+			failed++
+			continue
+		}
+		s.restored.Add(1)
+		restored++
+	}
+	return restored, failed
+}
+
+// Flush synchronously writes every dirty session snapshot. The drain
+// path of cmd/querycaused calls it after http.Server.Shutdown so a
+// graceful exit never loses marked state; no-op without a store.
+func (s *Server) Flush() error {
+	if s.wb == nil {
+		return nil
+	}
+	return s.wb.Flush()
+}
+
+// Restored returns how many sessions were rehydrated from snapshots
+// (boot-time restore plus lazy loads).
+func (s *Server) Restored() uint64 { return s.restored.Load() }
+
+// persistInterval resolves the write-behind flush interval: 0 means
+// the 2s default, negative disables background flushing (flush-on-
+// drain and explicit Flush still work).
+func persistInterval(d time.Duration) time.Duration {
+	if d == 0 {
+		return 2 * time.Second
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}

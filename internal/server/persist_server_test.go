@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+
+	"github.com/querycause/querycause/internal/persist"
+)
+
+func testStore(t *testing.T) *persist.Store {
+	t.Helper()
+	st, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	return st
+}
+
+// persistCfg disables the background flusher so these tests prove the
+// synchronous paths (Flush, drain) do the writing.
+func persistCfg(st *persist.Store) Config {
+	return Config{ReapInterval: -1, Persist: st, PersistInterval: -1}
+}
+
+// TestWarmRestart is the tentpole invariant: stop a server, boot a new
+// one over the same snapshot store, and the restored session must
+// serve the same session id, prepared query id, warm certificate, and
+// byte-identical ranking — without re-uploading anything.
+func TestWarmRestart(t *testing.T) {
+	st := testStore(t)
+	srvA, tsA := newTest(t, persistCfg(st))
+
+	info := upload(t, tsA, chainDBText)
+	var prep PrepareQueryResponse
+	if code := call(t, http.MethodPost, tsA.URL+"/v1/databases/"+info.ID+"/queries",
+		PrepareQueryRequest{Query: "q(x) :- R(x,y), S(y)"}, &prep); code != 201 {
+		t.Fatalf("prepare: status %d", code)
+	}
+	var before ExplainResponse
+	if code := call(t, http.MethodPost, tsA.URL+"/v1/databases/"+info.ID+"/queries/"+prep.ID+"/whyso",
+		ExplainRequest{Answer: []string{"a4"}}, &before); code != 200 {
+		t.Fatalf("explain: status %d", code)
+	}
+	if err := srvA.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	srvB, tsB := newTest(t, persistCfg(st))
+	if got := srvB.Restored(); got != 1 {
+		t.Fatalf("restored %d sessions at boot, want 1", got)
+	}
+	// The session and its prepared query answer under their old ids.
+	var after ExplainResponse
+	if code := call(t, http.MethodPost, tsB.URL+"/v1/databases/"+info.ID+"/queries/"+prep.ID+"/whyso",
+		ExplainRequest{Answer: []string{"a4"}}, &after); code != 200 {
+		t.Fatalf("warm explain after restart: status %d", code)
+	}
+	if !after.CertificateCached {
+		t.Fatalf("restarted server re-ran classification (certificate not restored)")
+	}
+	bj, _ := json.Marshal(before.Explanations)
+	aj, _ := json.Marshal(after.Explanations)
+	if string(bj) != string(aj) {
+		t.Fatalf("restored ranking differs:\nbefore %s\nafter  %s", bj, aj)
+	}
+
+	// Byte-level check on the restored data plane: same dictionary,
+	// same code vectors.
+	sessA, okA := srvA.reg.get(info.ID)
+	sessB, okB := srvB.reg.get(info.ID)
+	if !okA || !okB {
+		t.Fatalf("session lookup: A=%v B=%v", okA, okB)
+	}
+	da, db := sessA.db.Dict(), sessB.db.Dict()
+	if da.Len() != db.Len() {
+		t.Fatalf("dict sizes differ after restore: %d vs %d", da.Len(), db.Len())
+	}
+	for c := 0; c < da.Len(); c++ {
+		if da.Value(uint32(c)) != db.Value(uint32(c)) {
+			t.Fatalf("dict code %d differs: %q vs %q", c, da.Value(uint32(c)), db.Value(uint32(c)))
+		}
+	}
+	for name, ra := range sessA.db.Relations {
+		rb := sessB.db.Relation(name)
+		if rb == nil {
+			t.Fatalf("relation %s lost in restore", name)
+		}
+		for c := 0; c < ra.Arity; c++ {
+			ca, cb := ra.Col(c), rb.Col(c)
+			if len(ca) != len(cb) {
+				t.Fatalf("relation %s col %d length differs", name, c)
+			}
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("relation %s col %d row %d code differs: %d vs %d", name, c, i, ca[i], cb[i])
+				}
+			}
+		}
+	}
+
+	// A new upload on the restarted server must not collide with the
+	// restored id (the id sequence advanced past it).
+	info2 := upload(t, tsB, chainDBText)
+	if info2.ID == info.ID {
+		t.Fatalf("restarted server reissued session id %q", info.ID)
+	}
+}
+
+// TestLazyLoadAfterEviction: an LRU-evicted session revives from its
+// snapshot on the next request instead of 404ing.
+func TestLazyLoadAfterEviction(t *testing.T) {
+	st := testStore(t)
+	cfg := persistCfg(st)
+	cfg.MaxSessions = 1
+	srv, ts := newTest(t, cfg)
+
+	info1 := upload(t, ts, chainDBText)
+	if err := srv.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	info2 := upload(t, ts, chainDBText) // evicts info1 from memory
+	if info1.ID == info2.ID {
+		t.Fatalf("duplicate session ids")
+	}
+	st1 := stats(t, ts)
+	if st1.SessionsEvicted != 1 {
+		t.Fatalf("SessionsEvicted = %d, want 1", st1.SessionsEvicted)
+	}
+	// info1 is gone from memory but revives from disk (and in turn
+	// evicts info2 under MaxSessions=1).
+	var out ExplainResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/databases/"+info1.ID+"/whyso",
+		ExplainRequest{Query: "q(x) :- R(x,y), S(y)", Answer: []string{"a4"}}, &out); code != 200 {
+		t.Fatalf("explain on evicted session: status %d (lazy load failed)", code)
+	}
+	if len(out.Explanations) == 0 {
+		t.Fatalf("lazy-loaded session returned no explanations")
+	}
+	st2 := stats(t, ts)
+	if st2.RestoredSessions != 1 {
+		t.Fatalf("RestoredSessions = %d, want 1", st2.RestoredSessions)
+	}
+}
+
+// TestDeleteDropsSnapshot: DELETE removes the snapshot too, so a
+// deleted session cannot lazily revive; deleting an evicted-but-
+// snapshotted session succeeds.
+func TestDeleteDropsSnapshot(t *testing.T) {
+	st := testStore(t)
+	srv, ts := newTest(t, persistCfg(st))
+	info := upload(t, ts, chainDBText)
+	if err := srv.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !st.Exists(info.ID) {
+		t.Fatalf("no snapshot after flush")
+	}
+	if code := call(t, http.MethodDelete, ts.URL+"/v1/databases/"+info.ID, nil, nil); code != 204 {
+		t.Fatalf("delete: status %d", code)
+	}
+	if st.Exists(info.ID) {
+		t.Fatalf("snapshot survived DELETE")
+	}
+	if code := call(t, http.MethodPost, ts.URL+"/v1/databases/"+info.ID+"/whyso",
+		ExplainRequest{Query: "q(x) :- R(x,y), S(y)"}, nil); code != 404 {
+		t.Fatalf("deleted session answered %d, want 404", code)
+	}
+
+	// Evict-then-delete: the session only exists as a snapshot.
+	info2 := upload(t, ts, chainDBText)
+	if err := srv.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	srv.reg.remove(info2.ID) // simulate eviction without touching disk
+	if code := call(t, http.MethodDelete, ts.URL+"/v1/databases/"+info2.ID, nil, nil); code != 204 {
+		t.Fatalf("delete of snapshotted-only session: status %d", code)
+	}
+	if st.Exists(info2.ID) {
+		t.Fatalf("snapshot survived DELETE of evicted session")
+	}
+}
+
+// TestCorruptSnapshotSkippedAtBoot: one corrupt file must not stop the
+// server from restoring the rest.
+func TestCorruptSnapshotSkippedAtBoot(t *testing.T) {
+	st := testStore(t)
+	srvA, tsA := newTest(t, persistCfg(st))
+	good := upload(t, tsA, chainDBText)
+	bad := upload(t, tsA, chainDBText)
+	if err := srvA.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Corrupt one snapshot on disk.
+	data := []byte("QCSN garbage that is long enough to parse a header from....")
+	if err := os.WriteFile(st.Path(bad.ID), data, 0o644); err != nil {
+		t.Fatalf("corrupting snapshot: %v", err)
+	}
+	srvB, tsB := newTest(t, persistCfg(st))
+	if got := srvB.Restored(); got != 1 {
+		t.Fatalf("restored %d sessions, want 1 (corrupt one skipped)", got)
+	}
+	if code := call(t, http.MethodPost, tsB.URL+"/v1/databases/"+good.ID+"/whyso",
+		ExplainRequest{Query: "q(x) :- R(x,y), S(y)", Answer: []string{"a4"}}, nil); code != 200 {
+		t.Fatalf("good session did not survive corrupt sibling: status %d", code)
+	}
+}

@@ -53,8 +53,10 @@ import (
 	"time"
 
 	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/cluster"
 	"github.com/querycause/querycause/internal/core"
 	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/persist"
 	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
@@ -94,6 +96,35 @@ type Config struct {
 	MaxBodyBytes int64
 	// Clock overrides time.Now, for eviction tests.
 	Clock func() time.Time
+
+	// Self and Peers turn on cluster mode: Self is this node's
+	// advertised base URL (e.g. "http://10.0.0.5:8347") and Peers the
+	// full static membership (Self included; it is added if missing).
+	// The replicas form a consistent-hash ring over session IDs
+	// (internal/cluster); session IDs are minted to hash onto the
+	// creating node, and requests arriving at a non-owner are
+	// 307-redirected to the owner (or reverse-proxied, see
+	// ClusterProxy). Both empty (the default) means not clustered.
+	Self  string
+	Peers []string
+	// ClusterProxy makes non-owner nodes reverse-proxy requests to the
+	// session owner instead of 307-redirecting the client.
+	ClusterProxy bool
+	// SessionBudget is the per-session fairness cap: at most this many
+	// explains in flight (queued or computing) per session, requests
+	// over it shed immediately with ErrBudgetExceeded (503). It rides
+	// on top of the global WorkerBudget so one hot session cannot
+	// starve the rest. 0 (default) = unlimited.
+	SessionBudget int
+
+	// Persist, when non-nil, enables session durability: snapshots are
+	// written behind state-changing requests and loaded on start (and
+	// lazily on a registry miss), so restarts serve warm explains.
+	Persist *persist.Store
+	// PersistInterval is the write-behind flush cadence. Default 2s;
+	// negative disables background flushing (Flush and drain still
+	// write synchronously).
+	PersistInterval time.Duration
 
 	// testHookAdmitted, when non-nil, runs in every explain/batch
 	// handler right after the request clears worker-budget admission
@@ -161,12 +192,27 @@ type Server struct {
 	explains     atomic.Uint64
 	rejects      atomic.Uint64
 
+	// cluster is nil on non-clustered servers; see cluster.go.
+	cluster           *clusterState
+	clusterRedirected atomic.Uint64
+	clusterProxied    atomic.Uint64
+	sessionSheds      atomic.Uint64
+
+	// store/wb are nil without Config.Persist; see persist.go.
+	store    *persist.Store
+	wb       *persist.WriteBehind
+	restored atomic.Uint64
+
 	reaperDone chan struct{}
 	closed     atomic.Bool
 }
 
 // New builds a server and starts its idle-session reaper (unless
-// disabled).
+// disabled). With Config.Persist set it rehydrates every snapshot on
+// disk before returning, so the server is warm the moment it serves;
+// with Self+Peers it joins the static consistent-hash cluster. It
+// panics on malformed cluster config (an unparsable peer URL) — boot
+// validation, not a runtime condition.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -177,6 +223,23 @@ func New(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.WorkerBudget),
 		reaperDone: make(chan struct{}),
 	}
+	if cfg.Self != "" && len(cfg.Peers) > 0 {
+		nodes := append([]string(nil), cfg.Peers...)
+		ring := cluster.New(append(nodes, cfg.Self)) // ring dedups; Self is always a member
+		cs, err := newClusterState(cfg, ring)
+		if err != nil {
+			panic(err)
+		}
+		s.cluster = cs
+		// Mint session ids that hash onto this node, so the uploading
+		// client keeps talking to the owner with no redirects.
+		s.reg.owns = func(id string) bool { return ring.Owner(id) == cfg.Self }
+	}
+	if cfg.Persist != nil {
+		s.store = cfg.Persist
+		s.restoreAll()
+		s.wb = persist.NewWriteBehind(cfg.Persist, persistInterval(cfg.PersistInterval))
+	}
 	s.routes()
 	if cfg.ReapInterval > 0 {
 		go s.reap()
@@ -186,16 +249,28 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the background reaper. In-flight requests are unaffected;
-// use http.Server.Shutdown to drain those.
+// Close stops the background reaper and the write-behind flusher
+// (running one final flush). In-flight requests are unaffected; use
+// http.Server.Shutdown to drain those.
 func (s *Server) Close() {
-	if s.closed.CompareAndSwap(false, true) && s.cfg.ReapInterval > 0 {
-		close(s.reaperDone)
+	if s.closed.CompareAndSwap(false, true) {
+		if s.cfg.ReapInterval > 0 {
+			close(s.reaperDone)
+		}
+		if s.wb != nil {
+			_ = s.wb.Close()
+		}
 	}
 }
 
-// Handler returns the HTTP handler for the full API surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for the full API surface. On a
+// clustered server it is wrapped with ownership routing (cluster.go).
+func (s *Server) Handler() http.Handler {
+	if s.cluster != nil {
+		return s.clusterHandler()
+	}
+	return s.mux
+}
 
 // EvictIdle evicts sessions idle longer than the configured TTL and
 // returns their ids. The reaper calls this; tests may call it directly.
@@ -217,6 +292,7 @@ func (s *Server) reap() {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("POST /v1/databases", s.handleCreateDB)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDBs)
 	s.mux.HandleFunc("DELETE /v1/databases/{db}", s.handleDeleteDB)
@@ -296,6 +372,11 @@ func (s *Server) trackInflight() func() {
 func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("db")
 	sess, ok := s.reg.get(id)
+	if !ok {
+		// Lazy warm path: an evicted (or freshly-restarted-node) session
+		// revives from its on-disk snapshot.
+		sess, ok = s.loadSession(id)
+	}
 	if !ok {
 		writeErr(w, errSessionNotFound(id))
 		return nil, false
@@ -401,7 +482,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, sess := range s.reg.list() {
 		prepared += sess.preparedCount()
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		UptimeSeconds:    s.cfg.Clock().Sub(s.start).Seconds(),
 		Sessions:         s.reg.len(),
 		MaxSessions:      s.cfg.MaxSessions,
@@ -415,7 +496,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AdmissionRejects: s.rejects.Load(),
 		CertCache:        certs,
 		EngineCache:      engines,
-	})
+		SessionBudget:    s.cfg.SessionBudget,
+		SessionSheds:     s.sessionSheds.Load(),
+	}
+	if s.cluster != nil {
+		resp.Node = s.cluster.self
+		resp.ClusterPeers = len(s.cluster.ring.Nodes())
+		resp.ClusterRedirected = s.clusterRedirected.Load()
+		resp.ClusterProxied = s.clusterProxied.Load()
+	}
+	if s.store != nil {
+		resp.PersistEnabled = true
+		resp.RestoredSessions = s.restored.Load()
+		if s.wb != nil {
+			resp.SnapshotWrites = s.wb.Writes()
+			resp.SnapshotsPending = s.wb.Pending()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +544,7 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.reg.add(db)
+	s.markDirty(sess)
 	writeJSON(w, http.StatusCreated, s.infoOf(sess))
 }
 
@@ -473,8 +572,22 @@ func (s *Server) handleListDBs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteDB(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if !s.reg.remove(r.PathValue("db")) {
-		writeErr(w, errSessionNotFound(r.PathValue("db")))
+	id := r.PathValue("db")
+	removed := s.reg.remove(id)
+	if s.store != nil {
+		// Dropping a session also drops its durability: forget any
+		// pending mark and remove the snapshot so it cannot revive.
+		if s.wb != nil {
+			s.wb.Forget(id)
+		}
+		if s.store.Exists(id) {
+			// Not live but snapshotted (e.g. evicted): deleting the
+			// snapshot is still a successful delete of the session.
+			removed = s.store.Delete(id) == nil || removed
+		}
+	}
+	if !removed {
+		writeErr(w, errSessionNotFound(id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -513,6 +626,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("classifying query: %w", err))
 		return
 	}
+	s.markDirty(sess)
 	writeJSON(w, http.StatusCreated, PrepareQueryResponse{
 		ID:                pq.id,
 		Database:          sess.id,
@@ -536,6 +650,12 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 		if !ok {
 			return
 		}
+		sessRelease, ok := s.admitSession(sess)
+		if !ok {
+			writeErr(w, errSessionBudget(sess, s.cfg.SessionBudget))
+			return
+		}
+		defer sessRelease()
 		var req ExplainRequest
 		if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil && !errors.Is(err, io.EOF) {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -594,6 +714,9 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 			writeErr(w, err)
 			return
 		}
+		if !certHit {
+			s.markDirty(sess) // a fresh classification is worth persisting
+		}
 		exps, err := eng.RankAllParallel(ctx, mode, core.ParallelOptions{Workers: s.clampWorkers(req.Parallelism)})
 		if err != nil {
 			if ctx.Err() != nil {
@@ -627,6 +750,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sessRelease, ok := s.admitSession(sess)
+	if !ok {
+		writeErr(w, errSessionBudget(sess, s.cfg.SessionBudget))
+		return
+	}
+	defer sessRelease()
 	var req BatchExplainRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -710,6 +839,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errBudget("batch canceled: %v", err))
 		return
 	}
+	s.markDirty(sess) // batch items may have classified new shapes
 	resp := BatchExplainResponse{Database: sess.id, Results: make([]BatchItemResult, len(results))}
 	for i, res := range results {
 		out := BatchItemResult{EngineCached: hits[i]}
@@ -764,6 +894,12 @@ func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sessRelease, ok := s.admitSession(sess)
+	if !ok {
+		writeErr(w, errSessionBudget(sess, s.cfg.SessionBudget))
+		return
+	}
+	defer sessRelease()
 	var req CausesRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -789,10 +925,13 @@ func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
 		s.cfg.testHookAdmitted()
 	}
 
-	eng, engineHit, _, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
+	eng, engineHit, certHit, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if !certHit {
+		s.markDirty(sess)
 	}
 	causes := eng.Causes()
 	ids := make([]int, len(causes))
@@ -824,6 +963,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sessRelease, ok := s.admitSession(sess)
+	if !ok {
+		writeErr(w, errSessionBudget(sess, s.cfg.SessionBudget))
+		return
+	}
+	defer sessRelease()
 	var req StreamExplainRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -853,10 +998,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	started := time.Now()
-	eng, _, _, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
+	eng, _, certHit, err := sess.engineFor(q, qID, toValues(req.Answer), req.WhyNo)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if !certHit {
+		s.markDirty(sess)
 	}
 
 	workers := s.clampWorkers(req.Parallelism)

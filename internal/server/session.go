@@ -49,6 +49,9 @@ type session struct {
 	endo     int
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanos
+	// inflight counts explains currently inside the handler for this
+	// session; the per-session fairness budget sheds above it.
+	inflight atomic.Int64
 
 	// mu guards byID and nextQ; prepMu serializes prepare so concurrent
 	// identical prepares dedup to one id. Lock order: prepMu, then the
@@ -254,6 +257,11 @@ type registry struct {
 	engineCap   int
 	clock       func() time.Time
 
+	// owns, when non-nil (cluster mode), reports whether this node owns
+	// a session id on the consistent-hash ring; add mints ids the node
+	// owns so creators serve their own sessions without redirects.
+	owns func(id string) bool
+
 	// retired accumulates cache counters of evicted sessions so /v1/stats
 	// totals survive eviction.
 	retiredMu     sync.Mutex
@@ -288,8 +296,20 @@ func (r *registry) add(db *rel.Database) *session {
 		r.evictLRULocked()
 	}
 	r.nextID++
+	id := fmt.Sprintf("d%d", r.nextID)
+	if r.owns != nil && !r.owns(id) {
+		// Pick-until-self: salt the id until it hashes onto this node.
+		// Expected tries ≈ cluster size; the bound only guards against a
+		// misconfigured ring that can never map here.
+		for salt := 1; salt <= 1<<20; salt++ {
+			if cand := fmt.Sprintf("d%d-%d", r.nextID, salt); r.owns(cand) {
+				id = cand
+				break
+			}
+		}
+	}
 	s := &session{
-		id:      fmt.Sprintf("d%d", r.nextID),
+		id:      id,
 		db:      db,
 		endo:    endo,
 		created: now,

@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/querycause/querycause/internal/cluster"
 	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/parser"
 	"github.com/querycause/querycause/internal/qerr"
 )
 
@@ -24,15 +26,30 @@ import (
 // The tuple-ID space is shared: the upload preserves tuple order, so
 // TupleIDs in remote Explanations index db exactly as in-process ones
 // do.
+//
+// Against a clustered server (see cmd/querycaused -peers), Dial learns
+// the topology from GET /v1/cluster and routes client-side: it uploads
+// to the node the database's content hashes onto and pins the session
+// there, so no request of this Session is ever redirected or proxied.
+// Topology probe failures are not fatal — Dial falls back to baseURL.
 func Dial(ctx context.Context, baseURL string, db *Database, opts ...Option) (Session, error) {
 	if db == nil {
 		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Dial: nil database"))
+	}
+	text, err := parser.FormatDatabase(db)
+	if err != nil {
+		return nil, err
 	}
 	cfg := defaultConfig().apply(opts)
 	c := NewClient(baseURL, cfg.httpClient).SetRetries(cfg.retries)
 	dctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
-	info, err := c.UploadDB(dctx, db)
+	if topo, err := c.Cluster(dctx); err == nil && len(topo.Peers) >= 2 {
+		if owner := cluster.New(topo.Peers).Owner(text); owner != "" && owner != c.base {
+			c = NewClient(owner, cfg.httpClient).SetRetries(cfg.retries)
+		}
+	}
+	info, err := c.UploadDatabase(dctx, text)
 	if err != nil {
 		return nil, err
 	}
