@@ -57,6 +57,12 @@ type (
 	// ClusterInfo is the /v1/cluster topology payload: the answering
 	// node's identity and the full static peer list.
 	ClusterInfo = server.ClusterResponse
+	// TupleSpec describes one tuple to insert into a session database.
+	TupleSpec = server.TupleSpec
+	// MutateResponse reports the session state after a tuple insert or
+	// delete: the new mutation version, the live tuple count, assigned
+	// ids, and how much cached explanation state the mutation dropped.
+	MutateResponse = server.MutateResponse
 )
 
 // Client is a thin Go client for a querycaused server.
@@ -101,9 +107,19 @@ func (c *Client) SetRetries(n int) *Client {
 }
 
 // errMessageCap bounds how much of an error body is kept in an
-// APIError: bodies are read up to 1 MiB (to drain the connection) but
-// a misbehaving proxy's megabyte of HTML is useless in an error chain.
+// APIError: bodies are read up to bodyDrainCap (to drain the
+// connection) but a misbehaving proxy's megabyte of HTML is useless in
+// an error chain.
 const errMessageCap = 8 << 10
+
+// bodyDrainCap bounds how much of a response body is read before the
+// underlying connection is released: a fully-drained body lets
+// net/http reuse the connection, one abandoned with unread bytes
+// forces a close. Every drain path (cluster-redirect bodies, non-2xx
+// error bodies) shares this one cap, so no path silently keeps a
+// tighter limit that would break keep-alive on bodies the other paths
+// would have drained.
+const bodyDrainCap = 1 << 20
 
 // APIError is a non-2xx server response. Code carries the server's
 // machine-readable error code when present; Unwrap resolves it to the
@@ -231,7 +247,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, ha
 // redirectTarget drains a redirect response and resolves its Location
 // header against the request URL.
 func redirectTarget(resp *http.Response) (string, error) {
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	io.Copy(io.Discard, io.LimitReader(resp.Body, bodyDrainCap))
 	resp.Body.Close()
 	loc, err := resp.Location()
 	if err != nil {
@@ -241,12 +257,12 @@ func redirectTarget(resp *http.Response) (string, error) {
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError. The body
-// is read up to 1 MiB; an ErrorResponse payload supplies the message
-// and code, anything else (plain text, proxy HTML, truncated JSON) is
-// kept verbatim, capped at errMessageCap.
+// is read up to bodyDrainCap; an ErrorResponse payload supplies the
+// message and code, anything else (plain text, proxy HTML, truncated
+// JSON) is kept verbatim, capped at errMessageCap.
 func decodeAPIError(resp *http.Response) *APIError {
 	apiErr := &APIError{StatusCode: resp.StatusCode}
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, bodyDrainCap))
 	if err != nil {
 		return apiErr
 	}
@@ -300,6 +316,28 @@ func (c *Client) PrepareQuery(ctx context.Context, dbID, query string) (PrepareQ
 	var out PrepareQueryResponse
 	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/queries",
 		server.PrepareQueryRequest{Query: query}, &out)
+	return out, err
+}
+
+// InsertTuples appends a batch of tuples to a session database. The
+// batch is atomic: the server validates every tuple before applying
+// any, so an error means the database is unchanged. The response
+// carries the server-assigned tuple ids (in request order) and the new
+// mutation version; cached explanation state the mutation cannot
+// affect stays warm on the server.
+func (c *Client) InsertTuples(ctx context.Context, dbID string, tuples []TupleSpec) (MutateResponse, error) {
+	var out MutateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/tuples",
+		server.InsertTuplesRequest{Tuples: tuples}, &out)
+	return out, err
+}
+
+// DeleteTuple removes one tuple by id. Deleting an unknown or
+// already-deleted id fails with ErrTupleNotFound; ids are never
+// reused.
+func (c *Client) DeleteTuple(ctx context.Context, dbID string, tupleID int) (MutateResponse, error) {
+	var out MutateResponse
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/databases/%s/tuples/%d", dbID, tupleID), nil, &out)
 	return out, err
 }
 

@@ -1,0 +1,96 @@
+package querycause_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+)
+
+// TestClientDrainCap pins the shared body-drain cap across the two
+// paths that abandon a response body: error decoding and cluster
+// redirects. A body under the cap is drained in full so net/http can
+// reuse the connection; one over the cap is abandoned, which costs the
+// connection but never blocks the call. The redirect rows are the
+// regression test for the old behavior, where redirects kept a private
+// 4 KiB cap and quietly broke keep-alive on any redirect body bigger
+// than that.
+func TestClientDrainCap(t *testing.T) {
+	cases := []struct {
+		name     string
+		redirect bool
+		pad      int   // filler bytes in the response body
+		wantConn int32 // connections the front server sees across 2 calls
+		wantCode string
+	}{
+		{name: "error body under cap reuses connection", pad: 256 << 10, wantConn: 1, wantCode: "bad_instance"},
+		// Over the cap the JSON is truncated, so the code is lost too —
+		// the message falls back to the (bounded) raw prefix.
+		{name: "error body over cap closes connection", pad: 3 << 20, wantConn: 2, wantCode: ""},
+		{name: "redirect body under cap reuses connection", redirect: true, pad: 256 << 10, wantConn: 1},
+		{name: "redirect body over cap closes connection", redirect: true, pad: 3 << 20, wantConn: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(`{}`))
+			}))
+			defer owner.Close()
+
+			pad := strings.Repeat("x", tc.pad)
+			front := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.redirect {
+					w.Header().Set("Location", owner.URL+r.URL.RequestURI())
+					w.WriteHeader(http.StatusTemporaryRedirect)
+					w.Write([]byte(pad))
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusUnprocessableEntity)
+				w.Write([]byte(`{"error":"` + pad + `","code":"bad_instance"}`))
+			}))
+			var conns atomic.Int32
+			front.Config.ConnState = func(c net.Conn, s http.ConnState) {
+				if s == http.StateNew {
+					conns.Add(1)
+				}
+			}
+			front.Start()
+			defer front.Close()
+
+			// A private transport so this test owns its connection pool.
+			hc := &http.Client{Transport: &http.Transport{}}
+			defer hc.CloseIdleConnections()
+			c := qc.NewClient(front.URL, hc)
+			for i := 0; i < 2; i++ {
+				_, err := c.WhySo(context.Background(), "d1", "", qc.ExplainRequest{
+					Query:  "q(x) :- R(x,y)",
+					Answer: []string{"a"},
+				})
+				if tc.redirect {
+					if err != nil {
+						t.Fatalf("call %d through redirect: %v", i, err)
+					}
+					continue
+				}
+				var apiErr *qc.APIError
+				if !errors.As(err, &apiErr) {
+					t.Fatalf("call %d: err = %v, want APIError", i, err)
+				}
+				if apiErr.Code != tc.wantCode {
+					t.Fatalf("call %d: code = %q, want %q", i, apiErr.Code, tc.wantCode)
+				}
+			}
+			if got := conns.Load(); got != tc.wantConn {
+				t.Fatalf("front server saw %d connections across 2 calls, want %d", got, tc.wantConn)
+			}
+		})
+	}
+}

@@ -13,11 +13,15 @@
 //	            [-eval-sizes 1000,10300,103000]
 //	experiments -run cluster [-cluster-out BENCH_cluster.json]
 //	            [-cluster-clients N] [-cluster-requests N]
+//	experiments -run mutatecurve [-mutate-out BENCH_mutate.json]
+//	            [-mutate-sizes 1000,10300,103000]
 //
 // The exactcurve experiment regenerates the exact-solver cost curve
 // and ablation baseline (see exactcurve.go); evalcurve records the
-// naive-vs-planned data-plane size curve (see evalcurve.go). Both
-// write files, so they are excluded from -run all.
+// naive-vs-planned data-plane size curve (see evalcurve.go);
+// mutatecurve records the incremental re-explain vs cold-rebuild
+// latency curve over a mutable session (see mutatecurve.go). All
+// three write files, so they are excluded from -run all.
 //
 // -parallel sets the worker count used by the ranking experiments
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
@@ -67,22 +71,23 @@ func main() {
 	run := flag.String("run", "all", "experiment to run (all, fig1, fig2, fig3, fig4, fig6, fig7, fig9, thm415, gap, batch)")
 	flag.Parse()
 	exps := map[string]func(){
-		"fig1":       fig1,
-		"fig2":       fig2,
-		"fig3":       fig3,
-		"fig4":       fig4,
-		"fig6":       fig6,
-		"fig7":       fig7,
-		"fig9":       fig9,
-		"thm415":     thm415,
-		"gap":        gap,
-		"batch":      batch,
-		"load":       load,
-		"exactcurve": exactCurve,
-		"evalcurve":  evalCurve,
-		"cluster":    clusterSoak,
+		"fig1":        fig1,
+		"fig2":        fig2,
+		"fig3":        fig3,
+		"fig4":        fig4,
+		"fig6":        fig6,
+		"fig7":        fig7,
+		"fig9":        fig9,
+		"thm415":      thm415,
+		"gap":         gap,
+		"batch":       batch,
+		"load":        load,
+		"exactcurve":  exactCurve,
+		"evalcurve":   evalCurve,
+		"cluster":     clusterSoak,
+		"mutatecurve": mutateCurve,
 	}
-	// load needs a running server, and exactcurve/evalcurve/cluster
+	// load needs a running server, and the curve/cluster experiments
 	// write bench files, so none of them is part of "all".
 	order := []string{"fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig9", "thm415", "gap", "batch"}
 	if *run == "all" {
@@ -93,7 +98,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster mutatecurve\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

@@ -1,0 +1,265 @@
+// The mutatecurve experiment: what a mutation costs on a warm session
+// vs rebuilding the session cold, by database size. For each size it
+// boots an in-process querycaused server, uploads a synthetic IMDB
+// instance, warms the Musical answer of the Fig. 1 genre query, and
+// times four paths:
+//
+//   - cold rebuild: upload the database text + first explain — what a
+//     client without mutable sessions pays after every change;
+//   - incremental (engine rebuild): insert one Genre tuple (the query
+//     mentions Genre, so the cached engine is invalidated) + re-explain
+//     — the mutation is O(cached engines), the re-explain rebuilds one
+//     engine, and the upload/parse/intern of the whole database is
+//     never repaid;
+//   - incremental (cached): insert into a relation the query never
+//     reads + re-explain — nothing is invalidated and the re-explain is
+//     served entirely from the session cache;
+//   - and, as a correctness gate, the rebuilt ranking is byte-compared
+//     against a genuinely cold session uploaded at the final version.
+//
+// The default sizes put ≈10k, ≈100k and ≈1M tuples on the curve. The
+// experiment fails if incremental does not beat the cold rebuild at
+// ≥100k tuples, or if any ranking comparison differs. Results go to
+// -mutate-out (BENCH_mutate.json); like the other curve experiments it
+// writes a file and is excluded from -run all.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/server"
+)
+
+var (
+	mutateOut   = flag.String("mutate-out", "BENCH_mutate.json", "output path for the mutatecurve baseline")
+	mutateSizes = flag.String("mutate-sizes", "1000,10300,103000", "comma-separated director counts for -run mutatecurve (defaults span ≈10k/100k/1M tuples)")
+)
+
+type mutatePoint struct {
+	Directors int `json:"directors"`
+	Tuples    int `json:"tuples"`
+	Causes    int `json:"causes"`
+
+	// The cold rebuild: upload + first explain on a fresh session.
+	ColdUploadMs  float64 `json:"cold_upload_ms"`
+	ColdExplainMs float64 `json:"cold_explain_ms"`
+	ColdTotalMs   float64 `json:"cold_total_ms"`
+
+	// The incremental path after an insert the query observes: the
+	// mutation call itself, then the re-explain that rebuilds the one
+	// invalidated engine.
+	MutateMs           float64 `json:"mutate_ms"`
+	ReexplainRebuildMs float64 `json:"reexplain_rebuild_ms"`
+	IncrementalTotalMs float64 `json:"incremental_total_ms"`
+
+	// The incremental path after an insert the query cannot observe:
+	// nothing is invalidated, the re-explain is fully cached.
+	MutateUntouchedMs float64 `json:"mutate_untouched_ms"`
+	ReexplainCachedMs float64 `json:"reexplain_cached_ms"`
+
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+type mutateReport struct {
+	Bench   string        `json:"bench"`
+	GOOS    string        `json:"goos"`
+	GOARCH  string        `json:"goarch"`
+	CPUs    int           `json:"cpus"`
+	Query   string        `json:"query"`
+	Points  []mutatePoint `json:"points"`
+	Note    string        `json:"note"`
+	Command string        `json:"command"`
+}
+
+// mutateCurve runs the size curve and writes the BENCH_mutate.json
+// baseline.
+func mutateCurve() {
+	header("Mutation curve: incremental re-explain vs cold rebuild by database size")
+	var sizes []int
+	for _, s := range strings.Split(*mutateSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("mutatecurve: bad -mutate-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Minute)
+	defer cancel()
+
+	// One in-process server for the whole curve; the body cap is raised
+	// because the 1M-tuple upload is the point of the comparison.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := server.New(server.Config{ReapInterval: -1, MaxSessions: 16, MaxBodyBytes: 256 << 20})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := qc.NewClient("http://"+ln.Addr().String(), nil)
+
+	genre := imdb.GenreQuery()
+	req := qc.ExplainRequest{Query: genre.String(), Answer: []string{"Musical"}}
+	rep := mutateReport{
+		Bench:  "mutate",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Query:  genre.String(),
+		Note: "genre query bound to the Musical answer on synthetic IMDB (BurtonShare=0.02); cold = upload + first explain, incremental = one tuple insert + re-explain on the warm session (rebuild row: the insert invalidates the answer's engine; cached row: it cannot); " +
+			"rankings after the rebuild are byte-compared against a cold session at the final version; timings are single cold runs",
+		Command: fmt.Sprintf("experiments -run mutatecurve -mutate-sizes %s", *mutateSizes),
+	}
+
+	fmt.Printf("%-10s %-10s %-12s %-13s %-11s %-12s %-12s %-9s\n",
+		"directors", "tuples", "cold upload", "cold explain", "mutate", "re-explain", "incremental", "speedup")
+	for _, nd := range sizes {
+		pt := mutatePoint{Directors: nd}
+		cfg := imdb.Config{Seed: 7, Directors: nd, BurtonShare: 0.02}
+		db := imdb.Synthetic(cfg)
+		pt.Tuples = db.NumTuples()
+
+		// Cold rebuild: the session doubles as the warm session below.
+		start := time.Now()
+		info, err := c.UploadDB(ctx, db)
+		if err != nil {
+			log.Fatalf("mutatecurve: upload at %d directors: %v", nd, err)
+		}
+		pt.ColdUploadMs = ms(time.Since(start))
+		start = time.Now()
+		first, err := c.WhySo(ctx, info.ID, "", req)
+		if err != nil {
+			log.Fatalf("mutatecurve: first explain: %v", err)
+		}
+		pt.ColdExplainMs = ms(time.Since(start))
+		pt.ColdTotalMs = pt.ColdUploadMs + pt.ColdExplainMs
+		pt.Causes = len(first.Explanations)
+
+		// Insert into a relation the genre query never reads: the engine
+		// must survive and the re-explain must be served from cache.
+		start = time.Now()
+		mr, err := c.InsertTuples(ctx, info.ID, []qc.TupleSpec{{Rel: "AuditLog", Args: []string{"probe"}}})
+		if err != nil {
+			log.Fatalf("mutatecurve: untouched insert: %v", err)
+		}
+		pt.MutateUntouchedMs = ms(time.Since(start))
+		if mr.EnginesInvalidated != 0 {
+			log.Fatalf("mutatecurve: insert into unmentioned relation invalidated %d engines, want 0", mr.EnginesInvalidated)
+		}
+		start = time.Now()
+		cached, err := c.WhySo(ctx, info.ID, "", req)
+		if err != nil {
+			log.Fatalf("mutatecurve: cached re-explain: %v", err)
+		}
+		pt.ReexplainCachedMs = ms(time.Since(start))
+		if !cached.EngineCached {
+			log.Fatalf("mutatecurve: re-explain after untouched insert missed the engine cache")
+		}
+
+		// Insert a Genre tuple joining no movie: the ranking cannot
+		// change, but the query mentions Genre, so the cached engine is
+		// stale by the invalidation rules and the re-explain rebuilds it.
+		start = time.Now()
+		mr, err = c.InsertTuples(ctx, info.ID, []qc.TupleSpec{{Rel: "Genre", Args: []string{"m-mutate-probe", "Horror"}}})
+		if err != nil {
+			log.Fatalf("mutatecurve: probe insert: %v", err)
+		}
+		pt.MutateMs = ms(time.Since(start))
+		if mr.EnginesInvalidated == 0 {
+			log.Fatalf("mutatecurve: insert into mentioned relation invalidated no engines")
+		}
+		start = time.Now()
+		rebuilt, err := c.WhySo(ctx, info.ID, "", req)
+		if err != nil {
+			log.Fatalf("mutatecurve: rebuild re-explain: %v", err)
+		}
+		pt.ReexplainRebuildMs = ms(time.Since(start))
+		if rebuilt.EngineCached {
+			log.Fatalf("mutatecurve: re-explain after probe insert was served from cache")
+		}
+		pt.IncrementalTotalMs = pt.MutateMs + pt.ReexplainRebuildMs
+		if pt.IncrementalTotalMs > 0 {
+			pt.SpeedupX = pt.ColdTotalMs / pt.IncrementalTotalMs
+		}
+
+		// Correctness gate: a genuinely cold session replaying the same
+		// mutations must rank byte-identically to the warm session.
+		final := imdb.Synthetic(cfg)
+		final.MustAdd("AuditLog", false, "probe")
+		final.MustAdd("Genre", false, "m-mutate-probe", "Horror")
+		verifyInfo, err := c.UploadDB(ctx, final)
+		if err != nil {
+			log.Fatalf("mutatecurve: verify upload: %v", err)
+		}
+		verify, err := c.WhySo(ctx, verifyInfo.ID, "", req)
+		if err != nil {
+			log.Fatalf("mutatecurve: verify explain: %v", err)
+		}
+		if !sameExplanations(rebuilt.Explanations, verify.Explanations) ||
+			!sameExplanations(rebuilt.Explanations, first.Explanations) {
+			log.Fatalf("mutatecurve: warm ranking diverged from the cold rebuild at %d directors", nd)
+		}
+		for _, id := range []string{info.ID, verifyInfo.ID} {
+			if err := c.DropDatabase(ctx, id); err != nil {
+				log.Fatalf("mutatecurve: drop %s: %v", id, err)
+			}
+		}
+
+		fmt.Printf("%-10d %-10d %-12s %-13s %-11s %-12s %-12s %.1fx\n",
+			pt.Directors, pt.Tuples, fmtMs(pt.ColdUploadMs), fmtMs(pt.ColdExplainMs),
+			fmtMs(pt.MutateMs), fmtMs(pt.ReexplainRebuildMs), fmtMs(pt.IncrementalTotalMs), pt.SpeedupX)
+		rep.Points = append(rep.Points, pt)
+	}
+
+	// The acceptance bar: at ≥100k tuples the incremental path must beat
+	// rebuilding the session cold.
+	for _, pt := range rep.Points {
+		if pt.Tuples >= 100_000 && pt.IncrementalTotalMs >= pt.ColdTotalMs {
+			fmt.Fprintf(os.Stderr, "mutatecurve: incremental (%.1fms) did not beat cold rebuild (%.1fms) at %d tuples\n",
+				pt.IncrementalTotalMs, pt.ColdTotalMs, pt.Tuples)
+			os.Exit(1)
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*mutateOut, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mutatecurve: baseline written to %s\n", *mutateOut)
+}
+
+// sameExplanations compares two rankings byte-for-byte (the transports
+// and difftest hold rankings to this standard; elapsed/cache fields are
+// outside the compared slice).
+func sameExplanations(a, b []qc.ExplanationDTO) bool {
+	ra, err := json.Marshal(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, err := json.Marshal(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return bytes.Equal(ra, rb)
+}

@@ -58,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sessEvery   = fs.Int("session-every", 8, "replay every k-th instance through the Session differential")
 		clustDiff   = fs.Bool("cluster-diff", true, "also replay instances through a 3-replica consistent-hash cluster")
 		clustEvery  = fs.Int("cluster-every", 8, "replay every k-th instance through the cluster differential")
+		mutateDiff  = fs.Bool("mutate-diff", true, "also replay random mutation sequences: incremental session state must equal a cold rebuild at the final version")
+		mutateEvery = fs.Int("mutate-every", 8, "replay every k-th instance through the mutation differential")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
 		plannerDiff = fs.Bool("planner-diff", true, "differential-test the planned streaming evaluator against the naive reference on every instance")
 		evalEvery   = fs.Int("eval-every", 1, "apply the naive-vs-planned evaluator differential to every k-th instance")
@@ -127,6 +129,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cd.Close()
 		opts.Cluster = cd
 		opts.ClusterEvery = *clustEvery
+	}
+	if *mutateDiff {
+		md := difftest.NewMutateDiff()
+		defer md.Close()
+		opts.Mutate = md
+		opts.MutateEvery = *mutateEvery
 	}
 
 	start := time.Now()

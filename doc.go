@@ -57,6 +57,31 @@
 // emission order; WithHTTPClient and WithRetries tune a Dial'ed
 // session's transport.
 //
+// # Mutable sessions
+//
+// Sessions are not frozen at the database they were opened with:
+// Session.Insert appends tuples (an atomic, validated batch returning
+// the assigned tuple ids) and Session.Delete removes one tuple by id.
+// Ids are never reused — a deleted id stays dead, Delete on it fails
+// with ErrTupleNotFound, and historical explanations keep rendering
+// the removed tuple. Mutations serialize against in-flight explains on
+// both transports; Rankings opened before a mutation are stale and
+// should be re-opened.
+//
+// Mutating beats re-uploading because invalidation is incremental: the
+// server consults the lineage each cached per-answer engine already
+// computed and drops only what the mutation can actually change —
+// deleting an endogenous tuple invalidates exactly the engines whose
+// cause set contains it (Theorem 3.2 makes the cause set the lineage
+// variables), inserts and exogenous deletes invalidate engines over
+// queries mentioning the relation, and only a mutation that flips a
+// relation's endogeneity (first endogenous tuple in, or last one out)
+// touches the cached dichotomy certificates whose shape mentions it
+// (classification runs against the endogenous/exogenous split,
+// Corollary 4.14). Everything else keeps answering warm, and the
+// differential harness holds the surviving state byte-identical to a
+// cold rebuild at the final version.
+//
 // # Streaming rankings
 //
 // The dichotomy makes full rankings either instant (max-flow) or
@@ -82,7 +107,8 @@
 //
 // Failures are tagged with sentinel errors — ErrBadQuery,
 // ErrBadInstance, ErrInvalidWhyNo, ErrNotCause, ErrSessionNotFound,
-// ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed — carried as
+// ErrQueryNotFound, ErrTupleNotFound, ErrBudgetExceeded,
+// ErrSessionClosed — carried as
 // machine-readable codes in the wire ErrorResponse and rehydrated by
 // the client, so callers branch the same way on either transport:
 //
@@ -155,10 +181,12 @@
 // every instance is cross-checked — flow vs exact rankings, every
 // contingency set witness-validated against the database, brute-force
 // oracles confirming each minimum and each non-cause, the Theorem 3.4
-// Datalog¬ program re-deriving the cause set, mutation invariants
+// Datalog¬ program re-deriving the cause set, metamorphic invariants
 // (exogenous duplication, non-cause exogenous marking, irrelevant
-// growth), a byte-level replay through the querycaused server, and
-// the Session-transport equivalence above. Instances derive from a
+// growth), a byte-level replay through the querycaused server, the
+// Session-transport equivalence above, and seeded random mutation
+// sequences whose incrementally-maintained session state must equal a
+// cold rebuild at the final version byte-for-byte. Instances derive from a
 // single int64 seed, so any failure reproduces with
 //
 //	go test ./internal/difftest -run 'TestDifferentialSweep$' -args -seed=<N> -n=1

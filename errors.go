@@ -31,6 +31,9 @@ var (
 	ErrSessionNotFound error = qerr.ErrSessionNotFound
 	// ErrQueryNotFound: the addressed prepared query does not exist.
 	ErrQueryNotFound error = qerr.ErrQueryNotFound
+	// ErrTupleNotFound: Session.Delete addressed a tuple id that is not
+	// live — never assigned, or already deleted (ids are never reused).
+	ErrTupleNotFound error = qerr.ErrTupleNotFound
 	// ErrBudgetExceeded: the computation did not finish within its
 	// admission/timeout budget (server at capacity, or the request
 	// deadline expired while queued or computing).

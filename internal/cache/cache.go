@@ -43,9 +43,10 @@ type LRU[K comparable, V any] struct {
 }
 
 // New returns an LRU holding at most capacity entries; capacity < 1 is
-// treated as 1. onEvict, if non-nil, is called for every evicted or
-// removed entry; it runs under the cache lock, so keep it cheap and do
-// not reenter the cache from it.
+// treated as 1. onEvict, if non-nil, is called for every evicted,
+// removed, or displaced (Put over an existing key) entry; it runs under
+// the cache lock, so keep it cheap and do not reenter the cache from
+// it.
 func New[K comparable, V any](capacity int, onEvict func(K, V)) *LRU[K, V] {
 	if capacity < 1 {
 		capacity = 1
@@ -72,13 +73,20 @@ func (c *LRU[K, V]) Get(key K) (V, bool) {
 }
 
 // Put inserts or refreshes a key at the front, evicting the
-// least-recently-used entry when over capacity.
+// least-recently-used entry when over capacity. Replacing an existing
+// key hands the displaced value to onEvict (without counting it as a
+// capacity eviction in Stats): values may own releasable resources, and
+// a replacement strands the old value exactly like an eviction does.
 func (c *LRU[K, V]) Put(key K, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
+		old := e.val
 		e.val = val
 		c.moveToFront(e)
+		if c.onEvict != nil {
+			c.onEvict(key, old)
+		}
 		return
 	}
 	e := &entry[K, V]{key: key, val: val}

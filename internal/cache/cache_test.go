@@ -144,6 +144,30 @@ func TestLRUOnEvict(t *testing.T) {
 	}
 }
 
+// TestLRUOnEvictReplace checks Put over an existing key hands the
+// displaced value to onEvict: cached values can own releasable
+// resources, and a silent overwrite would strand the old one. The
+// replacement must not count as a capacity eviction in Stats.
+func TestLRUOnEvictReplace(t *testing.T) {
+	var gone []string
+	c := New[int, string](2, func(k int, v string) { gone = append(gone, fmt.Sprintf("%d=%s", k, v)) })
+	c.Put(1, "a")
+	c.Put(1, "a2") // displaces "a"
+	c.Put(2, "b")
+	c.Put(1, "a3") // displaces "a2", refreshes recency
+	c.Put(3, "c")  // evicts 2 (LRU after the refresh)
+	want := "[1=a 1=a2 2=b]"
+	if got := fmt.Sprint(gone); got != want {
+		t.Fatalf("displaced+evicted = %v; want %v", got, want)
+	}
+	if got, ok := c.Get(1); !ok || got != "a3" {
+		t.Fatalf("Get(1) = %q, %v; want a3", got, ok)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d; replacements must not count, want 1", st.Evictions)
+	}
+}
+
 // TestLRUConcurrent hammers one cache from many goroutines; run under
 // -race it checks the cache is internally synchronized, and afterwards
 // the invariants (len <= cap, hits+misses == gets) must hold.

@@ -1,0 +1,98 @@
+// Random mutation sequences over generated instances, for the
+// incremental-vs-cold-rebuild differential (internal/difftest): a
+// session that applied the sequence step by step — invalidating
+// explanation state incrementally — must end up answering exactly like
+// a session built cold at the final version.
+
+package causegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Mutation is one step of a mutation sequence: an insert of a fresh
+// tuple or a delete of a live one.
+type Mutation struct {
+	// Insert selects between the two shapes.
+	Insert bool
+	// Rel/Endo/Args describe the inserted tuple (Insert == true).
+	Rel  string
+	Endo bool
+	Args []rel.Value
+	// ID is the deleted tuple (Insert == false). Generation simulates
+	// the id sequence, so the id is live at its application point for
+	// any replayer that applies the sequence in order from the
+	// instance's initial state.
+	ID rel.TupleID
+}
+
+func (m Mutation) String() string {
+	if !m.Insert {
+		return fmt.Sprintf("-#%d", m.ID)
+	}
+	sign := "+"
+	if !m.Endo {
+		sign = "-exo "
+	}
+	return fmt.Sprintf("%s%s%v", sign, m.Rel, m.Args)
+}
+
+// RandomMutations derives a deterministic sequence of n mutations for
+// inst: inserts draw tuples over the query's relations from the
+// instance's active domain (plus fresh constants, so mutations can
+// grow the domain), deletes pick tuples live at that point of the
+// sequence — witness and noise tuples alike, so sequences routinely
+// destroy answers, flip relations all-exogenous, and recreate deleted
+// rows under new ids. The sequence never shrinks the database below
+// two live tuples. Pure in (seed, inst, n); the rng stream is decoupled
+// from RandomInstance's, so the same seed can drive both.
+func RandomMutations(seed int64, inst *Instance, n int) []Mutation {
+	rng := rand.New(rand.NewSource(seed ^ 0x6d75746174650a))
+	arities := queryArities(inst.Query)
+	pool := append(inst.DB.ActiveDomain(), "zm0", "zm1")
+
+	live := make([]rel.TupleID, inst.DB.NumTuples())
+	for i := range live {
+		live[i] = rel.TupleID(i)
+	}
+	next := rel.TupleID(len(live))
+
+	out := make([]Mutation, 0, n)
+	for len(out) < n {
+		if len(live) > 2 && rng.Float64() < 0.4 {
+			k := rng.Intn(len(live))
+			out = append(out, Mutation{ID: live[k]})
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		ra := arities[rng.Intn(len(arities))]
+		args := make([]rel.Value, ra.arity)
+		for i := range args {
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		out = append(out, Mutation{Insert: true, Rel: ra.name, Endo: rng.Float64() >= 0.3, Args: args})
+		live = append(live, next)
+		next++
+	}
+	return out
+}
+
+// ApplyMutations replays a sequence onto db in order. It is the
+// reference replayer the differential compares servers against.
+func ApplyMutations(db *rel.Database, muts []Mutation) error {
+	for i, m := range muts {
+		if m.Insert {
+			if _, err := db.Add(m.Rel, m.Endo, m.Args...); err != nil {
+				return fmt.Errorf("mutation %d (%v): %v", i, m, err)
+			}
+			continue
+		}
+		if err := db.Delete(m.ID); err != nil {
+			return fmt.Errorf("mutation %d (%v): %v", i, m, err)
+		}
+	}
+	return nil
+}

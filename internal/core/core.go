@@ -242,6 +242,28 @@ func (e *Engine) NLineage() lineage.DNF { return e.nlineage }
 // Query returns the bound Boolean query the engine explains.
 func (e *Engine) Query() *rel.Query { return e.q }
 
+// Touches reports (in O(1)) whether the identified tuple occurs in the
+// engine's minimal endogenous lineage. A mutation of a tuple the
+// lineage does not touch provably leaves this engine's explanations
+// unchanged — deleting such an exogenous tuple can only remove
+// witnesses whose minimized conjuncts never referenced it, and the
+// minimization already canceled any conjunct it appeared in against a
+// surviving subset (see internal/server's invalidation rules).
+func (e *Engine) Touches(id rel.TupleID) bool { return e.causeSet[id] }
+
+// Mentions reports whether the engine's bound query references the
+// named relation in any atom. Insertions (and exogenous deletions) can
+// only affect engines whose query mentions the mutated relation, so
+// this is the conservative invalidation predicate for them.
+func (e *Engine) Mentions(relName string) bool {
+	for _, a := range e.q.Atoms {
+		if a.Pred == relName {
+			return true
+		}
+	}
+	return false
+}
+
 // EndoFn returns the endogeneity rule the engine classifies under: a
 // relation is endogenous iff it holds at least one endogenous tuple.
 // Anything that computes certificates on the engine's behalf (e.g. a

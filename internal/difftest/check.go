@@ -71,6 +71,11 @@ type CheckOptions struct {
 	// Dial and via a wrong-node 307 hop, errors.Is-equal failures, and
 	// cluster-wide session teardown.
 	Cluster *ClusterDiff
+	// Mutate, when non-nil, replays a seeded mutation sequence through
+	// the server twice — incrementally with interleaved explains, and
+	// cold at the final version — and requires byte-identical answers
+	// from both, matching the in-process engine on the final database.
+	Mutate *MutateDiff
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -127,6 +132,7 @@ type CheckStats struct {
 	ServerChecked      int
 	SessionChecked     int
 	ClusterChecked     int
+	MutateChecked      int
 	EvalChecked        int
 }
 
@@ -252,6 +258,13 @@ func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, erro
 			return stats, err
 		}
 		stats.ClusterChecked++
+	}
+
+	if opts.Mutate != nil {
+		if err := opts.Mutate.Check(inst); err != nil {
+			return stats, err
+		}
+		stats.MutateChecked++
 	}
 	return stats, nil
 }

@@ -50,6 +50,13 @@
 //     indistinguishable from a single node — byte-identical rankings
 //     through topology-aware Dial and through a wrong-node 307 hop,
 //     errors.Is-equal failures, and cluster-wide session teardown.
+//   - Mutation equivalence: after a seeded random insert/delete
+//     sequence (causegen.RandomMutations), a session maintained
+//     incrementally — mutating and explaining step by step, with the
+//     server invalidating only the engines and certificates each
+//     mutation touches — answers byte-identically to a session built
+//     cold at the final version, and both match the in-process engine
+//     over the final database.
 //
 // Every instance derives from a single int64 seed, so any CI failure
 // reproduces with one command (printed on failure):
@@ -103,6 +110,13 @@ type Options struct {
 	// ClusterEvery replays every k-th instance through Cluster
 	// (default 8; 1 = every instance). Ignored when Cluster is nil.
 	ClusterEvery int
+	// Mutate, when non-nil, replays a seeded mutation sequence through
+	// the server and requires incremental session state to answer
+	// byte-identically to a cold rebuild at the final version.
+	Mutate *MutateDiff
+	// MutateEvery replays every k-th instance through Mutate (default
+	// 8; 1 = every instance). Ignored when Mutate is nil.
+	MutateEvery int
 	// MetamorphicEvery applies the metamorphic invariants to every
 	// k-th instance (default 1 = every instance; <0 disables).
 	MetamorphicEvery int
@@ -132,6 +146,7 @@ func (o Options) ShrinkCheck() CheckOptions {
 	chk.Server = o.Server
 	chk.Session = o.Session
 	chk.Cluster = o.Cluster
+	chk.Mutate = o.Mutate
 	return chk
 }
 
@@ -144,6 +159,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ClusterEvery <= 0 {
 		o.ClusterEvery = 8
+	}
+	if o.MutateEvery <= 0 {
+		o.MutateEvery = 8
 	}
 	if o.MetamorphicEvery == 0 {
 		o.MetamorphicEvery = 1
@@ -253,6 +271,9 @@ type Report struct {
 	// ClusterChecked counts instances replayed through the 3-replica
 	// cluster-equivalence differential.
 	ClusterChecked int
+	// MutateChecked counts instances replayed through the
+	// incremental-vs-cold-rebuild mutation differential.
+	MutateChecked int
 	// EvalChecked counts instances run through the naive-vs-planned
 	// evaluator equivalence differential.
 	EvalChecked int
@@ -269,9 +290,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d cluster=%d eval=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d cluster=%d mutate=%d eval=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.ClusterChecked, r.EvalChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.ClusterChecked, r.MutateChecked, r.EvalChecked,
 		len(r.Mismatches))
 }
 
@@ -301,6 +322,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		serverN   atomic.Int64
 		sessionN  atomic.Int64
 		clusterN  atomic.Int64
+		mutateN   atomic.Int64
 		evalN     atomic.Int64
 		done      atomic.Int64
 	)
@@ -329,6 +351,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			if opts.Cluster != nil && i%opts.ClusterEvery == 0 {
 				chk.Cluster = opts.Cluster
 			}
+			if opts.Mutate != nil && i%opts.MutateEvery == 0 {
+				chk.Mutate = opts.Mutate
+			}
 			stats, err := CheckInstance(inst, chk)
 			if stats.FlowRanked {
 				flow.Add(1)
@@ -343,6 +368,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			serverN.Add(int64(stats.ServerChecked))
 			sessionN.Add(int64(stats.SessionChecked))
 			clusterN.Add(int64(stats.ClusterChecked))
+			mutateN.Add(int64(stats.MutateChecked))
 			evalN.Add(int64(stats.EvalChecked))
 			if err != nil {
 				mu.Lock()
@@ -374,6 +400,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.ServerChecked = int(serverN.Load())
 	rep.SessionChecked = int(sessionN.Load())
 	rep.ClusterChecked = int(clusterN.Load())
+	rep.MutateChecked = int(mutateN.Load())
 	rep.EvalChecked = int(evalN.Load())
 	rep.Elapsed = time.Since(start)
 	// Early stop on mismatch budget is not a caller error; only the

@@ -71,6 +71,8 @@ func TestDifferentialSweep(t *testing.T) {
 	defer sd.Close()
 	sess := NewSessionDiff()
 	defer sess.Close()
+	mut := NewMutateDiff()
+	defer mut.Close()
 	n := sweepSize()
 	opts := Options{
 		Seed:             *seedFlag,
@@ -80,6 +82,8 @@ func TestDifferentialSweep(t *testing.T) {
 		ServerEvery:      8,
 		Session:          sess,
 		SessionEvery:     8,
+		Mutate:           mut,
+		MutateEvery:      8,
 		MetamorphicEvery: 2,
 	}
 	if *clusterFlag {
@@ -109,6 +113,7 @@ func TestDifferentialSweep(t *testing.T) {
 			"metamorphic checks":     rep.MetamorphicChecked,
 			"server replays":         rep.ServerChecked,
 			"session replays":        rep.SessionChecked,
+			"mutation replays":       rep.MutateChecked,
 		} {
 			if got == 0 {
 				t.Errorf("sweep of %d instances exercised zero %s", n, what)

@@ -1,0 +1,273 @@
+// Incremental-vs-cold-rebuild differential: a server session that
+// applies a random mutation sequence step by step — explaining after
+// every step, so the incremental invalidation path is what maintains
+// its engines, certificates, and prepared state — must end up
+// answering byte-identically to a session built cold at the final
+// version, and both must match the library engine run in-process on
+// the final database. Any over-retention (a stale engine surviving a
+// mutation that touches its lineage) or over-invalidation that
+// rebuilds into different state shows up as a byte mismatch.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// MutateDiff owns an in-process querycaused server for the
+// incremental-vs-cold replay. It is safe for concurrent use by sweep
+// workers.
+type MutateDiff struct {
+	srv *server.Server
+	ts  *httptest.Server
+	// N is the mutation-sequence length per replay (default 6).
+	N int
+}
+
+// NewMutateDiff boots the in-process server. Callers must Close it.
+func NewMutateDiff() *MutateDiff {
+	srv := server.New(server.Config{
+		ReapInterval: -1,
+		// Two sessions (warm + cold) per in-flight check.
+		MaxSessions: 256,
+	})
+	return &MutateDiff{srv: srv, ts: httptest.NewServer(srv.Handler())}
+}
+
+// Close shuts the in-process server down.
+func (md *MutateDiff) Close() {
+	md.ts.Close()
+	md.srv.Close()
+}
+
+func (md *MutateDiff) seqLen() int {
+	if md.N > 0 {
+		return md.N
+	}
+	return 6
+}
+
+// explainResult is the comparable outcome of one explain call: the
+// status and, for successes, the ranking DTOs as canonical JSON — for
+// failures, the raw error body.
+type explainResult struct {
+	status  int
+	payload []byte
+}
+
+func (r explainResult) equal(o explainResult) bool {
+	return r.status == o.status && bytes.Equal(r.payload, o.payload)
+}
+
+// Check replays a seeded mutation sequence for inst through two server
+// sessions — one mutated incrementally with explains interleaved, one
+// rebuilt cold at the final version — and requires their final answers
+// to be byte-identical, and equal to the in-process engine on the
+// final database.
+func (md *MutateDiff) Check(inst *causegen.Instance) error {
+	muts := causegen.RandomMutations(inst.Seed, inst, md.seqLen())
+	dbText, err := parser.FormatDatabase(inst.DB)
+	if err != nil {
+		return fmt.Errorf("mutatediff: format database: %v", err)
+	}
+
+	// The library oracle: the same sequence replayed in-process, ranked
+	// by a fresh engine over the final database. Mutations can destroy
+	// the instance (a Why-No whose query now holds): then the engine
+	// fails and the servers must report a client error.
+	final := inst.DB.Clone()
+	if err := causegen.ApplyMutations(final, muts); err != nil {
+		return fmt.Errorf("mutatediff: library replay: %v", err)
+	}
+	finalInst := &causegen.Instance{Seed: inst.Seed, DB: final, Query: inst.Query, WhyNo: inst.WhyNo}
+	var wantDTO []byte
+	wantOK := false
+	if eng, err := newEngine(finalInst); err == nil {
+		if rank, err := eng.RankAll(core.ModeAuto); err == nil {
+			wantOK = true
+			if wantDTO, err = json.Marshal(serverDTOs(final, rank)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Warm side: mutate step by step, explaining after every step so
+	// each answer is served by incrementally-maintained session state.
+	warmID, err := md.upload(dbText)
+	if err != nil {
+		return fmt.Errorf("mutatediff: warm upload: %v", err)
+	}
+	defer md.drop(warmID)
+	if res, err := md.explain(warmID, inst); err != nil {
+		return fmt.Errorf("mutatediff: warm-up explain: %v", err)
+	} else if res.status >= 500 {
+		return fmt.Errorf("mutatediff: warm-up explain: status %d: %s", res.status, res.payload)
+	}
+	warmVersions := make([]server.MutateResponse, len(muts))
+	for i, m := range muts {
+		mr, err := md.applyMutation(warmID, m)
+		if err != nil {
+			return fmt.Errorf("mutatediff: warm mutation %d (%v): %v", i, m, err)
+		}
+		warmVersions[i] = mr
+		if res, err := md.explain(warmID, inst); err != nil {
+			return fmt.Errorf("mutatediff: warm explain after mutation %d: %v", i, err)
+		} else if res.status >= 500 {
+			return fmt.Errorf("mutatediff: warm explain after mutation %d: status %d: %s", i, res.status, res.payload)
+		}
+	}
+	warm, err := md.explain(warmID, inst)
+	if err != nil {
+		return fmt.Errorf("mutatediff: warm final explain: %v", err)
+	}
+
+	// Cold side: same upload, same sequence, no intermediate explains —
+	// every engine and certificate is built at the final version.
+	coldID, err := md.upload(dbText)
+	if err != nil {
+		return fmt.Errorf("mutatediff: cold upload: %v", err)
+	}
+	defer md.drop(coldID)
+	for i, m := range muts {
+		mr, err := md.applyMutation(coldID, m)
+		if err != nil {
+			return fmt.Errorf("mutatediff: cold mutation %d (%v): %v", i, m, err)
+		}
+		if w := warmVersions[i]; mr.Version != w.Version || mr.Tuples != w.Tuples ||
+			fmt.Sprint(mr.TupleIDs) != fmt.Sprint(w.TupleIDs) {
+			return fmt.Errorf("mutatediff: mutation %d (%v) diverges: warm (v%d, %d live, ids %v) vs cold (v%d, %d live, ids %v)",
+				i, m, w.Version, w.Tuples, w.TupleIDs, mr.Version, mr.Tuples, mr.TupleIDs)
+		}
+	}
+	cold, err := md.explain(coldID, inst)
+	if err != nil {
+		return fmt.Errorf("mutatediff: cold final explain: %v", err)
+	}
+
+	if !warm.equal(cold) {
+		return fmt.Errorf("mutatediff: incremental state diverges from cold rebuild after %v:\nwarm (%d): %s\ncold (%d): %s",
+			muts, warm.status, warm.payload, cold.status, cold.payload)
+	}
+	if wantOK {
+		if cold.status/100 != 2 {
+			return fmt.Errorf("mutatediff: library ranks the final database but the server errors (%d): %s", cold.status, cold.payload)
+		}
+		if !bytes.Equal(cold.payload, wantDTO) {
+			return fmt.Errorf("mutatediff: final ranking differs from library engine:\nserver:  %s\nlibrary: %s", cold.payload, wantDTO)
+		}
+	} else if cold.status/100 == 2 {
+		return fmt.Errorf("mutatediff: library rejects the final instance but the server answers: %s", cold.payload)
+	}
+	return nil
+}
+
+// applyMutation sends one mutation over HTTP and returns the server's
+// MutateResponse.
+func (md *MutateDiff) applyMutation(dbID string, m causegen.Mutation) (server.MutateResponse, error) {
+	var out server.MutateResponse
+	if m.Insert {
+		args := make([]string, len(m.Args))
+		for i, a := range m.Args {
+			args[i] = string(a)
+		}
+		body, _ := json.Marshal(server.InsertTuplesRequest{
+			Tuples: []server.TupleSpec{{Rel: m.Rel, Args: args, Endo: m.Endo}},
+		})
+		err := md.post("/v1/databases/"+dbID+"/tuples", "application/json", bytes.NewReader(body), &out)
+		return out, err
+	}
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/databases/%s/tuples/%d", md.ts.URL, dbID, m.ID), nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := md.ts.Client().Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return out, fmt.Errorf("DELETE tuple %d: status %d: %s", m.ID, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return out, json.Unmarshal(raw, &out)
+}
+
+// explain runs the instance's explain request and returns the
+// comparable result. Client errors (an instance a mutation destroyed)
+// are results, not failures — both sessions must produce the same one.
+func (md *MutateDiff) explain(dbID string, inst *causegen.Instance) (explainResult, error) {
+	kind := "whyso"
+	if inst.WhyNo {
+		kind = "whyno"
+	}
+	body, _ := json.Marshal(server.ExplainRequest{Query: inst.Query.String(), Mode: "auto"})
+	resp, err := md.ts.Client().Post(md.ts.URL+"/v1/databases/"+dbID+"/"+kind, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return explainResult{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return explainResult{}, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return explainResult{status: resp.StatusCode, payload: bytes.TrimSpace(raw)}, nil
+	}
+	var er server.ExplainResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		return explainResult{}, fmt.Errorf("%s: decoding: %v", kind, err)
+	}
+	payload, err := json.Marshal(er.Explanations)
+	if err != nil {
+		return explainResult{}, err
+	}
+	return explainResult{status: resp.StatusCode, payload: payload}, nil
+}
+
+func (md *MutateDiff) upload(dbText string) (string, error) {
+	var info server.DatabaseInfo
+	if err := md.post("/v1/databases", "text/plain", strings.NewReader(dbText), &info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+func (md *MutateDiff) post(path, contentType string, body io.Reader, out any) error {
+	resp, err := md.ts.Client().Post(md.ts.URL+path, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}
+
+func (md *MutateDiff) drop(id string) {
+	req, err := http.NewRequest(http.MethodDelete, md.ts.URL+"/v1/databases/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := md.ts.Client().Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}

@@ -272,17 +272,22 @@ func parseTupleLine(line string) (relName string, endo bool, args []rel.Value, e
 }
 
 // FormatDatabase renders a database in the textual format ParseDatabase
-// reads: one "+R(a,b)" / "-S(c)" line per tuple in insertion order.
-// Values containing syntax characters (commas, parentheses, quotes,
-// '#', or surrounding whitespace) are quoted. FormatDatabase and
-// ParseDatabase round-trip: parsing the output reproduces the same
-// relations, tuples, IDs, and endo flags. Values the line-oriented,
+// reads: one "+R(a,b)" / "-S(c)" line per live tuple in insertion
+// order; deleted tuples are omitted. Values containing syntax
+// characters (commas, parentheses, quotes, '#', or surrounding
+// whitespace) are quoted. For databases with no deletions,
+// FormatDatabase and ParseDatabase round-trip: parsing the output
+// reproduces the same relations, tuples, IDs, and endo flags (a
+// mutated database re-parses with compacted IDs instead). Values the line-oriented,
 // escape-free grammar cannot represent — ones containing a newline, a
 // carriage return, or both quote characters — are reported as an error
 // rather than silently emitted as unparseable text.
 func FormatDatabase(db *rel.Database) (string, error) {
 	var b strings.Builder
 	for _, t := range db.Tuples() {
+		if !db.Live(t.ID) {
+			continue
+		}
 		if t.Endo {
 			b.WriteByte('+')
 		} else {

@@ -65,12 +65,16 @@ import (
 
 // Format constants. Version is bumped on any incompatible payload
 // change; old binaries reject newer snapshots with ErrVersion instead
-// of misreading them.
+// of misreading them. Version 2 added the per-tuple Deleted flag
+// (mutable sessions): a v1 binary would silently drop deletions, so
+// the frame version forces the rejection. This binary still reads v1
+// snapshots — a missing Deleted field gob-decodes to false.
 const (
-	Version   = 1
-	magic     = "QCSN"
-	ext       = ".qcs"
-	headerLen = len(magic) + 1 + 8 // magic + version + payload length
+	Version    = 2
+	minVersion = 1
+	magic      = "QCSN"
+	ext        = ".qcs"
+	headerLen  = len(magic) + 1 + 8 // magic + version + payload length
 )
 
 var (
@@ -108,11 +112,16 @@ type Snapshot struct {
 }
 
 // Tuple is one database row: a relation-table index, the endogenous
-// flag, and the interned code of each argument.
+// flag, and the interned code of each argument. Deleted marks a tuple
+// that was removed after insertion: the row is still recorded (its ID
+// slot and any dictionary values it introduced must survive the
+// replay) and Database re-deletes it after the adds, landing on the
+// mutated state at the same version.
 type Tuple struct {
-	Rel  int32
-	Endo bool
-	Args []uint32
+	Rel     int32
+	Endo    bool
+	Deleted bool
+	Args    []uint32
 }
 
 // Query is one prepared query: its stable id, canonical text, and the
@@ -155,14 +164,15 @@ func (snap *Snapshot) SetDatabase(db *rel.Database) {
 		for i, v := range t.Args {
 			args[i], _ = dict.Code(v) // every stored value is interned
 		}
-		snap.Tuples = append(snap.Tuples, Tuple{Rel: ri, Endo: t.Endo, Args: args})
+		snap.Tuples = append(snap.Tuples, Tuple{Rel: ri, Endo: t.Endo, Deleted: !db.Live(t.ID), Args: args})
 	}
 }
 
 // Database rebuilds the columnar database by replaying the recorded
-// tuples in TupleID order. Because rel interns values in insertion
-// order, the rebuilt dictionary and code vectors are byte-identical to
-// the snapshotted ones.
+// tuples in TupleID order, then re-deleting the ones marked Deleted.
+// Because rel interns values in insertion order and deletions commute,
+// the rebuilt dictionary, code vectors, ID space, and version are
+// byte-identical to the snapshotted ones.
 func (snap *Snapshot) Database() (*rel.Database, error) {
 	db := rel.NewDatabase()
 	for i, t := range snap.Tuples {
@@ -178,6 +188,13 @@ func (snap *Snapshot) Database() (*rel.Database, error) {
 		}
 		if _, err := db.Add(snap.Relations[t.Rel], t.Endo, args...); err != nil {
 			return nil, fmt.Errorf("persist: replaying tuple %d: %w", i, err)
+		}
+	}
+	for i, t := range snap.Tuples {
+		if t.Deleted {
+			if err := db.Delete(rel.TupleID(i)); err != nil {
+				return nil, fmt.Errorf("persist: replaying deletion of tuple %d: %w", i, err)
+			}
 		}
 	}
 	return db, nil
@@ -324,8 +341,8 @@ func Decode(data []byte) (*Snapshot, error) {
 	if string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("persist: bad snapshot magic %q", data[:len(magic)])
 	}
-	if v := data[len(magic)]; v != Version {
-		return nil, fmt.Errorf("%w: %d (this binary reads %d)", ErrVersion, v, Version)
+	if v := data[len(magic)]; v < minVersion || v > Version {
+		return nil, fmt.Errorf("%w: %d (this binary reads %d..%d)", ErrVersion, v, minVersion, Version)
 	}
 	n := binary.BigEndian.Uint64(data[len(magic)+1 : headerLen])
 	if uint64(len(data)) != uint64(headerLen)+n+4 {

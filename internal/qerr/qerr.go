@@ -68,6 +68,9 @@ var (
 	ErrBudgetExceeded = &Sentinel{code: "budget_exceeded", msg: "computation budget exceeded", status: http.StatusServiceUnavailable}
 	// ErrSessionClosed: the Session was used after Close.
 	ErrSessionClosed = &Sentinel{code: "session_closed", msg: "session is closed", status: http.StatusConflict}
+	// ErrTupleNotFound: a mutation addressed a tuple id that does not
+	// exist or was already deleted.
+	ErrTupleNotFound = &Sentinel{code: "tuple_not_found", msg: "unknown tuple", status: http.StatusNotFound}
 )
 
 // registry maps wire codes back to sentinels for client rehydration.
@@ -76,6 +79,7 @@ var registry = func() map[string]*Sentinel {
 	for _, s := range []*Sentinel{
 		ErrBadQuery, ErrBadInstance, ErrInvalidWhyNo, ErrNotCause,
 		ErrSessionNotFound, ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed,
+		ErrTupleNotFound,
 	} {
 		m[s.code] = s
 	}

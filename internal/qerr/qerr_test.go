@@ -31,6 +31,7 @@ func TestCodeRoundTrip(t *testing.T) {
 	for _, s := range []*Sentinel{
 		ErrBadQuery, ErrBadInstance, ErrInvalidWhyNo, ErrNotCause,
 		ErrSessionNotFound, ErrQueryNotFound, ErrBudgetExceeded, ErrSessionClosed,
+		ErrTupleNotFound,
 	} {
 		if got := FromCode(s.Code()); got != s {
 			t.Errorf("FromCode(%q) = %v; want %v", s.Code(), got, s)
@@ -68,6 +69,7 @@ func TestWireCodesFrozen(t *testing.T) {
 		ErrQueryNotFound:   "query_not_found",
 		ErrBudgetExceeded:  "budget_exceeded",
 		ErrSessionClosed:   "session_closed",
+		ErrTupleNotFound:   "tuple_not_found",
 	}
 	for s, code := range want {
 		if s.Code() != code {

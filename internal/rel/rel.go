@@ -31,6 +31,21 @@
 // HoldsNaive / HoldsWithoutNaive so the differential harness
 // (internal/difftest) can compare the two forever; binaries that never
 // import internal/ra simply keep the naive backend for everything.
+//
+// # Mutation and versioning
+//
+// Databases are mutable: Add appends tuples and Delete removes them.
+// Tuple IDs are never reused — Delete leaves a gap in the ID space and
+// retains the dead tuple's rendered form, so Tuple(id) keeps working
+// for historical IDs (the husk is exogenous and excluded from
+// evaluation). Live reports whether an ID still denotes a stored row.
+// Version counts mutations (adds + deletes); replaying the same
+// mutation sequence into a fresh database reproduces the dictionary,
+// the column vectors, and the version bit-for-bit, which is what the
+// persist layer and the incremental-vs-cold-rebuild differential rely
+// on. Mutations are not safe concurrently with readers; callers that
+// share a database across goroutines (the explanation server) serialize
+// mutations against evaluation with their own lock.
 package rel
 
 import (
@@ -218,8 +233,12 @@ type Database struct {
 	Relations map[string]*Relation
 
 	dict Dict
-	refs []rowRef // TupleID → (relation, row)
+	refs []rowRef // TupleID → (relation, row); rel==nil marks a deleted tuple
 	endo []bool   // TupleID → endogenous
+
+	// dead retains the rendered form of deleted tuples keyed by their
+	// (never reused) ID, so Tuple(id) still answers for historical IDs.
+	dead map[TupleID]*Tuple
 
 	// adapters caches the lazily materialized []*Tuple row view,
 	// published copy-on-write under adapterMu (same discipline as the
@@ -290,7 +309,67 @@ func (db *Database) MustAdd(rel string, endo bool, args ...Value) TupleID {
 	return id
 }
 
+// Delete removes the identified tuple from its relation. The ID is
+// never reused: it stays addressable through Tuple (rendering the
+// removed row as an exogenous husk) but Live reports false, the tuple
+// vanishes from the relation's rows and code vectors, and evaluation
+// never sees it again. Deleting an already-deleted or out-of-range ID
+// is an error. Like Add, Delete must not race with readers.
+func (db *Database) Delete(id TupleID) error {
+	if int(id) < 0 || int(id) >= len(db.refs) {
+		return fmt.Errorf("rel: delete: tuple id %d out of range [0,%d)", id, len(db.refs))
+	}
+	ref := db.refs[id]
+	if ref.rel == nil {
+		return fmt.Errorf("rel: delete: tuple %d already deleted", id)
+	}
+	// Capture the adapter before the row disappears so Tuple(id) keeps
+	// rendering the dead tuple. Reuse the published adapter pointer when
+	// one exists so previously handed-out *Tuple stay the live view.
+	var husk *Tuple
+	if ad := db.adapters.Load(); ad != nil && int(id) < len(*ad) {
+		husk = (*ad)[id]
+	} else {
+		husk = db.materializeOne(id)
+	}
+	husk.Endo = false
+	if db.dead == nil {
+		db.dead = make(map[TupleID]*Tuple)
+	}
+	db.dead[id] = husk
+
+	r, row := ref.rel, int(ref.row)
+	for c := range r.cols {
+		r.cols[c] = append(r.cols[c][:row], r.cols[c][row+1:]...)
+	}
+	r.rowIDs = append(r.rowIDs[:row], r.rowIDs[row+1:]...)
+	for i := row; i < len(r.rowIDs); i++ {
+		db.refs[r.rowIDs[i]].row = int32(i)
+	}
+	r.index.Store(nil)
+	r.rows.Store(nil)
+	db.refs[id] = rowRef{}
+	db.endo[id] = false
+	return nil
+}
+
+// Live reports whether the ID denotes a stored (non-deleted) tuple.
+func (db *Database) Live(id TupleID) bool {
+	return int(id) >= 0 && int(id) < len(db.refs) && db.refs[id].rel != nil
+}
+
+// NumLive returns the number of live tuples (NumTuples minus deletions).
+func (db *Database) NumLive() int { return len(db.refs) - len(db.dead) }
+
+// Version counts the mutations (adds plus deletes) applied to the
+// database since creation. Replaying the same mutation sequence into a
+// fresh database lands on the same version with byte-identical state.
+func (db *Database) Version() uint64 { return uint64(len(db.refs) + len(db.dead)) }
+
 func (db *Database) materializeOne(id TupleID) *Tuple {
+	if t, ok := db.dead[id]; ok {
+		return t
+	}
 	ref := db.refs[id]
 	args := make([]Value, ref.rel.Arity)
 	for c := range args {
@@ -317,8 +396,9 @@ func (db *Database) adapterRows() []*Tuple {
 	return out
 }
 
-// Tuple returns the tuple with the given ID. It panics on out-of-range
-// IDs, which indicate a bug in the caller.
+// Tuple returns the tuple with the given ID, including the exogenous
+// husk of a deleted one (check Live to distinguish). It panics on
+// out-of-range IDs, which indicate a bug in the caller.
 func (db *Database) Tuple(id TupleID) *Tuple {
 	if int(id) < 0 || int(id) >= len(db.refs) {
 		panic(fmt.Sprintf("rel: tuple id %d out of range [0,%d)", id, len(db.refs)))
@@ -326,11 +406,13 @@ func (db *Database) Tuple(id TupleID) *Tuple {
 	return db.adapterRows()[id]
 }
 
-// NumTuples returns the number of tuples in the database.
+// NumTuples returns the size of the tuple-ID space: every tuple ever
+// added, deleted or not. See NumLive for the stored count.
 func (db *Database) NumTuples() int { return len(db.refs) }
 
-// Tuples returns all tuples in insertion order. The slice is shared;
-// callers must not modify it.
+// Tuples returns all tuples in insertion order, indexed by TupleID.
+// Deleted tuples appear as their exogenous husks (Live reports false
+// for them). The slice is shared; callers must not modify it.
 func (db *Database) Tuples() []*Tuple { return db.adapterRows() }
 
 // Endo reports whether the identified tuple is endogenous, straight off
@@ -348,8 +430,12 @@ func (db *Database) EndoIDs() []TupleID {
 	return out
 }
 
-// SetEndo flags the identified tuple endogenous or exogenous.
+// SetEndo flags the identified tuple endogenous or exogenous. Deleted
+// tuples stay exogenous; flipping them is a no-op.
 func (db *Database) SetEndo(id TupleID, endo bool) {
+	if !db.Live(id) {
+		return
+	}
 	db.endo[id] = endo
 	if ad := db.adapters.Load(); ad != nil && int(id) < len(*ad) {
 		(*ad)[id].Endo = endo
@@ -366,6 +452,12 @@ func (db *Database) Clone() *Database {
 	}
 	out.refs = make([]rowRef, len(db.refs))
 	out.endo = append([]bool(nil), db.endo...)
+	for id, t := range db.dead {
+		if out.dead == nil {
+			out.dead = make(map[TupleID]*Tuple, len(db.dead))
+		}
+		out.dead[id] = &Tuple{ID: id, Rel: t.Rel, Args: append([]Value(nil), t.Args...)}
+	}
 	for name, r := range db.Relations {
 		nr := &Relation{Name: name, Arity: r.Arity, db: out, cols: make([][]uint32, r.Arity)}
 		for c := range r.cols {
@@ -380,9 +472,10 @@ func (db *Database) Clone() *Database {
 	return out
 }
 
-// ActiveDomain returns the set of all values occurring in the database,
-// sorted for determinism. With interned columnar storage this is the
-// dictionary itself (every interned value occurs in some tuple).
+// ActiveDomain returns the set of all values ever interned into the
+// database, sorted for determinism. With interned columnar storage this
+// is the dictionary itself; values introduced by since-deleted tuples
+// remain (the dictionary never shrinks, keeping codes stable).
 func (db *Database) ActiveDomain() []Value {
 	out := append([]Value(nil), db.dict.vals...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -105,17 +105,19 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// admitSession applies the per-session fairness budget: a session may
-// have at most SessionBudget explains in flight (queued for the global
-// worker budget or computing). Requests over the cap are shed
-// immediately — no queueing — with qerr.ErrBudgetExceeded, so one hot
-// session cannot occupy every admission slot and starve the rest.
-// Budget 0 disables the cap.
+// admitSession tracks one request inside a session-addressed handler
+// and applies the per-session fairness budget. The in-flight count is
+// maintained even with the budget disabled — the eviction paths
+// (MaxSessions LRU, idle reaper) consult it so a session is never torn
+// down with a request still inside a handler. With SessionBudget > 0 a
+// session may additionally have at most that many requests in flight
+// (queued for the global worker budget or computing); requests over
+// the cap are shed immediately — no queueing — with
+// qerr.ErrBudgetExceeded, so one hot session cannot occupy every
+// admission slot and starve the rest.
 func (s *Server) admitSession(sess *session) (release func(), ok bool) {
-	if s.cfg.SessionBudget <= 0 {
-		return func() {}, true
-	}
-	if n := sess.inflight.Add(1); n > int64(s.cfg.SessionBudget) {
+	n := sess.inflight.Add(1)
+	if b := s.cfg.SessionBudget; b > 0 && n > int64(b) {
 		sess.inflight.Add(-1)
 		s.sessionSheds.Add(1)
 		return nil, false

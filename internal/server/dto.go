@@ -12,10 +12,14 @@ type CreateDatabaseRequest struct {
 	Database string `json:"database"`
 }
 
-// DatabaseInfo describes one registered session.
+// DatabaseInfo describes one registered session. Tuples counts live
+// tuples only; Version is the mutation version (uploaded tuples plus
+// every insert and delete since), so two sessions with equal history
+// report equal versions.
 type DatabaseInfo struct {
 	ID          string `json:"id"`
 	Tuples      int    `json:"tuples"`
+	Version     uint64 `json:"version"`
 	Endogenous  int    `json:"endogenous"`
 	Relations   int    `json:"relations"`
 	Prepared    int    `json:"prepared_queries"`
@@ -166,6 +170,14 @@ type StatsResponse struct {
 	SessionBudget int    `json:"session_budget,omitempty"`
 	SessionSheds  uint64 `json:"session_sheds,omitempty"`
 
+	// Mutation counters: MutationsTotal counts tuple insert/delete
+	// requests served; EnginesInvalid and CertsInvalid count the cached
+	// per-answer engines and certificate pairs those mutations
+	// incrementally invalidated (everything else stayed warm).
+	MutationsTotal uint64 `json:"mutations_total,omitempty"`
+	EnginesInvalid uint64 `json:"engines_invalidated,omitempty"`
+	CertsInvalid   uint64 `json:"certs_invalidated,omitempty"`
+
 	// Cluster routing counters, present only on clustered servers: Node
 	// is this replica's advertised URL, ClusterPeers the ring size.
 	// ClusterRedirected counts requests 307-redirected to their owner,
@@ -268,6 +280,48 @@ type StreamEvent struct {
 type StreamDone struct {
 	Causes        int   `json:"causes"`
 	ElapsedMicros int64 `json:"elapsed_micros"`
+}
+
+// TupleSpec describes one tuple to insert: the relation name, its
+// arguments as strings, and whether the tuple is endogenous (a
+// candidate cause).
+type TupleSpec struct {
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+	Endo bool     `json:"endo,omitempty"`
+}
+
+// InsertTuplesRequest appends a batch of tuples to a session database.
+// The batch is validated as a whole before anything is applied: a
+// request with any malformed tuple (empty relation, no arguments,
+// arity mismatch against the live relation or an earlier tuple of the
+// batch) mutates nothing. A relation absent from the database is
+// created on first insert.
+type InsertTuplesRequest struct {
+	Tuples []TupleSpec `json:"tuples"`
+}
+
+// MutateResponse reports the session state after a successful tuple
+// insert or delete.
+type MutateResponse struct {
+	Database string `json:"database"`
+	// Version is the database's mutation version after the request:
+	// uploaded tuples plus every insert and delete applied since, so
+	// clients can order mutation responses and tie rankings to the
+	// state they were computed at.
+	Version uint64 `json:"version"`
+	// Tuples counts live tuples after the request.
+	Tuples int `json:"tuples"`
+	// TupleIDs are the server-assigned ids of the inserted tuples, in
+	// request order (inserts only). IDs are never reused; a deleted id
+	// stays addressable in explanations of historical rankings.
+	TupleIDs []int `json:"tuple_ids,omitempty"`
+	// EnginesInvalidated and CertsInvalidated count the cached
+	// per-answer engines and certificate pairs this mutation dropped;
+	// every cache entry not counted here survived and still answers
+	// warm.
+	EnginesInvalidated int `json:"engines_invalidated"`
+	CertsInvalidated   int `json:"certs_invalidated"`
 }
 
 // HealthResponse is the /healthz payload.

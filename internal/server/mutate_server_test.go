@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mutateDBText adds an independent relation T so invalidation tests
+// can mutate one relation and assert the other's engines stay warm.
+const mutateDBText = chainDBText + "+T(a1)\n"
+
+// callErr is call for requests expected to fail: it returns the status
+// and the decoded error body (call only decodes 2xx responses).
+func callErr(t *testing.T, method, url string, body any) (int, ErrorResponse) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatalf("decoding error body of %s %s: %v", method, url, err)
+	}
+	return resp.StatusCode, wire
+}
+
+func insertTuples(t *testing.T, ts string, dbID string, tuples ...TupleSpec) MutateResponse {
+	t.Helper()
+	var out MutateResponse
+	if code := call(t, http.MethodPost, ts+"/v1/databases/"+dbID+"/tuples",
+		InsertTuplesRequest{Tuples: tuples}, &out); code != 200 {
+		t.Fatalf("insert: status %d", code)
+	}
+	return out
+}
+
+func deleteTuple(t *testing.T, ts string, dbID string, id int) MutateResponse {
+	t.Helper()
+	var out MutateResponse
+	if code := call(t, http.MethodDelete, fmt.Sprintf("%s/v1/databases/%s/tuples/%d", ts, dbID, id), nil, &out); code != 200 {
+		t.Fatalf("delete tuple %d: status %d", id, code)
+	}
+	return out
+}
+
+func explainWhySo(t *testing.T, ts string, dbID, query string, answer ...string) ExplainResponse {
+	t.Helper()
+	var out ExplainResponse
+	if code := call(t, http.MethodPost, ts+"/v1/databases/"+dbID+"/whyso",
+		ExplainRequest{Query: query, Answer: answer}, &out); code != 200 {
+		t.Fatalf("whyso %s %v: status %d", query, answer, code)
+	}
+	return out
+}
+
+// TestInsertAndDeleteEndpoints covers the basic wire contract: ids are
+// assigned in order and never reused, the version counts every
+// mutation, deletes 404 on dead ids, and a batch with any bad tuple
+// applies nothing.
+func TestInsertAndDeleteEndpoints(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, mutateDBText) // ids 0..4
+	if info.Version != 5 || info.Tuples != 5 {
+		t.Fatalf("info = %+v; want version 5, tuples 5", info)
+	}
+
+	ins := insertTuples(t, ts.URL, info.ID,
+		TupleSpec{Rel: "S", Args: []string{"a9"}, Endo: true},
+		TupleSpec{Rel: "U", Args: []string{"x", "y"}})
+	if got, want := fmt.Sprint(ins.TupleIDs), "[5 6]"; got != want {
+		t.Fatalf("insert ids = %s; want %s", got, want)
+	}
+	if ins.Version != 7 || ins.Tuples != 7 {
+		t.Fatalf("after insert: %+v; want version 7, tuples 7", ins)
+	}
+
+	del := deleteTuple(t, ts.URL, info.ID, 5)
+	if del.Version != 8 || del.Tuples != 6 {
+		t.Fatalf("after delete: %+v; want version 8, tuples 6", del)
+	}
+	// The id is dead now: deleting again is tuple_not_found, and a new
+	// insert does not reuse it.
+	code, wire := callErr(t, http.MethodDelete, ts.URL+"/v1/databases/"+info.ID+"/tuples/5", nil)
+	if code != 404 || wire.Code != "tuple_not_found" {
+		t.Fatalf("double delete: status %d, code %q; want 404 tuple_not_found", code, wire.Code)
+	}
+	if ins2 := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "S", Args: []string{"a10"}}); ins2.TupleIDs[0] != 7 {
+		t.Fatalf("post-delete insert id = %d; want 7 (no reuse)", ins2.TupleIDs[0])
+	}
+
+	// Non-numeric id is a 400, not a route miss.
+	if code := call(t, http.MethodDelete, ts.URL+"/v1/databases/"+info.ID+"/tuples/abc", nil, nil); code != 400 {
+		t.Fatalf("bad id: status %d", code)
+	}
+
+	// Atomicity: the second tuple's arity mismatch rejects the whole
+	// batch, so the first tuple must not have been applied.
+	code, wire = callErr(t, http.MethodPost, ts.URL+"/v1/databases/"+info.ID+"/tuples",
+		InsertTuplesRequest{Tuples: []TupleSpec{
+			{Rel: "S", Args: []string{"ok"}},
+			{Rel: "S", Args: []string{"too", "wide"}},
+		}})
+	if code != 422 || wire.Code != "bad_instance" {
+		t.Fatalf("arity mismatch: status %d, code %q; want 422 bad_instance", code, wire.Code)
+	}
+	var listed []DatabaseInfo
+	if code := call(t, http.MethodGet, ts.URL+"/v1/databases", nil, &listed); code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	if listed[0].Version != 9 || listed[0].Tuples != 7 {
+		t.Fatalf("after rejected batch: %+v; want version 9, tuples 7 (unchanged)", listed[0])
+	}
+
+	// Empty batches are rejected before touching the database.
+	if code, wire := callErr(t, http.MethodPost, ts.URL+"/v1/databases/"+info.ID+"/tuples",
+		InsertTuplesRequest{}); code != 422 || wire.Code != "bad_instance" {
+		t.Fatalf("empty insert: status %d, code %q; want 422 bad_instance", code, wire.Code)
+	}
+}
+
+// TestIncrementalInvalidation is the tentpole behavior: a mutation
+// drops exactly the engines whose lineage it can touch, and everything
+// else keeps answering from cache.
+func TestIncrementalInvalidation(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, mutateDBText) // R(a4,a3) S(a3) S(a2) R(a5,a2) T(a1); ids 0..4
+
+	const qRS = "q(x) :- R(x,y), S(y)"
+	const qT = "q(x) :- T(x)"
+	explainWhySo(t, ts.URL, info.ID, qRS, "a4") // engine: lineage {R(a4,a3), S(a3)} = ids {0,1}
+	explainWhySo(t, ts.URL, info.ID, qRS, "a5") // engine: lineage {R(a5,a2), S(a2)} = ids {2,3}
+	explainWhySo(t, ts.URL, info.ID, qT, "a1")  // engine over T only
+
+	// Insert into T: only the T engine mentions it.
+	ins := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "T", Args: []string{"a8"}, Endo: true})
+	if ins.EnginesInvalidated != 1 {
+		t.Fatalf("insert into T invalidated %d engines; want 1", ins.EnginesInvalidated)
+	}
+	if got := explainWhySo(t, ts.URL, info.ID, qRS, "a4"); !got.EngineCached {
+		t.Fatal("R/S engine went cold after a T-only insert")
+	}
+	if got := explainWhySo(t, ts.URL, info.ID, qT, "a1"); got.EngineCached {
+		t.Fatal("T engine stayed cached across an insert into T")
+	}
+
+	// Delete endogenous S(a2) (id 2): it is in a5's lineage but not
+	// a4's, and S keeps other endogenous tuples (no flip) — so exactly
+	// the a5 engine drops, certificates included stay.
+	del := deleteTuple(t, ts.URL, info.ID, 2)
+	if del.EnginesInvalidated != 1 || del.CertsInvalidated != 0 {
+		t.Fatalf("delete S(a2): invalidated %d engines, %d certs; want 1, 0", del.EnginesInvalidated, del.CertsInvalidated)
+	}
+	if got := explainWhySo(t, ts.URL, info.ID, qRS, "a4"); !got.EngineCached {
+		t.Fatal("a4 engine went cold after deleting a tuple outside its lineage")
+	}
+	// a5 is no longer an answer at all (its only witness used S(a2)):
+	// the rebuilt engine finds no causes, and it really was rebuilt.
+	a5 := explainWhySo(t, ts.URL, info.ID, qRS, "a5")
+	if a5.EngineCached {
+		t.Fatal("a5 engine survived deleting its lineage tuple S(a2)")
+	}
+	if len(a5.Explanations) != 0 {
+		t.Fatalf("destroyed answer a5 still has %d explanations", len(a5.Explanations))
+	}
+}
+
+// TestEndoFlipInvalidatesCertificates: inserting the first endogenous
+// tuple of an exogenous relation moves every query shape mentioning it
+// across the classification boundary, so the cached certificates are
+// dropped and a re-prepare re-classifies.
+func TestEndoFlipInvalidatesCertificates(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, "+R(a,b)\n-S(b)\n")
+
+	var prep PrepareQueryResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/databases/"+info.ID+"/queries",
+		PrepareQueryRequest{Query: "q :- R(x,y), S(y)"}, &prep); code != 201 {
+		t.Fatalf("prepare: status %d", code)
+	}
+	ins := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "S", Args: []string{"c"}, Endo: true})
+	if ins.CertsInvalidated != 1 {
+		t.Fatalf("endo flip invalidated %d certs; want 1", ins.CertsInvalidated)
+	}
+	var reprep PrepareQueryResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/databases/"+info.ID+"/queries",
+		PrepareQueryRequest{Query: "q :- R(x,y), S(y)"}, &reprep); code != 201 {
+		t.Fatalf("re-prepare: status %d", code)
+	}
+	if reprep.ID != prep.ID {
+		t.Fatalf("re-prepare minted a new id %s; want %s", reprep.ID, prep.ID)
+	}
+	if reprep.CertificateCached {
+		t.Fatal("re-prepare after an endo flip reported a cached certificate")
+	}
+	// The regenerated cause program reflects the new endogeneity hints:
+	// it must match what a cold server over the mutated database emits.
+	_, ts2 := newTest(t, Config{})
+	info2 := upload(t, ts2, "+R(a,b)\n-S(b)\n+S(c)\n")
+	var cold PrepareQueryResponse
+	if code := call(t, http.MethodPost, ts2.URL+"/v1/databases/"+info2.ID+"/queries",
+		PrepareQueryRequest{Query: "q :- R(x,y), S(y)"}, &cold); code != 201 {
+		t.Fatalf("cold prepare: status %d", code)
+	}
+	if reprep.Program != cold.Program {
+		t.Fatalf("regenerated program diverges from cold server:\nwarm: %s\ncold: %s", reprep.Program, cold.Program)
+	}
+	if reprep.Class != cold.Class || reprep.ClassPaper != cold.ClassPaper {
+		t.Fatalf("warm classification (%s/%s) != cold (%s/%s)", reprep.Class, reprep.ClassPaper, cold.Class, cold.ClassPaper)
+	}
+}
+
+// TestMutateWarmRestartByteIdentity: mutate, explain, flush, boot a new
+// server over the same store — the restored session must rank
+// byte-identically at the same version, with the deletion gaps intact.
+func TestMutateWarmRestartByteIdentity(t *testing.T) {
+	st := testStore(t)
+	srvA, tsA := newTest(t, persistCfg(st))
+	info := upload(t, tsA, mutateDBText)
+
+	insertTuples(t, tsA.URL, info.ID, TupleSpec{Rel: "S", Args: []string{"a7"}, Endo: true})
+	deleteTuple(t, tsA.URL, info.ID, 2) // S(a2): kills answer a5
+	const q = "q(x) :- R(x,y), S(y)"
+	before := explainWhySo(t, tsA.URL, info.ID, q, "a4")
+	if err := srvA.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	srvB, tsB := newTest(t, persistCfg(st))
+	if got := srvB.Restored(); got != 1 {
+		t.Fatalf("restored %d sessions, want 1", got)
+	}
+	var listed []DatabaseInfo
+	if code := call(t, http.MethodGet, tsB.URL+"/v1/databases", nil, &listed); code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	if listed[0].Version != 7 || listed[0].Tuples != 5 {
+		t.Fatalf("restored session %+v; want version 7, tuples 5", listed[0])
+	}
+	after := explainWhySo(t, tsB.URL, info.ID, q, "a4")
+	rawA, _ := json.Marshal(before.Explanations)
+	rawB, _ := json.Marshal(after.Explanations)
+	if string(rawA) != string(rawB) {
+		t.Fatalf("restart changed the ranking:\nbefore: %s\nafter:  %s", rawA, rawB)
+	}
+	// The dead id stays dead across the restart.
+	if code := call(t, http.MethodDelete, tsB.URL+"/v1/databases/"+info.ID+"/tuples/2", nil, nil); code != 404 {
+		t.Fatalf("deleting a dead id after restart: status %d; want 404", code)
+	}
+}
+
+// TestEvictionSkipsInflightSessions is the regression test for the
+// stale-eviction bug: a session with a request inside a handler must
+// survive both the MaxSessions LRU eviction and the idle reaper, even
+// when it is the only candidate. Run with -race: the old behavior tore
+// the session down while the request still used its caches.
+func TestEvictionSkipsInflightSessions(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv, ts := newTest(t, Config{
+		MaxSessions: 1,
+		SessionTTL:  time.Nanosecond,
+		testHookAdmitted: func() {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+		},
+	})
+	info := upload(t, ts, chainDBText)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got ExplainResponse
+	go func() {
+		defer wg.Done()
+		got = explainWhySo(t, ts.URL, info.ID, "q(x) :- R(x,y), S(y)", "a4")
+	}()
+	<-entered
+
+	// The registry is full and its only session is busy: the idle
+	// reaper must skip it...
+	if evicted := srv.EvictIdle(); len(evicted) != 0 {
+		t.Fatalf("EvictIdle evicted busy session(s) %v", evicted)
+	}
+	// ...and an upload must admit the new session without evicting the
+	// busy one (temporarily exceeding MaxSessions).
+	upload(t, ts, "+T(a1)\n")
+	if n := srv.reg.len(); n != 2 {
+		t.Fatalf("registry holds %d sessions; want 2 (busy session retained)", n)
+	}
+
+	close(release)
+	wg.Wait()
+	if len(got.Explanations) == 0 {
+		t.Fatal("in-flight explain returned no explanations")
+	}
+
+	// With the work drained the session is evictable again.
+	if evicted := srv.EvictIdle(); len(evicted) == 0 {
+		t.Fatal("EvictIdle evicted nothing once the session went idle")
+	}
+}

@@ -23,12 +23,16 @@ import (
 )
 
 // snapshot serializes the session's current state: the interned
-// database, prepared queries in preparation order, and the hot
+// database (including its deletion husks, so a restore replays to the
+// same version), prepared queries in preparation order, and the hot
 // certificate cache (MRU first). Safe to run concurrently with request
-// traffic — the database is frozen and the caches lock internally.
+// traffic — the database is read-locked against mutations and the
+// caches lock internally.
 func (s *session) snapshot() (*persist.Snapshot, error) {
 	snap := &persist.Snapshot{ID: s.id}
+	s.dbMu.RLock()
 	snap.SetDatabase(s.db)
+	s.dbMu.RUnlock()
 
 	s.mu.RLock()
 	snap.NextQueryID = s.nextQ
@@ -122,11 +126,18 @@ func (r *registry) restore(snap *persist.Snapshot) (*session, error) {
 		if err := q.Validate(db); err != nil {
 			return nil, fmt.Errorf("restoring query %s of session %s: %w", sq.ID, snap.ID, err)
 		}
-		certs, _, err := s.certsFor(q)
-		if err != nil {
+		// Warm the certificate cache for the query's shape (a cache hit
+		// when the snapshot carried it, a fresh classification otherwise);
+		// the prepared query itself carries no certificate pointer.
+		if _, _, err := s.certsFor(q); err != nil {
 			return nil, fmt.Errorf("reclassifying query %s of session %s: %w", sq.ID, snap.ID, err)
 		}
-		pq := &preparedQuery{id: sq.ID, key: q.String(), q: q, certs: certs, program: sq.Program}
+		// dbVersion 0 never matches a live database version (sessions
+		// hold at least one tuple), so the first re-prepare regenerates
+		// the program: the snapshot does not record which version the
+		// program was generated against, and it may predate the last
+		// mutation.
+		pq := &preparedQuery{id: sq.ID, key: q.String(), q: q, program: sq.Program, dbVersion: 0}
 		s.byID[pq.id] = pq
 		s.prepared.Put(pq.key, pq)
 	}
@@ -136,8 +147,7 @@ func (r *registry) restore(snap *persist.Snapshot) (*session, error) {
 	if live, ok := r.sessions[snap.ID]; ok {
 		return live, nil
 	}
-	for len(r.sessions) >= r.maxSessions {
-		r.evictLRULocked()
+	for len(r.sessions) >= r.maxSessions && r.evictLRULocked() {
 	}
 	if seq := sessionSeq(snap.ID); seq > r.nextID {
 		r.nextID = seq

@@ -192,6 +192,13 @@ type Server struct {
 	explains     atomic.Uint64
 	rejects      atomic.Uint64
 
+	// Mutation counters: requests served by the tuple-mutation
+	// endpoints, and the explanation state they incrementally
+	// invalidated (see mutate.go).
+	mutations           atomic.Uint64
+	engineInvalidations atomic.Uint64
+	certInvalidations   atomic.Uint64
+
 	// cluster is nil on non-clustered servers; see cluster.go.
 	cluster           *clusterState
 	clusterRedirected atomic.Uint64
@@ -304,6 +311,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/databases/{db}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/databases/{db}/causes", s.handleCauses)
 	s.mux.HandleFunc("POST /v1/databases/{db}/explain/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/databases/{db}/tuples", s.handleInsertTuples)
+	s.mux.HandleFunc("DELETE /v1/databases/{db}/tuples/{id}", s.handleDeleteTuple)
 }
 
 // ---- plumbing ----
@@ -498,6 +507,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EngineCache:      engines,
 		SessionBudget:    s.cfg.SessionBudget,
 		SessionSheds:     s.sessionSheds.Load(),
+		MutationsTotal:   s.mutations.Load(),
+		EnginesInvalid:   s.engineInvalidations.Load(),
+		CertsInvalid:     s.certInvalidations.Load(),
 	}
 	if s.cluster != nil {
 		resp.Node = s.cluster.self
@@ -549,11 +561,16 @@ func (s *Server) handleCreateDB(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) infoOf(sess *session) DatabaseInfo {
+	sess.dbMu.RLock()
+	live, version := sess.db.NumLive(), sess.db.Version()
+	endo, relations := sess.endo, len(sess.db.Relations)
+	sess.dbMu.RUnlock()
 	return DatabaseInfo{
 		ID:          sess.id,
-		Tuples:      sess.db.NumTuples(),
-		Endogenous:  sess.endo,
-		Relations:   len(sess.db.Relations),
+		Tuples:      live,
+		Version:     version,
+		Endogenous:  endo,
+		Relations:   relations,
 		Prepared:    sess.preparedCount(),
 		IdleSeconds: int64(sess.idle(s.cfg.Clock()).Seconds()),
 	}
@@ -609,11 +626,15 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// Validation, classification, and program generation all read the
+	// session database; hold off concurrent mutations for the duration.
+	sess.dbMu.RLock()
+	defer sess.dbMu.RUnlock()
 	if err := q.Validate(sess.db); err != nil {
 		writeErr(w, err)
 		return
 	}
-	pq, certHit, err := sess.prepare(q, func() string {
+	pq, certs, certHit, err := sess.prepare(q, func() string {
 		// Cause programs (Theorem 3.4) exist for Boolean queries; a
 		// failed generation just leaves the field empty.
 		prog, err := causegen.Generate(q, causegen.HintsFromDB(sess.db))
@@ -631,8 +652,8 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		ID:                pq.id,
 		Database:          sess.id,
 		Query:             q.String(),
-		Class:             pq.certs.sound.Class.String(),
-		ClassPaper:        pq.certs.paper.Class.String(),
+		Class:             certs.sound.Class.String(),
+		ClassPaper:        certs.paper.Class.String(),
 		Program:           pq.program,
 		CertificateCached: certHit,
 	})
@@ -656,6 +677,11 @@ func (s *Server) explainHandler(whyNo, prepared bool) http.HandlerFunc {
 			return
 		}
 		defer sessRelease()
+		// Everything below evaluates over the session database (query
+		// validation, engine construction, ranking, DTO rendering);
+		// mutations serialize behind the whole request.
+		sess.dbMu.RLock()
+		defer sess.dbMu.RUnlock()
 		var req ExplainRequest
 		if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil && !errors.Is(err, io.EOF) {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -756,6 +782,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sessRelease()
+	// The batch evaluates over the session database end to end;
+	// mutations serialize behind it.
+	sess.dbMu.RLock()
+	defer sess.dbMu.RUnlock()
 	var req BatchExplainRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -900,6 +930,10 @@ func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sessRelease()
+	// Lineage computation reads the session database; mutations
+	// serialize behind the request.
+	sess.dbMu.RLock()
+	defer sess.dbMu.RUnlock()
 	var req CausesRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -969,6 +1003,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sessRelease()
+	// The stream ranks over the session database until the terminal
+	// event; mutations serialize behind the entire stream.
+	sess.dbMu.RLock()
+	defer sess.dbMu.RUnlock()
 	var req StreamExplainRequest
 	if err := decodeJSON(r, s.cfg.MaxBodyBytes, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -31,27 +31,44 @@ type certEntry struct {
 }
 
 // preparedQuery is a parsed, classified, rewritten query registered
-// against one session.
+// against one session. It deliberately does not pin a certificate
+// pair: certificates live in the session cache and are re-resolved per
+// use, so a mutation that flips a relation's endogeneity never leaves
+// a prepared query answering with a stale classification.
 type preparedQuery struct {
 	id      string
 	key     string // canonical query string, the prepared-LRU key
 	q       *rel.Query
-	certs   *certEntry
 	program string
+	// dbVersion is the session database version the program was
+	// generated against; a prepare hit at a newer version regenerates
+	// the program (its endogeneity hints may be stale). The struct is
+	// immutable after publication — regeneration swaps in a fresh one
+	// under the same id — so concurrent snapshots read it lock-free.
+	dbVersion uint64
 }
 
 // session is one registered database plus its caches. The database is
-// frozen after registration (no tuples are ever added), so any number
-// of explain requests may evaluate queries over it concurrently.
+// mutable: explain-family handlers hold dbMu for reading around
+// everything that evaluates over db (engine construction, ranking, DTO
+// rendering), and the mutation handlers hold it for writing while they
+// insert/delete tuples and invalidate the touched explanation state —
+// so any number of explains evaluate concurrently and mutations
+// serialize against them.
 type session struct {
 	id       string
 	db       *rel.Database
-	endo     int
+	endo     int // endogenous tuple count; guarded by dbMu
 	created  time.Time
 	lastUsed atomic.Int64 // unix nanos
-	// inflight counts explains currently inside the handler for this
-	// session; the per-session fairness budget sheds above it.
+	// inflight counts requests currently inside a handler for this
+	// session (explains and mutations): the per-session fairness budget
+	// sheds above it, and the eviction paths refuse to drop a session
+	// with in-flight work.
 	inflight atomic.Int64
+
+	// dbMu is the database mutation lock (see the type comment).
+	dbMu sync.RWMutex
 
 	// mu guards byID and nextQ; prepMu serializes prepare so concurrent
 	// identical prepares dedup to one id. Lock order: prepMu, then the
@@ -292,8 +309,7 @@ func (r *registry) add(db *rel.Database) *session {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for len(r.sessions) >= r.maxSessions {
-		r.evictLRULocked()
+	for len(r.sessions) >= r.maxSessions && r.evictLRULocked() {
 	}
 	r.nextID++
 	id := fmt.Sprintf("d%d", r.nextID)
@@ -351,30 +367,47 @@ func (r *registry) remove(id string) bool {
 	return true
 }
 
-// evictLRULocked drops the session with the oldest lastUsed time.
-func (r *registry) evictLRULocked() {
+// evictLRULocked drops the session with the oldest lastUsed time among
+// the ones with no in-flight work, reporting whether a victim was
+// found. Sessions with requests inside a handler are never evicted: a
+// long exact-mode explain must not have its session (and snapshot)
+// ripped out from under it. When every session is busy the registry
+// temporarily exceeds MaxSessions — bounded by the number of busy
+// sessions — instead of evicting live work.
+func (r *registry) evictLRULocked() bool {
 	var victim *session
 	for _, s := range r.sessions {
+		if s.inflight.Load() > 0 {
+			continue
+		}
 		if victim == nil || s.lastUsed.Load() < victim.lastUsed.Load() {
 			victim = s
 		}
 	}
 	if victim == nil {
-		return
+		return false
 	}
 	r.retireLocked(victim)
 	delete(r.sessions, victim.id)
 	r.evicted.Add(1)
+	return true
 }
 
 // evictIdle drops every session idle longer than ttl; the background
 // reaper calls it periodically. It returns the evicted session ids.
+// Sessions with in-flight work are deferred to a later sweep even if
+// their idle clock expired (the clock only ticks on request entry, so
+// a request that outlives the TTL would otherwise race its own
+// session's teardown).
 func (r *registry) evictIdle(ttl time.Duration) []string {
 	now := r.clock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var out []string
 	for id, s := range r.sessions {
+		if s.inflight.Load() > 0 {
+			continue
+		}
 		if s.idle(now) > ttl {
 			r.retireLocked(s)
 			delete(r.sessions, id)
@@ -441,31 +474,47 @@ func (r *registry) cacheStats() (certs, engines cache.Stats) {
 
 // prepare classifies and registers a query, generating the cause
 // program only on a miss. Preparing a textually identical query
-// returns the existing registration (and counts as a certificate hit);
-// the registry is a bounded LRU, so a client looping distinct prepares
-// recycles old ids instead of growing server memory.
-func (s *session) prepare(q *rel.Query, genProgram func() string) (*preparedQuery, bool, error) {
+// returns the existing registration; the registry is a bounded LRU, so
+// a client looping distinct prepares recycles old ids instead of
+// growing server memory. The certificate pair is re-resolved through
+// the session cache on every call (cheap when cached), so a prepared
+// hit after a mutation that invalidated the shape's certificates
+// reports the fresh classification, exactly like a cold server would.
+func (s *session) prepare(q *rel.Query, genProgram func() string) (*preparedQuery, *certEntry, bool, error) {
 	key := q.String()
 	s.prepMu.Lock()
 	defer s.prepMu.Unlock()
-	if pq, ok := s.prepared.Get(key); ok {
-		return pq, true, nil
-	}
 	certs, hit, err := s.certsFor(q)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
+	}
+	if pq, ok := s.prepared.Get(key); ok {
+		if v := s.db.Version(); v != pq.dbVersion {
+			// The database mutated since the program was generated: its
+			// endogeneity hints (causegen.HintsFromDB) may be stale.
+			// Re-register under the same id with a fresh program, so a
+			// re-prepare answers exactly like a cold server at this
+			// version. Put displaces the old entry (its onEvict removes
+			// the shared id from byID), so byID is repointed after.
+			pq = &preparedQuery{id: pq.id, key: key, q: pq.q, program: genProgram(), dbVersion: v}
+			s.prepared.Put(key, pq)
+			s.mu.Lock()
+			s.byID[pq.id] = pq
+			s.mu.Unlock()
+		}
+		return pq, certs, hit, nil
 	}
 	s.mu.Lock()
 	s.nextQ++
 	pq := &preparedQuery{
-		id:      fmt.Sprintf("q%d", s.nextQ),
-		key:     key,
-		q:       q,
-		certs:   certs,
-		program: genProgram(),
+		id:        fmt.Sprintf("q%d", s.nextQ),
+		key:       key,
+		q:         q,
+		program:   genProgram(),
+		dbVersion: s.db.Version(),
 	}
 	s.byID[pq.id] = pq
 	s.mu.Unlock()
 	s.prepared.Put(key, pq)
-	return pq, hit, nil
+	return pq, certs, hit, nil
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sync"
 	"sync/atomic"
 
 	"github.com/querycause/querycause/internal/core"
 	"github.com/querycause/querycause/internal/qerr"
+	"github.com/querycause/querycause/internal/server"
 )
 
 // Session is the explanation API over one database: the same
@@ -37,6 +39,20 @@ type Session interface {
 	// aborting the rest. It returns a non-nil error only when the
 	// whole batch failed (context canceled, transport down).
 	ExplainAll(ctx context.Context, reqs []BatchRequest, opts ...Option) ([]BatchResult, error)
+	// Insert appends tuples to the session database and returns their
+	// assigned tuple ids in request order. The batch is atomic: every
+	// tuple is validated (non-empty relation and arguments, consistent
+	// arity) before anything is applied, so an ErrBadInstance failure
+	// means the database is unchanged. A relation absent from the
+	// database is created on first insert. Mutations serialize against
+	// in-flight explains; Rankings opened before a mutation are stale —
+	// re-open the explanation to rank against the mutated database.
+	Insert(ctx context.Context, tuples ...TupleSpec) ([]TupleID, error)
+	// Delete removes one tuple by id. Ids are never reused: deleting
+	// an unknown or already-deleted id fails with ErrTupleNotFound,
+	// and historical explanations keep rendering the removed tuple.
+	// Like Insert, a delete invalidates Rankings opened before it.
+	Delete(ctx context.Context, id TupleID) error
 	// Close releases the session (and drops the server-side session on
 	// a Dial'ed one).
 	Close() error
@@ -69,10 +85,11 @@ type Ranking interface {
 	RankStream(ctx context.Context, opts ...Option) iter.Seq2[Explanation, error]
 }
 
-// Open returns an in-process Session over db. The database must not
-// be mutated while the session is in use. Options set the session's
-// defaults (mode, parallelism, timeout, streaming determinism);
-// per-call options override them.
+// Open returns an in-process Session over db. While the session is in
+// use the database must be mutated only through Session.Insert and
+// Session.Delete, which serialize against the session's explains.
+// Options set the session's defaults (mode, parallelism, timeout,
+// streaming determinism); per-call options override them.
 func Open(db *Database, opts ...Option) (Session, error) {
 	if db == nil {
 		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Open: nil database"))
@@ -89,8 +106,13 @@ func SortExplanations(exps []Explanation) { core.SortExplanations(exps) }
 // localSession is the in-process transport: a thin, option-aware
 // veneer over internal/core.
 type localSession struct {
-	db     *Database
-	cfg    config
+	db  *Database
+	cfg config
+	// dbMu serializes mutations (Insert/Delete, write-locked) against
+	// engine construction and batch evaluation (read-locked) — the same
+	// discipline the server applies per session. Rankings already
+	// opened hold self-contained engine state and need no lock.
+	dbMu   sync.RWMutex
 	closed atomic.Bool
 }
 
@@ -120,11 +142,13 @@ func (s *localSession) open(ctx context.Context, q *Query, answer []Value, whyNo
 	}
 	var eng *core.Engine
 	var err error
+	s.dbMu.RLock()
 	if whyNo {
 		eng, err = core.NewWhyNo(s.db, q, answer...)
 	} else {
 		eng, err = core.NewWhySo(s.db, q, answer...)
 	}
+	s.dbMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -148,10 +172,12 @@ func (s *localSession) ExplainAll(ctx context.Context, reqs []BatchRequest, opts
 	for i, r := range reqs {
 		creqs[i] = core.BatchRequest{Query: r.Query, Answer: r.Answer, WhyNo: r.WhyNo}
 	}
+	s.dbMu.RLock()
 	cres, err := core.ExplainBatch(ctx, s.db, creqs, core.BatchRunOptions{
 		Workers: cfg.parallelism,
 		Mode:    cfg.mode,
 	})
+	s.dbMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +186,49 @@ func (s *localSession) ExplainAll(ctx context.Context, reqs []BatchRequest, opts
 		results[i] = BatchResult{Request: reqs[i], Explanations: r.Explanations, Err: r.Err}
 	}
 	return results, nil
+}
+
+func (s *localSession) Insert(ctx context.Context, tuples ...TupleSpec) ([]TupleID, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if err := server.ValidateInsert(s.db, tuples); err != nil {
+		return nil, err
+	}
+	ids := make([]TupleID, 0, len(tuples))
+	for _, t := range tuples {
+		args := make([]Value, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Value(a)
+		}
+		id, err := s.db.Add(t.Rel, t.Endo, args...)
+		if err != nil {
+			// Unreachable after ValidateInsert; surface it anyway.
+			return ids, qerr.Tag(qerr.ErrBadInstance, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+func (s *localSession) Delete(ctx context.Context, id TupleID) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if !s.db.Live(id) {
+		return qerr.Tag(qerr.ErrTupleNotFound, fmt.Errorf("querycause: no live tuple %d", id))
+	}
+	return s.db.Delete(id)
 }
 
 func (s *localSession) Close() error {

@@ -1,0 +1,147 @@
+package querycause_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// bothTransportsFresh is bothTransports with a fresh database per
+// transport: mutation tests need it, because the remote transport
+// mirrors every acknowledged mutation into the database it was dialed
+// with — sharing one *Database across subtests would double-apply.
+func bothTransportsFresh(t *testing.T, mkDB func() *qc.Database, body func(t *testing.T, sess qc.Session)) {
+	t.Helper()
+	t.Run("local", func(t *testing.T) {
+		sess, err := qc.Open(mkDB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		body(t, sess)
+	})
+	t.Run("remote", func(t *testing.T) {
+		srv := server.New(server.Config{ReapInterval: -1})
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		sess, err := qc.Dial(context.Background(), ts.URL, mkDB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		body(t, sess)
+	})
+}
+
+func mutateChainDB() *qc.Database {
+	db := qc.NewDatabase()
+	db.MustAdd("R", true, "a4", "a3") // 0
+	db.MustAdd("S", true, "a3")       // 1
+	db.MustAdd("S", true, "a2")       // 2
+	db.MustAdd("R", true, "a5", "a2") // 3
+	return db
+}
+
+// TestSessionMutate: Insert and Delete behave identically on both
+// transports — ids assigned in order from a never-reused sequence, and
+// post-mutation rankings byte-identical to an in-process replay of the
+// same mutation sequence.
+func TestSessionMutate(t *testing.T) {
+	q, err := qc.ParseQuery("q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reference: replay the same mutations directly on a database
+	// and rank in-process. A fresh upload of the final state would
+	// renumber the tuples — the sequence is part of the contract.
+	ref := mutateChainDB()
+	ref.MustAdd("R", true, "a6", "a9") // 4
+	ref.MustAdd("S", true, "a9")       // 5
+	if err := ref.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	rank := func(t *testing.T, db *qc.Database, answer qc.Value) string {
+		t.Helper()
+		ex, err := qc.WhySo(db, q, answer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, ex.MustRank())
+	}
+	wantA4, wantA6 := rank(t, ref, "a4"), rank(t, ref, "a6")
+
+	bothTransportsFresh(t, mutateChainDB, func(t *testing.T, sess qc.Session) {
+		ctx := context.Background()
+		ids, err := sess.Insert(ctx,
+			qc.TupleSpec{Rel: "R", Args: []string{"a6", "a9"}, Endo: true},
+			qc.TupleSpec{Rel: "S", Args: []string{"a9"}, Endo: true})
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		if len(ids) != 2 || ids[0] != 4 || ids[1] != 5 {
+			t.Fatalf("Insert ids = %v, want [4 5]", ids)
+		}
+		if err := sess.Delete(ctx, 2); err != nil { // S(a2): kills answer a5
+			t.Fatalf("Delete: %v", err)
+		}
+		for _, tc := range []struct {
+			answer qc.Value
+			want   string
+		}{{"a4", wantA4}, {"a6", wantA6}} {
+			r, err := sess.WhySo(ctx, q, tc.answer)
+			if err != nil {
+				t.Fatalf("WhySo %s after mutations: %v", tc.answer, err)
+			}
+			got, err := r.Rank(ctx)
+			if err != nil {
+				t.Fatalf("Rank %s: %v", tc.answer, err)
+			}
+			if s := mustJSON(t, got); s != tc.want {
+				t.Errorf("ranking of %s diverges from in-process replay:\n got %s\nwant %s", tc.answer, s, tc.want)
+			}
+		}
+
+		// Dead and unknown ids fail with the tuple-not-found sentinel.
+		if err := sess.Delete(ctx, 2); !errors.Is(err, qc.ErrTupleNotFound) {
+			t.Errorf("double Delete: err = %v; want ErrTupleNotFound", err)
+		}
+		if err := sess.Delete(ctx, 99); !errors.Is(err, qc.ErrTupleNotFound) {
+			t.Errorf("Delete of unknown id: err = %v; want ErrTupleNotFound", err)
+		}
+		// Bad batches fail atomically with ErrBadInstance...
+		if _, err := sess.Insert(ctx); !errors.Is(err, qc.ErrBadInstance) {
+			t.Errorf("empty Insert: err = %v; want ErrBadInstance", err)
+		}
+		if _, err := sess.Insert(ctx,
+			qc.TupleSpec{Rel: "S", Args: []string{"ok"}, Endo: true},
+			qc.TupleSpec{Rel: "S", Args: []string{"too", "wide"}, Endo: true},
+		); !errors.Is(err, qc.ErrBadInstance) {
+			t.Errorf("arity-mismatch Insert: err = %v; want ErrBadInstance", err)
+		}
+		// ...so the next id proves the half-good batch applied nothing.
+		ids, err = sess.Insert(ctx, qc.TupleSpec{Rel: "S", Args: []string{"a8"}, Endo: true})
+		if err != nil {
+			t.Fatalf("Insert after rejected batch: %v", err)
+		}
+		if len(ids) != 1 || ids[0] != 6 {
+			t.Fatalf("Insert after rejected batch ids = %v, want [6]", ids)
+		}
+
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Insert(ctx, qc.TupleSpec{Rel: "S", Args: []string{"x"}}); !errors.Is(err, qc.ErrSessionClosed) {
+			t.Errorf("Insert after Close: err = %v; want ErrSessionClosed", err)
+		}
+		if err := sess.Delete(ctx, 0); !errors.Is(err, qc.ErrSessionClosed) {
+			t.Errorf("Delete after Close: err = %v; want ErrSessionClosed", err)
+		}
+	})
+}

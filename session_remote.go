@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,10 +59,14 @@ func Dial(ctx context.Context, baseURL string, db *Database, opts ...Option) (Se
 
 // remoteSession is the HTTP transport of the Session interface.
 type remoteSession struct {
-	c      *Client
-	db     *Database
-	dbID   string
-	cfg    config
+	c    *Client
+	db   *Database
+	dbID string
+	cfg  config
+	// dbMu guards the local mirror of the server-side database: Insert
+	// and Delete replay every acknowledged mutation into db so the
+	// shared tuple-ID space invariant (see Dial) survives mutations.
+	dbMu   sync.Mutex
 	closed atomic.Bool
 }
 
@@ -149,6 +154,66 @@ func (s *remoteSession) ExplainAll(ctx context.Context, reqs []BatchRequest, opt
 		results[i].Explanations = explanationsFromDTOs(item.Explanations)
 	}
 	return results, nil
+}
+
+// Insert sends the batch to the server and, once acknowledged, replays
+// it into the local database so tuple ids stay aligned across the
+// transports. A drift between the server-assigned ids and the local
+// replay (possible only if the caller mutated db behind the session's
+// back) is reported as an error rather than silently misaligning every
+// later explanation.
+func (s *remoteSession) Insert(ctx context.Context, tuples ...TupleSpec) ([]TupleID, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	cctx, cancel := s.cfg.withTimeout(ctx)
+	defer cancel()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	resp, err := s.c.InsertTuples(cctx, s.dbID, tuples)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.TupleIDs) != len(tuples) {
+		return nil, fmt.Errorf("querycaused: insert returned %d ids for %d tuples", len(resp.TupleIDs), len(tuples))
+	}
+	ids := make([]TupleID, len(tuples))
+	for i, t := range tuples {
+		args := make([]Value, len(t.Args))
+		for j, a := range t.Args {
+			args[j] = Value(a)
+		}
+		id, err := s.db.Add(t.Rel, t.Endo, args...)
+		if err != nil {
+			return nil, fmt.Errorf("querycause: mirroring insert locally: %w", err)
+		}
+		if int(id) != resp.TupleIDs[i] {
+			return nil, fmt.Errorf("querycause: tuple-id drift: server assigned %d, local mirror %d — the database was mutated outside the session", resp.TupleIDs[i], id)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// Delete removes the tuple server-side, then mirrors the deletion into
+// the local database (see Insert).
+func (s *remoteSession) Delete(ctx context.Context, id TupleID) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	cctx, cancel := s.cfg.withTimeout(ctx)
+	defer cancel()
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if _, err := s.c.DeleteTuple(cctx, s.dbID, int(id)); err != nil {
+		return err
+	}
+	if s.db.Live(id) {
+		if err := s.db.Delete(id); err != nil {
+			return fmt.Errorf("querycause: mirroring delete locally: %w", err)
+		}
+	}
+	return nil
 }
 
 // Close drops the server-side session. It uses its own short deadline
