@@ -63,6 +63,16 @@ type (
 	// delete: the new mutation version, the live tuple count, assigned
 	// ids, and how much cached explanation state the mutation dropped.
 	MutateResponse = server.MutateResponse
+	// WatchRequest subscribes to live diff frames for one explanation.
+	WatchRequest = server.WatchRequest
+	// DiffEvent is one frame of a watch stream: a snapshot, a diff
+	// (causes added/removed, ranks changed), a full_resync, or an
+	// in-band error. See the type's protocol documentation for the
+	// replay contract.
+	DiffEvent = server.WatchEvent
+	// RankChange reports one cause whose explanation changed in a diff
+	// frame.
+	RankChange = server.RankChangeDTO
 )
 
 // Client is a thin Go client for a querycaused server.
@@ -392,35 +402,10 @@ func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExpl
 			yield(ExplanationDTO{}, err)
 			return
 		}
-		url := c.base + "/v1/databases/" + dbID + "/explain/stream"
-		var resp *http.Response
-		for hop := 0; ; hop++ {
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
-			if err != nil {
-				yield(ExplanationDTO{}, err)
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			req.GetBody = nil // same one-hop cluster redirect policy as doOnce
-			resp, err = c.http.Do(req)
-			if err != nil {
-				yield(ExplanationDTO{}, err)
-				return
-			}
-			if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
-				loc, err := redirectTarget(resp)
-				if err != nil {
-					yield(ExplanationDTO{}, err)
-					return
-				}
-				if hop > 0 {
-					yield(ExplanationDTO{}, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc))
-					return
-				}
-				url = loc
-				continue
-			}
-			break
+		resp, err := c.openStream(ctx, c.base+"/v1/databases/"+dbID+"/explain/stream", raw)
+		if err != nil {
+			yield(ExplanationDTO{}, err)
+			return
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode < 200 || resp.StatusCode > 299 {
@@ -459,6 +444,89 @@ func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExpl
 		if !sawTerminal {
 			yield(ExplanationDTO{}, fmt.Errorf("querycaused: stream ended without a terminal event"))
 		}
+	}
+}
+
+// openStream POSTs raw JSON to url and returns the (streaming)
+// response, following at most one cluster redirect — the same one-hop
+// policy as doOnce. The caller owns the response body.
+func (c *Client) openStream(ctx context.Context, url string, raw []byte) (*http.Response, error) {
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.GetBody = nil // same one-hop cluster redirect policy as doOnce
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+			loc, err := redirectTarget(resp)
+			if err != nil {
+				return nil, err
+			}
+			if hop > 0 {
+				return nil, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc)
+			}
+			url = loc
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// WatchStream subscribes to the live explanation of one answer or
+// non-answer (POST /v1/databases/{db}/watch) and returns an iterator
+// over its DiffEvent frames: first a snapshot of the current ranking,
+// then exactly one frame per mutation request against the session — a
+// diff when the mutation can affect the watched query, an empty
+// version-bump otherwise. Frames with Type "error" report a re-rank
+// failure in-band (the subscription stays open and recovers with a
+// full_resync), so they arrive as events with a nil iteration error.
+// The sequence is single-use; breaking out of the range closes the
+// subscription. A watch has no terminal event — the sequence ends
+// with a non-nil error when the context is canceled, the transport
+// fails, or the server closes the stream.
+func (c *Client) WatchStream(ctx context.Context, dbID string, wreq WatchRequest) iter.Seq2[DiffEvent, error] {
+	return func(yield func(DiffEvent, error) bool) {
+		raw, err := json.Marshal(wreq)
+		if err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		resp, err := c.openStream(ctx, c.base+"/v1/databases/"+dbID+"/watch", raw)
+		if err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			yield(DiffEvent{}, decodeAPIError(resp))
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev DiffEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				yield(DiffEvent{}, fmt.Errorf("querycaused: malformed watch frame: %w", err))
+				return
+			}
+			if !yield(ev, nil) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		yield(DiffEvent{}, fmt.Errorf("querycaused: watch stream closed by the server"))
 	}
 }
 

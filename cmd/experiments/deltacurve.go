@@ -1,0 +1,382 @@
+// The deltacurve experiment: what the delta-maintenance layer saves
+// over dropping engines cold, by database size. For each size it boots
+// two in-process querycaused servers — one with delta maintenance on
+// (the default), one with Config.DisableDelta — uploads the same
+// synthetic IMDB instance to both, warms the Musical answer of the
+// Fig. 1 genre query, and replays an identical mutation sequence on
+// each:
+//
+//   - K probe inserts into Genre, the relation the query mentions: the
+//     cached engine is stale by the invalidation rules either way, but
+//     the delta server patches its lineage in place (the re-explain is
+//     a cache hit) while the cold server drops it and rebuilds the
+//     lineage from scratch on the next explain;
+//   - one exogenous delete (removing a probe): the delta layer cannot
+//     prove an exogenous delete safe, so it declines — a recorded
+//     fallback — and both servers rebuild. The fallback rate per point
+//     comes from the /v1/stats delta counters, so the baseline records
+//     how often the patch path actually held, not just how fast it was;
+//   - and, as a correctness gate, the final rankings of both arms are
+//     byte-compared against each other and against a genuinely cold
+//     session uploaded at the final version.
+//
+// The default sizes put ≈10k, ≈100k and ≈1M tuples on the curve. The
+// experiment fails if the delta arm does not beat the cold-rebuild arm
+// at ≥100k tuples, if it ever loses to the full re-upload strawman, or
+// if any ranking comparison differs. Results go to -delta-out
+// (BENCH_delta.json); like the other curve experiments it writes a
+// file and is excluded from -run all.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/imdb"
+	"github.com/querycause/querycause/internal/server"
+)
+
+var (
+	deltaOut   = flag.String("delta-out", "BENCH_delta.json", "output path for the deltacurve baseline")
+	deltaSizes = flag.String("delta-sizes", "1000,10300,103000", "comma-separated director counts for -run deltacurve (defaults span ≈10k/100k/1M tuples)")
+	deltaMuts  = flag.Int("delta-muts", 4, "patchable probe inserts per point (each followed by a re-explain)")
+)
+
+type deltaPoint struct {
+	Directors int `json:"directors"`
+	Tuples    int `json:"tuples"`
+	Causes    int `json:"causes"`
+	Mutations int `json:"mutations"`
+
+	// The delta arm: each probe insert patches the cached engine in
+	// place, so the re-explain is served warm. Sums over the K inserts.
+	DeltaMutateMs    float64 `json:"delta_mutate_ms"`
+	DeltaReexplainMs float64 `json:"delta_reexplain_ms"`
+	DeltaTotalMs     float64 `json:"delta_total_ms"`
+
+	// The cold arm (DisableDelta): the same inserts drop the engine,
+	// so every re-explain rebuilds the lineage. Sums over the K inserts.
+	ColdMutateMs    float64 `json:"cold_mutate_ms"`
+	ColdReexplainMs float64 `json:"cold_reexplain_ms"`
+	ColdTotalMs     float64 `json:"cold_total_ms"`
+
+	// The fastest single round (mutate + re-explain) of each arm: the
+	// acceptance gate compares these, because the per-round minimum
+	// strips one-sided scheduling/GC noise that sums of single cold
+	// runs cannot.
+	DeltaRoundMinMs float64 `json:"delta_round_min_ms"`
+	ColdRoundMinMs  float64 `json:"cold_round_min_ms"`
+
+	// The exogenous-delete probe: the delta layer declines it (a
+	// fallback), so both arms rebuild on the next explain.
+	FallbackReexplainMs float64 `json:"fallback_reexplain_ms"`
+
+	// The full re-upload strawman: uploading the final database fresh
+	// and explaining cold (also the correctness gate's cold session).
+	// Delta maintenance must never lose to it.
+	ReuploadMs float64 `json:"reupload_ms"`
+
+	// Delta counters for this point, read from the delta server's
+	// /v1/stats before and after the sequence.
+	Patched      uint64  `json:"engines_patched"`
+	Fallbacks    uint64  `json:"delta_fallbacks"`
+	FallbackRate float64 `json:"fallback_rate"`
+
+	SpeedupX float64 `json:"speedup_x"`
+}
+
+type deltaReport struct {
+	Bench   string       `json:"bench"`
+	GOOS    string       `json:"goos"`
+	GOARCH  string       `json:"goarch"`
+	CPUs    int          `json:"cpus"`
+	Query   string       `json:"query"`
+	Points  []deltaPoint `json:"points"`
+	Note    string       `json:"note"`
+	Command string       `json:"command"`
+}
+
+// deltaArm is one side of the comparison: a warmed session on either
+// the delta-enabled or the DisableDelta server, with its timing sums.
+// The two arms are driven in lockstep — round i inserts the same probe
+// into both and re-explains both back to back — so ambient noise (GC,
+// a shared CPU) lands on both sides of the comparison instead of
+// skewing whichever arm happened to run second.
+type deltaArm struct {
+	name      string
+	c         *qc.Client
+	id        string
+	wantPatch bool
+
+	mutateMs    float64
+	reexplainMs float64
+	fallbackMs  float64
+	// rounds holds each round's mutate+re-explain total. The acceptance
+	// gate compares the per-round minimums: the minimum strips the
+	// one-sided noise (GC pauses, a busy shared CPU) that can swamp sums
+	// of single cold runs, leaving the systematic cost difference.
+	rounds []float64
+	causes int
+	tuples int
+	lastID int
+	final  []qc.ExplanationDTO
+}
+
+func (a *deltaArm) open(ctx context.Context, cfg imdb.Config, req qc.ExplainRequest) {
+	db := imdb.Synthetic(cfg)
+	a.tuples = db.NumTuples()
+	info, err := a.c.UploadDB(ctx, db)
+	if err != nil {
+		log.Fatalf("deltacurve: %s upload: %v", a.name, err)
+	}
+	a.id = info.ID
+	first, err := a.c.WhySo(ctx, a.id, "", req)
+	if err != nil {
+		log.Fatalf("deltacurve: %s first explain: %v", a.name, err)
+	}
+	a.causes = len(first.Explanations)
+	a.final = first.Explanations
+}
+
+// round applies probe insert i — into Genre, which the query mentions,
+// joining no movie, so the ranking cannot change and only the
+// maintenance path differs between the arms — and re-explains.
+func (a *deltaArm) round(ctx context.Context, req qc.ExplainRequest, i int) {
+	spec := qc.TupleSpec{Rel: "Genre", Args: []string{fmt.Sprintf("m-delta-probe-%d", i), "Horror"}}
+	start := time.Now()
+	mr, err := a.c.InsertTuples(ctx, a.id, []qc.TupleSpec{spec})
+	if err != nil {
+		log.Fatalf("deltacurve: %s probe insert %d: %v", a.name, i, err)
+	}
+	mutate := ms(time.Since(start))
+	a.mutateMs += mutate
+	if a.wantPatch && (mr.EnginesPatched == 0 || mr.EnginesInvalidated != 0) {
+		log.Fatalf("deltacurve: delta insert %d patched %d engines, invalidated %d; want ≥1, 0", i, mr.EnginesPatched, mr.EnginesInvalidated)
+	}
+	if !a.wantPatch && (mr.EnginesInvalidated == 0 || mr.EnginesPatched != 0) {
+		log.Fatalf("deltacurve: cold insert %d invalidated %d engines, patched %d; want ≥1, 0", i, mr.EnginesInvalidated, mr.EnginesPatched)
+	}
+	a.lastID = mr.TupleIDs[len(mr.TupleIDs)-1]
+	start = time.Now()
+	res, err := a.c.WhySo(ctx, a.id, "", req)
+	if err != nil {
+		log.Fatalf("deltacurve: %s re-explain %d: %v", a.name, i, err)
+	}
+	reexplain := ms(time.Since(start))
+	a.reexplainMs += reexplain
+	a.rounds = append(a.rounds, mutate+reexplain)
+	if res.EngineCached != a.wantPatch {
+		log.Fatalf("deltacurve: %s re-explain %d: engine_cached=%v, want %v", a.name, i, res.EngineCached, a.wantPatch)
+	}
+}
+
+// minRound is the arm's fastest mutate+re-explain round.
+func (a *deltaArm) minRound() float64 {
+	min := a.rounds[0]
+	for _, r := range a.rounds[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// finish deletes the last probe — an exogenous delete the delta layer
+// cannot prove safe, so it declines (a recorded fallback) and both
+// arms rebuild on the next explain — then checks the ranking never
+// moved and drops the session.
+func (a *deltaArm) finish(ctx context.Context, req qc.ExplainRequest) {
+	mr, err := a.c.DeleteTuple(ctx, a.id, a.lastID)
+	if err != nil {
+		log.Fatalf("deltacurve: %s probe delete: %v", a.name, err)
+	}
+	if mr.EnginesInvalidated == 0 || mr.EnginesPatched != 0 {
+		log.Fatalf("deltacurve: %s probe delete invalidated %d engines, patched %d; want ≥1, 0", a.name, mr.EnginesInvalidated, mr.EnginesPatched)
+	}
+	start := time.Now()
+	res, err := a.c.WhySo(ctx, a.id, "", req)
+	if err != nil {
+		log.Fatalf("deltacurve: %s fallback re-explain: %v", a.name, err)
+	}
+	a.fallbackMs = ms(time.Since(start))
+	if res.EngineCached {
+		log.Fatalf("deltacurve: %s re-explain after exogenous delete was served from cache", a.name)
+	}
+	if !sameExplanations(res.Explanations, a.final) {
+		log.Fatalf("deltacurve: %s ranking changed after no-op probes", a.name)
+	}
+	a.final = res.Explanations
+	if err := a.c.DropDatabase(ctx, a.id); err != nil {
+		log.Fatalf("deltacurve: drop %s: %v", a.id, err)
+	}
+}
+
+// deltaCurve runs the size curve and writes the BENCH_delta.json
+// baseline.
+func deltaCurve() {
+	header("Delta curve: patched lineage maintenance vs cold engine drops by database size")
+	var sizes []int
+	for _, s := range strings.Split(*deltaSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("deltacurve: bad -delta-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	k := *deltaMuts
+	if k <= 0 {
+		log.Fatalf("deltacurve: -delta-muts must be positive, got %d", k)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Minute)
+	defer cancel()
+
+	// One server pair for the whole curve: the delta arm runs the
+	// default config, the cold arm runs with delta maintenance off.
+	newSrv := func(disable bool) (*qc.Client, func()) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		srv := server.New(server.Config{ReapInterval: -1, MaxSessions: 16, MaxBodyBytes: 256 << 20, DisableDelta: disable})
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return qc.NewClient("http://"+ln.Addr().String(), nil), func() {
+			hs.Close()
+			srv.Close()
+		}
+	}
+	deltaC, closeDelta := newSrv(false)
+	defer closeDelta()
+	coldC, closeCold := newSrv(true)
+	defer closeCold()
+
+	genre := imdb.GenreQuery()
+	req := qc.ExplainRequest{Query: genre.String(), Answer: []string{"Musical"}}
+	rep := deltaReport{
+		Bench:  "delta",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Query:  genre.String(),
+		Note: fmt.Sprintf("genre query bound to the Musical answer on synthetic IMDB (BurtonShare=0.02); both arms replay %d Genre probe inserts (each + re-explain, interleaved round by round) and one exogenous delete; "+
+			"delta arm patches cached lineage in place (engines_patched), cold arm (DisableDelta) drops and rebuilds; fallback counters come from /v1/stats; "+
+			"final rankings are byte-compared across arms and against a cold session at the final version; totals are sums of single cold runs, the ≥100k acceptance gate compares the per-round minimums", k),
+		Command: fmt.Sprintf("experiments -run deltacurve -delta-sizes %s -delta-muts %d", *deltaSizes, k),
+	}
+
+	fmt.Printf("%-10s %-10s %-8s %-13s %-13s %-11s %-11s %-9s %-10s %-9s\n",
+		"directors", "tuples", "causes", "delta(k muts)", "cold(k muts)", "delta(best)", "cold(best)", "patched", "fallbacks", "speedup")
+	for _, nd := range sizes {
+		cfg := imdb.Config{Seed: 7, Directors: nd, BurtonShare: 0.02}
+		before, err := deltaC.Stats(ctx)
+		if err != nil {
+			log.Fatalf("deltacurve: stats: %v", err)
+		}
+		da := &deltaArm{name: "delta", c: deltaC, wantPatch: true}
+		ca := &deltaArm{name: "cold", c: coldC}
+		da.open(ctx, cfg, req)
+		ca.open(ctx, cfg, req)
+		for i := 0; i < k; i++ {
+			da.round(ctx, req, i)
+			ca.round(ctx, req, i)
+		}
+		da.finish(ctx, req)
+		ca.finish(ctx, req)
+		after, err := deltaC.Stats(ctx)
+		if err != nil {
+			log.Fatalf("deltacurve: stats: %v", err)
+		}
+		if !sameExplanations(da.final, ca.final) {
+			log.Fatalf("deltacurve: arms diverge at %d directors", nd)
+		}
+
+		// The cold-session gate: a fresh upload at the final version must
+		// rank byte-identically to both arms' surviving state.
+		final := imdb.Synthetic(cfg)
+		for i := 0; i < k-1; i++ {
+			final.MustAdd("Genre", false, qc.Value(fmt.Sprintf("m-delta-probe-%d", i)), "Horror")
+		}
+		verifyStart := time.Now()
+		verifyInfo, err := deltaC.UploadDB(ctx, final)
+		if err != nil {
+			log.Fatalf("deltacurve: verify upload: %v", err)
+		}
+		verify, err := deltaC.WhySo(ctx, verifyInfo.ID, "", req)
+		if err != nil {
+			log.Fatalf("deltacurve: verify explain: %v", err)
+		}
+		reuploadMs := ms(time.Since(verifyStart))
+		if !sameExplanations(da.final, verify.Explanations) {
+			log.Fatalf("deltacurve: patched ranking diverged from the cold rebuild at %d directors", nd)
+		}
+		if err := deltaC.DropDatabase(ctx, verifyInfo.ID); err != nil {
+			log.Fatalf("deltacurve: drop %s: %v", verifyInfo.ID, err)
+		}
+
+		pt := deltaPoint{
+			Directors:           nd,
+			Tuples:              da.tuples,
+			Causes:              da.causes,
+			Mutations:           k,
+			DeltaMutateMs:       da.mutateMs,
+			DeltaReexplainMs:    da.reexplainMs,
+			DeltaTotalMs:        da.mutateMs + da.reexplainMs,
+			ColdMutateMs:        ca.mutateMs,
+			ColdReexplainMs:     ca.reexplainMs,
+			ColdTotalMs:         ca.mutateMs + ca.reexplainMs,
+			DeltaRoundMinMs:     da.minRound(),
+			ColdRoundMinMs:      ca.minRound(),
+			FallbackReexplainMs: da.fallbackMs,
+			ReuploadMs:          reuploadMs,
+			Patched:             after.EnginesPatched - before.EnginesPatched,
+			Fallbacks:           after.DeltaFallbacks - before.DeltaFallbacks,
+		}
+		if n := pt.Patched + pt.Fallbacks; n > 0 {
+			pt.FallbackRate = float64(pt.Fallbacks) / float64(n)
+		}
+		if pt.DeltaTotalMs > 0 {
+			pt.SpeedupX = pt.ColdTotalMs / pt.DeltaTotalMs
+		}
+		fmt.Printf("%-10d %-10d %-8d %-13s %-13s %-11s %-11s %-9d %-10d %.1fx\n",
+			pt.Directors, pt.Tuples, pt.Causes, fmtMs(pt.DeltaTotalMs), fmtMs(pt.ColdTotalMs),
+			fmtMs(pt.DeltaRoundMinMs), fmtMs(pt.ColdRoundMinMs), pt.Patched, pt.Fallbacks, pt.SpeedupX)
+		rep.Points = append(rep.Points, pt)
+	}
+
+	// The acceptance bar: at ≥100k tuples the delta-maintained arm must
+	// beat dropping engines cold, compared on the fastest round of each
+	// arm (the noise-resistant estimate of each path's true cost).
+	for _, pt := range rep.Points {
+		if pt.Tuples >= 100_000 && pt.DeltaRoundMinMs >= pt.ColdRoundMinMs {
+			fmt.Fprintf(os.Stderr, "deltacurve: delta maintenance (best round %.1fms) did not beat cold drops (best round %.1fms) at %d tuples\n",
+				pt.DeltaRoundMinMs, pt.ColdRoundMinMs, pt.Tuples)
+			os.Exit(1)
+		}
+		if pt.DeltaRoundMinMs >= pt.ReuploadMs {
+			fmt.Fprintf(os.Stderr, "deltacurve: delta maintenance (best round %.1fms) lost to a full re-upload (%.1fms) at %d tuples\n",
+				pt.DeltaRoundMinMs, pt.ReuploadMs, pt.Tuples)
+			os.Exit(1)
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*deltaOut, append(raw, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deltacurve: baseline written to %s\n", *deltaOut)
+}

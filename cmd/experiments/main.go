@@ -15,13 +15,18 @@
 //	            [-cluster-clients N] [-cluster-requests N]
 //	experiments -run mutatecurve [-mutate-out BENCH_mutate.json]
 //	            [-mutate-sizes 1000,10300,103000]
+//	experiments -run deltacurve [-delta-out BENCH_delta.json]
+//	            [-delta-sizes 1000,10300,103000] [-delta-muts 4]
 //
 // The exactcurve experiment regenerates the exact-solver cost curve
 // and ablation baseline (see exactcurve.go); evalcurve records the
 // naive-vs-planned data-plane size curve (see evalcurve.go);
 // mutatecurve records the incremental re-explain vs cold-rebuild
-// latency curve over a mutable session (see mutatecurve.go). All
-// three write files, so they are excluded from -run all.
+// latency curve over a mutable session (see mutatecurve.go);
+// deltacurve records what the delta-maintenance layer saves over
+// dropping engines cold, with the fallback rate per point (see
+// deltacurve.go). All four write files, so they are excluded from
+// -run all.
 //
 // -parallel sets the worker count used by the ranking experiments
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
@@ -86,6 +91,7 @@ func main() {
 		"evalcurve":   evalCurve,
 		"cluster":     clusterSoak,
 		"mutatecurve": mutateCurve,
+		"deltacurve":  deltaCurve,
 	}
 	// load needs a running server, and the curve/cluster experiments
 	// write bench files, so none of them is part of "all".
@@ -98,7 +104,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster mutatecurve\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster mutatecurve deltacurve\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

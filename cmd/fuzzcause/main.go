@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clustEvery  = fs.Int("cluster-every", 8, "replay every k-th instance through the cluster differential")
 		mutateDiff  = fs.Bool("mutate-diff", true, "also replay random mutation sequences: incremental session state must equal a cold rebuild at the final version")
 		mutateEvery = fs.Int("mutate-every", 8, "replay every k-th instance through the mutation differential")
+		watchDiff   = fs.Bool("watch-diff", true, "also replay mutation sequences under a live watch: the DiffEvent replay must byte-equal a cold ranking at every version")
+		watchEvery  = fs.Int("watch-every", 8, "replay every k-th instance through the watch differential")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
 		plannerDiff = fs.Bool("planner-diff", true, "differential-test the planned streaming evaluator against the naive reference on every instance")
 		evalEvery   = fs.Int("eval-every", 1, "apply the naive-vs-planned evaluator differential to every k-th instance")
@@ -135,6 +137,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer md.Close()
 		opts.Mutate = md
 		opts.MutateEvery = *mutateEvery
+	}
+	if *watchDiff {
+		wd := difftest.NewWatchDiff()
+		defer wd.Close()
+		opts.Watch = wd
+		opts.WatchEvery = *watchEvery
 	}
 
 	start := time.Now()

@@ -25,6 +25,7 @@
 //	POST /v1/databases/{db}/queries   prepare a query (classify + rewrite once)
 //	POST /v1/databases/{db}/queries/{q}/whyso | whyno
 //	POST /v1/databases/{db}/batch     ExplainAll over one session
+//	POST /v1/databases/{db}/watch     live NDJSON diff stream for one answer
 //	GET  /healthz, GET /v1/stats
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
@@ -62,6 +63,8 @@ func main() {
 		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request timeout, admission queueing included")
 		drainTimeout  = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget before in-flight work is canceled")
 		sessionBudget = flag.Int("session-budget", 0, "max concurrent explains per session before shedding (0 = unlimited)")
+		watchBudget   = flag.Int("watch-budget", 0, "max concurrent watch subscriptions per session before shedding (0 = unlimited)")
+		noDelta       = flag.Bool("no-delta", false, "drop stale engines cold on mutation instead of delta-patching their lineage")
 		persistDir    = flag.String("persist-dir", "", "directory for write-behind session snapshots (empty = no persistence)")
 		persistEvery  = flag.Duration("persist-interval", 2*time.Second, "write-behind flush interval (<0 = flush only on drain)")
 		self          = flag.String("self", "", "this node's base URL as peers reach it (enables clustering with -peers)")
@@ -78,6 +81,8 @@ func main() {
 		Parallelism:     *parallel,
 		RequestTimeout:  *reqTimeout,
 		SessionBudget:   *sessionBudget,
+		WatchBudget:     *watchBudget,
+		DisableDelta:    *noDelta,
 		PersistInterval: *persistEvery,
 		ClusterProxy:    *clusterProxy,
 	}

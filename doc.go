@@ -82,6 +82,39 @@
 // differential harness holds the surviving state byte-identical to a
 // cold rebuild at the final version.
 //
+// # Live explanations
+//
+// Session.Watch turns an explanation from a poll into a subscription:
+// it yields a snapshot of the current ranking and then one diff frame
+// per mutation call, each carrying the causes added and removed, the
+// causes whose responsibility changed (old ρ, new ρ, new
+// explanation), and the database version it brings the subscriber to:
+//
+//	for ev, err := range sess.Watch(ctx, qc.WatchSpec{Query: q, Answer: []qc.Value{"a4"}}) {
+//	    if err != nil { ... }              // terminal: cancellation or setup
+//	    state = qc.ApplyDiff(state, ev)    // replay ≡ cold Rank at ev.Version
+//	}
+//
+// ApplyDiff is the canonical replay, and the contract it folds over is
+// enforced by the differential harness: after any mutation sequence,
+// the replayed frames equal a cold ranking at the final version byte
+// for byte, on both transports (remotely the stream is NDJSON from
+// POST …/watch, routed to the session's owning node on a cluster). A
+// slow consumer is never left silently stale — when its frame buffer
+// overflows, the backlog is dropped and a full_resync frame carries
+// the complete current ranking instead. WhyNo watches subscribe to a
+// non-answer the same way.
+//
+// Under the hood, mutations keep watched engines warm through delta
+// maintenance (internal/delta): instead of dropping a cached engine
+// whose relation was touched, the server patches its lineage DNF in
+// place when the patch is provably equivalent (endogenous inserts and
+// deletes; exogenous deletes and why-no engines fall back cold), so
+// the re-ranking behind each diff frame skips re-evaluating the
+// query. The mutate response and /v1/stats report the split
+// (engines_patched vs delta_fallbacks); BENCH_delta.json records the
+// win over cold rebuilds on the million-tuple curve.
+//
 // # Streaming rankings
 //
 // The dichotomy makes full rankings either instant (max-flow) or

@@ -215,6 +215,24 @@ func newEngine(db *rel.Database, bq *rel.Query, isWhyNo bool) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return engineFromLineage(db, bq, n, isWhyNo), nil
+}
+
+// NewWhySoFromLineage builds a Why-So engine around an externally
+// maintained minimal endogenous lineage, skipping the evaluation pass
+// entirely. The delta-maintenance layer (internal/delta) uses it to
+// revive an invalidated engine from a patched DNF; the caller is
+// responsible for n being exactly the minimal Φⁿ of bq on db (the
+// differential harness holds patched engines byte-identical to cold
+// ones). bq must already be Boolean (answer bound).
+func NewWhySoFromLineage(db *rel.Database, bq *rel.Query, n lineage.DNF) (*Engine, error) {
+	if err := bq.Validate(db); err != nil {
+		return nil, err
+	}
+	return engineFromLineage(db, bq, n, false), nil
+}
+
+func engineFromLineage(db *rel.Database, bq *rel.Query, n lineage.DNF, isWhyNo bool) *Engine {
 	e := &Engine{
 		db: db, q: bq, whyNo: isWhyNo,
 		nlineage: n,
@@ -228,7 +246,7 @@ func newEngine(db *rel.Database, bq *rel.Query, isWhyNo bool) (*Engine, error) {
 			e.causeSet[id] = true
 		}
 	}
-	return e, nil
+	return e
 }
 
 // Causes returns all actual causes, sorted by tuple ID (Theorem 3.2).
@@ -241,6 +259,11 @@ func (e *Engine) NLineage() lineage.DNF { return e.nlineage }
 
 // Query returns the bound Boolean query the engine explains.
 func (e *Engine) Query() *rel.Query { return e.q }
+
+// WhyNo reports whether the engine explains a non-answer. The
+// delta-maintenance layer branches on it: Why-No lineage is computed
+// over a hypothetical instance and is never patched incrementally.
+func (e *Engine) WhyNo() bool { return e.whyNo }
 
 // Touches reports (in O(1)) whether the identified tuple occurs in the
 // engine's minimal endogenous lineage. A mutation of a tuple the

@@ -1,0 +1,171 @@
+// Package delta maintains cached explanation state under tuple
+// mutations, replacing the cold rebuild that PR-8-style invalidation
+// forces with an in-place patch of the minimal endogenous lineage
+// (Definition 3.1 / Theorem 3.2 of Meliou et al., VLDB 2010).
+//
+// The two provable patch rules:
+//
+//   - Insert: the lineage delta of one inserted tuple is exactly the
+//     conjuncts of the valuations whose witness uses that tuple, which
+//     the planned pipeline computes directly with one atom position
+//     pinned to the new row (ra.NLineageConjunctsPinned) — one pinned
+//     evaluation per atom occurrence of the mutated relation, so
+//     self-joins are covered by the union. Merging the delta into the
+//     cached minimal DNF and re-minimizing yields the same unique
+//     minimal antichain a cold evaluation would, because every minimal
+//     conjunct of (old ∪ delta) is minimal in (min(old) ∪ delta).
+//   - Endogenous delete: deleting an endogenous tuple t kills exactly
+//     the valuations whose witness contains t, so the new minimal DNF
+//     is the cached one with every conjunct containing t dropped — a
+//     subset of an antichain is an antichain, and any t-free conjunct's
+//     absorber was itself t-free, so no re-minimization is needed. The
+//     patch consults no data at all.
+//
+// Everything else falls back to a cold rebuild, reported via the ok
+// result so callers can count the fallback rate (/v1/stats): exogenous
+// deletions (the cached DNF minimized away the very conjuncts that
+// could resurface), and Why-No engines (their lineage is evaluated
+// over a hypothetical instance, not the live database).
+//
+// A patched engine is byte-equivalent to a cold one: rankings are
+// recomputed per request from the lineage, and the differential
+// harness (internal/difftest) holds patched state to a cold rebuild
+// after every mutation of every sweep.
+package delta
+
+import (
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/ra"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+// Mutation describes one applied tuple mutation. Exactly one of
+// Inserted/Deleted is a valid tuple id; the other is -1. The database
+// handed to PatchDNF/Apply is the post-mutation state.
+type Mutation struct {
+	Rel      string      // mutated relation
+	Inserted rel.TupleID // id of the inserted tuple, -1 for deletions
+	Deleted  rel.TupleID // id of the deleted tuple, -1 for insertions
+	WasEndo  bool        // the deleted tuple was endogenous
+}
+
+// PatchDNF computes the post-mutation minimal endogenous lineage of q
+// from the pre-mutation cached one. ok=false means the delta path
+// cannot prove the patch safe (exogenous delete, or a mutation shape
+// it does not handle) and the caller must rebuild cold; the returned
+// DNF is meaningless then. On ok=true the result is byte-identical to
+// lineage.NLineageOf on the post-mutation database.
+func PatchDNF(db *rel.Database, q *rel.Query, cached lineage.DNF, m Mutation) (lineage.DNF, bool, error) {
+	switch {
+	case m.Inserted >= 0:
+		return patchInsert(db, q, cached, m)
+	case m.Deleted >= 0 && m.WasEndo:
+		return patchEndoDelete(cached, m.Deleted), true, nil
+	}
+	// Exogenous delete: minimization already canceled conjuncts against
+	// exogenous-witnessed valuations this delete may have killed (and
+	// may have set True from one); only re-evaluation can tell.
+	return lineage.DNF{}, false, nil
+}
+
+func patchInsert(db *rel.Database, q *rel.Query, cached lineage.DNF, m Mutation) (lineage.DNF, bool, error) {
+	if cached.True {
+		// The query already held on the exogenous part alone; inserting
+		// cannot remove that witness.
+		return cached, true, nil
+	}
+	merged := append([]lineage.Conjunct(nil), cached.Conjuncts...)
+	seen := make(map[string]bool, len(merged))
+	var key []byte
+	for _, c := range merged {
+		seen[string(conjunctKey(key[:0], c))] = true
+	}
+	for i, a := range q.Atoms {
+		if a.Pred != m.Rel {
+			continue
+		}
+		conjs, isTrue, err := ra.NLineageConjunctsPinned(db, q, i, m.Inserted)
+		if err != nil {
+			return lineage.DNF{}, false, err
+		}
+		if isTrue {
+			// A new all-exogenous witness trivializes Φⁿ.
+			return lineage.DNF{True: true}, true, nil
+		}
+		for _, c := range conjs {
+			key = conjunctKey(key[:0], c)
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				merged = append(merged, lineage.Conjunct(c))
+			}
+		}
+	}
+	return lineage.RemoveRedundant(lineage.DNF{Conjuncts: merged}), true, nil
+}
+
+func patchEndoDelete(cached lineage.DNF, id rel.TupleID) lineage.DNF {
+	if cached.True {
+		return cached
+	}
+	kept := make([]lineage.Conjunct, 0, len(cached.Conjuncts))
+	for _, c := range cached.Conjuncts {
+		if !c.Contains(id) {
+			kept = append(kept, c)
+		}
+	}
+	// The filtered subset keeps the canonical order and stays minimal;
+	// an empty result is the DNF of a query that no longer holds.
+	return lineage.DNF{Conjuncts: kept}
+}
+
+// Apply revives one invalidated engine from its cached lineage under
+// the mutation: it patches the DNF and builds a fresh engine around it
+// (lazy caches empty — certificates are the caller's to re-prime, flow
+// networks and exact indexes rebuild on demand against the mutated
+// database). ok=false means the delta path declined (Why-No engine, or
+// PatchDNF could not prove safety) and the caller should fall back to
+// dropping the engine for a cold rebuild.
+func Apply(db *rel.Database, eng *core.Engine, m Mutation) (*core.Engine, bool, error) {
+	if eng.WhyNo() {
+		return nil, false, nil
+	}
+	patched, ok, err := PatchDNF(db, eng.Query(), eng.NLineage(), m)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ne, err := core.NewWhySoFromLineage(db, eng.Query(), patched)
+	if err != nil {
+		return nil, false, err
+	}
+	return ne, true, nil
+}
+
+// EqualDNF reports whether two minimal DNFs are identical. Both sides
+// must be in canonical order (the RemoveRedundant invariant), so this
+// is a structural compare. A mutation that leaves an answer's minimal
+// lineage unchanged provably leaves every cause's responsibility
+// *value* unchanged (min|Γ| is a function of the lineage alone) — the
+// re-rank bound check. Contingency witnesses are not covered: the flow
+// path picks its minimum cut from the full valuation set, so callers
+// needing byte-stable witnesses must still re-rank.
+func EqualDNF(a, b lineage.DNF) bool {
+	if a.True != b.True || len(a.Conjuncts) != len(b.Conjuncts) {
+		return false
+	}
+	for i := range a.Conjuncts {
+		if !a.Conjuncts[i].Equal(b.Conjuncts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// conjunctKey packs a conjunct's ids into dst as a map key.
+func conjunctKey(dst []byte, c []rel.TupleID) []byte {
+	for _, id := range c {
+		u := uint64(id)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return dst
+}

@@ -1,0 +1,225 @@
+package delta
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/lineage"
+	"github.com/querycause/querycause/internal/rel"
+)
+
+func chainDB() *rel.Database {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a", "b1")
+	db.MustAdd("R", true, "a", "b2")
+	db.MustAdd("R", false, "a2", "b1")
+	db.MustAdd("S", true, "b1", "c1")
+	db.MustAdd("S", true, "b2", "c1")
+	db.MustAdd("S", false, "b2", "c2")
+	db.MustAdd("T", true, "c1")
+	db.MustAdd("T", false, "c2")
+	return db
+}
+
+func chainQuery() *rel.Query {
+	return rel.NewBoolean(
+		rel.NewAtom("R", rel.V("x"), rel.V("y")),
+		rel.NewAtom("S", rel.V("y"), rel.V("z")),
+		rel.NewAtom("T", rel.V("z")),
+	)
+}
+
+// assertPatchEqualsCold applies the mutation m (already performed on
+// db) to the cached pre-mutation DNF and requires the patch to be
+// byte-identical to a cold evaluation on the mutated database.
+func assertPatchEqualsCold(t *testing.T, db *rel.Database, q *rel.Query, cached lineage.DNF, m Mutation) {
+	t.Helper()
+	patched, ok, err := PatchDNF(db, q, cached, m)
+	if err != nil {
+		t.Fatalf("PatchDNF(%+v): %v", m, err)
+	}
+	if !ok {
+		t.Fatalf("PatchDNF(%+v) fell back; expected a provable patch", m)
+	}
+	cold, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualDNF(patched, cold) {
+		t.Fatalf("patched DNF %v != cold DNF %v after %+v", patched, cold, m)
+	}
+	// EqualDNF is structural; also pin the rendered form.
+	if patched.String() != cold.String() {
+		t.Fatalf("patched render %q != cold %q", patched, cold)
+	}
+}
+
+func TestPatchInsert(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  string
+		endo bool
+		args []rel.Value
+	}{
+		{"endo joining row", "R", true, []rel.Value{"a3", "b1"}},
+		{"exo joining row", "R", false, []rel.Value{"a4", "b2"}},
+		{"endo non-joining row", "S", true, []rel.Value{"b9", "c9"}},
+		{"endo absorbed row", "S", true, []rel.Value{"b1", "c1"}},
+		{"new T value", "T", true, []rel.Value{"c2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, q := chainDB(), chainQuery()
+			cached, err := lineage.NLineageOf(db, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := db.Add(tc.rel, tc.endo, tc.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPatchEqualsCold(t, db, q, cached, Mutation{Rel: tc.rel, Inserted: id, Deleted: -1})
+		})
+	}
+}
+
+func TestPatchInsertTrivializes(t *testing.T) {
+	// An all-exogenous witness appearing via the insert must flip the
+	// patched DNF to True, exactly like a cold evaluation.
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a")
+	db.MustAdd("S", false, "a")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x")), rel.NewAtom("S", rel.V("x")))
+	cached, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := db.MustAdd("R", false, "a")
+	assertPatchEqualsCold(t, db, q, cached, Mutation{Rel: "R", Inserted: id, Deleted: -1})
+	patched, _, _ := PatchDNF(db, q, cached, Mutation{Rel: "R", Inserted: id, Deleted: -1})
+	if !patched.True {
+		t.Fatalf("patched DNF %v should be True", patched)
+	}
+}
+
+func TestPatchInsertSelfJoin(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("E", true, "a", "b")
+	db.MustAdd("E", true, "b", "c")
+	db.MustAdd("E", false, "c", "a")
+	q := rel.NewBoolean(
+		rel.NewAtom("E", rel.V("x"), rel.V("y")),
+		rel.NewAtom("E", rel.V("y"), rel.V("z")),
+	)
+	cached, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inserted edge participates at both atom positions (b→b joins
+	// with itself and with a→b / b→c).
+	id := db.MustAdd("E", true, "b", "b")
+	assertPatchEqualsCold(t, db, q, cached, Mutation{Rel: "E", Inserted: id, Deleted: -1})
+}
+
+func TestPatchEndoDelete(t *testing.T) {
+	for id := rel.TupleID(0); int(id) < chainDB().NumTuples(); id++ {
+		db, q := chainDB(), chainQuery()
+		if !db.Endo(id) {
+			continue
+		}
+		cached, err := lineage.NLineageOf(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		assertPatchEqualsCold(t, db, q, cached, Mutation{Rel: db.Tuple(id).Rel, Inserted: -1, Deleted: id, WasEndo: true})
+	}
+}
+
+func TestPatchEndoDeleteToEmpty(t *testing.T) {
+	db := rel.NewDatabase()
+	id := db.MustAdd("R", true, "a")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x")))
+	cached, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	assertPatchEqualsCold(t, db, q, cached, Mutation{Rel: "R", Inserted: -1, Deleted: id, WasEndo: true})
+}
+
+func TestPatchExoDeleteFallsBack(t *testing.T) {
+	db, q := chainDB(), chainQuery()
+	cached, err := lineage.NLineageOf(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(2); err != nil { // R(a2,b1), exogenous
+		t.Fatal(err)
+	}
+	_, ok, err := PatchDNF(db, q, cached, Mutation{Rel: "R", Inserted: -1, Deleted: 2, WasEndo: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("exogenous delete must fall back to a cold rebuild")
+	}
+}
+
+func TestApplyMatchesColdEngine(t *testing.T) {
+	db, q := chainDB(), chainQuery()
+	eng, err := core.NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := db.MustAdd("R", true, "a5", "b1")
+	patched, ok, err := Apply(db, eng, Mutation{Rel: "R", Inserted: id, Deleted: -1})
+	if err != nil || !ok {
+		t.Fatalf("Apply: ok=%v err=%v", ok, err)
+	}
+	cold, err := core.NewWhySo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.ModeAuto, core.ModeExact} {
+		got, err := patched.RankAll(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cold.RankAll(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %v: patched ranking %v != cold %v", mode, got, want)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("mode %v: rendered rankings differ", mode)
+		}
+	}
+}
+
+func TestApplyDeclinesWhyNo(t *testing.T) {
+	db := rel.NewDatabase()
+	db.MustAdd("R", true, "a")
+	db.MustAdd("S", true, "a")
+	q := rel.NewBoolean(rel.NewAtom("R", rel.V("x")), rel.NewAtom("S", rel.V("x")))
+	eng, err := core.NewWhyNo(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := db.MustAdd("R", true, "c")
+	_, ok, err := Apply(db, eng, Mutation{Rel: "R", Inserted: id, Deleted: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Apply must decline Why-No engines")
+	}
+}

@@ -76,6 +76,10 @@ type CheckOptions struct {
 	// cold at the final version — and requires byte-identical answers
 	// from both, matching the in-process engine on the final database.
 	Mutate *MutateDiff
+	// Watch, when non-nil, opens a live watch subscription, replays the
+	// instance's seeded mutation sequence, and requires the DiffEvent
+	// replay to byte-equal a cold engine's ranking at every version.
+	Watch *WatchDiff
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -133,6 +137,7 @@ type CheckStats struct {
 	SessionChecked     int
 	ClusterChecked     int
 	MutateChecked      int
+	WatchChecked       int
 	EvalChecked        int
 }
 
@@ -265,6 +270,13 @@ func CheckInstance(inst *causegen.Instance, opts CheckOptions) (CheckStats, erro
 			return stats, err
 		}
 		stats.MutateChecked++
+	}
+
+	if opts.Watch != nil {
+		if err := opts.Watch.Check(inst); err != nil {
+			return stats, err
+		}
+		stats.WatchChecked++
 	}
 	return stats, nil
 }

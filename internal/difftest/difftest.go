@@ -57,6 +57,13 @@
 //     mutation touches — answers byte-identically to a session built
 //     cold at the final version, and both match the in-process engine
 //     over the final database.
+//   - Watch-replay equivalence: a live watch subscription opened
+//     before the same mutation sequence emits exactly one DiffEvent
+//     frame per mutation, and folding the frames with
+//     server.ApplyWatchEvent reconstructs, at every version, the
+//     byte-identical ranking of a cold engine over the mutated
+//     database — with error frames appearing exactly when the engine
+//     rejects the instance at that version.
 //
 // Every instance derives from a single int64 seed, so any CI failure
 // reproduces with one command (printed on failure):
@@ -117,6 +124,13 @@ type Options struct {
 	// MutateEvery replays every k-th instance through Mutate (default
 	// 8; 1 = every instance). Ignored when Mutate is nil.
 	MutateEvery int
+	// Watch, when non-nil, opens a live watch, replays the instance's
+	// seeded mutation sequence, and requires the DiffEvent replay to
+	// byte-equal a cold engine's ranking at every version.
+	Watch *WatchDiff
+	// WatchEvery replays every k-th instance through Watch (default 8;
+	// 1 = every instance). Ignored when Watch is nil.
+	WatchEvery int
 	// MetamorphicEvery applies the metamorphic invariants to every
 	// k-th instance (default 1 = every instance; <0 disables).
 	MetamorphicEvery int
@@ -147,6 +161,7 @@ func (o Options) ShrinkCheck() CheckOptions {
 	chk.Session = o.Session
 	chk.Cluster = o.Cluster
 	chk.Mutate = o.Mutate
+	chk.Watch = o.Watch
 	return chk
 }
 
@@ -162,6 +177,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MutateEvery <= 0 {
 		o.MutateEvery = 8
+	}
+	if o.WatchEvery <= 0 {
+		o.WatchEvery = 8
 	}
 	if o.MetamorphicEvery == 0 {
 		o.MetamorphicEvery = 1
@@ -274,6 +292,9 @@ type Report struct {
 	// MutateChecked counts instances replayed through the
 	// incremental-vs-cold-rebuild mutation differential.
 	MutateChecked int
+	// WatchChecked counts instances replayed through the watch
+	// DiffEvent-replay differential.
+	WatchChecked int
 	// EvalChecked counts instances run through the naive-vs-planned
 	// evaluator equivalence differential.
 	EvalChecked int
@@ -290,9 +311,9 @@ func (r *Report) InstancesPerSec() float64 {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d cluster=%d mutate=%d eval=%d; mismatches=%d",
+	return fmt.Sprintf("difftest: %d instances (%d whyso, %d whyno) in %v (%.0f/sec); flow=%d exact=%d brute=%d ablation=%d datalog=%d metamorphic=%d server=%d session=%d cluster=%d mutate=%d watch=%d eval=%d; mismatches=%d",
 		r.Instances, r.WhySo, r.WhyNo, r.Elapsed.Round(time.Millisecond), r.InstancesPerSec(),
-		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.ClusterChecked, r.MutateChecked, r.EvalChecked,
+		r.FlowRanked, r.ExactRanked, r.BruteChecked, r.AblationChecked, r.DatalogChecked, r.MetamorphicChecked, r.ServerChecked, r.SessionChecked, r.ClusterChecked, r.MutateChecked, r.WatchChecked, r.EvalChecked,
 		len(r.Mismatches))
 }
 
@@ -323,6 +344,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		sessionN  atomic.Int64
 		clusterN  atomic.Int64
 		mutateN   atomic.Int64
+		watchN    atomic.Int64
 		evalN     atomic.Int64
 		done      atomic.Int64
 	)
@@ -354,6 +376,9 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			if opts.Mutate != nil && i%opts.MutateEvery == 0 {
 				chk.Mutate = opts.Mutate
 			}
+			if opts.Watch != nil && i%opts.WatchEvery == 0 {
+				chk.Watch = opts.Watch
+			}
 			stats, err := CheckInstance(inst, chk)
 			if stats.FlowRanked {
 				flow.Add(1)
@@ -369,6 +394,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 			sessionN.Add(int64(stats.SessionChecked))
 			clusterN.Add(int64(stats.ClusterChecked))
 			mutateN.Add(int64(stats.MutateChecked))
+			watchN.Add(int64(stats.WatchChecked))
 			evalN.Add(int64(stats.EvalChecked))
 			if err != nil {
 				mu.Lock()
@@ -401,6 +427,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.SessionChecked = int(sessionN.Load())
 	rep.ClusterChecked = int(clusterN.Load())
 	rep.MutateChecked = int(mutateN.Load())
+	rep.WatchChecked = int(watchN.Load())
 	rep.EvalChecked = int(evalN.Load())
 	rep.Elapsed = time.Since(start)
 	// Early stop on mismatch budget is not a caller error; only the

@@ -73,6 +73,8 @@ func TestDifferentialSweep(t *testing.T) {
 	defer sess.Close()
 	mut := NewMutateDiff()
 	defer mut.Close()
+	wat := NewWatchDiff()
+	defer wat.Close()
 	n := sweepSize()
 	opts := Options{
 		Seed:             *seedFlag,
@@ -84,6 +86,8 @@ func TestDifferentialSweep(t *testing.T) {
 		SessionEvery:     8,
 		Mutate:           mut,
 		MutateEvery:      8,
+		Watch:            wat,
+		WatchEvery:       8,
 		MetamorphicEvery: 2,
 	}
 	if *clusterFlag {
@@ -114,6 +118,7 @@ func TestDifferentialSweep(t *testing.T) {
 			"server replays":         rep.ServerChecked,
 			"session replays":        rep.SessionChecked,
 			"mutation replays":       rep.MutateChecked,
+			"watch replays":          rep.WatchChecked,
 		} {
 			if got == 0 {
 				t.Errorf("sweep of %d instances exercised zero %s", n, what)

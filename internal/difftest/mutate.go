@@ -24,30 +24,42 @@ import (
 	"github.com/querycause/querycause/internal/server"
 )
 
+// diffServer is the in-process querycaused server shared by the
+// mutation-driven differentials (MutateDiff, WatchDiff): an httptest
+// endpoint plus the upload / mutate / explain plumbing they replay
+// through. It is safe for concurrent use by sweep workers.
+type diffServer struct {
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newDiffServer() diffServer {
+	srv := server.New(server.Config{
+		ReapInterval: -1,
+		// Two sessions (warm + cold) per in-flight check.
+		MaxSessions: 256,
+	})
+	return diffServer{srv: srv, ts: httptest.NewServer(srv.Handler())}
+}
+
+// Close shuts the in-process server down.
+func (ds diffServer) Close() {
+	ds.ts.Close()
+	ds.srv.Close()
+}
+
 // MutateDiff owns an in-process querycaused server for the
 // incremental-vs-cold replay. It is safe for concurrent use by sweep
 // workers.
 type MutateDiff struct {
-	srv *server.Server
-	ts  *httptest.Server
+	diffServer
 	// N is the mutation-sequence length per replay (default 6).
 	N int
 }
 
 // NewMutateDiff boots the in-process server. Callers must Close it.
 func NewMutateDiff() *MutateDiff {
-	srv := server.New(server.Config{
-		ReapInterval: -1,
-		// Two sessions (warm + cold) per in-flight check.
-		MaxSessions: 256,
-	})
-	return &MutateDiff{srv: srv, ts: httptest.NewServer(srv.Handler())}
-}
-
-// Close shuts the in-process server down.
-func (md *MutateDiff) Close() {
-	md.ts.Close()
-	md.srv.Close()
+	return &MutateDiff{diffServer: newDiffServer()}
 }
 
 func (md *MutateDiff) seqLen() int {
@@ -173,7 +185,7 @@ func (md *MutateDiff) Check(inst *causegen.Instance) error {
 
 // applyMutation sends one mutation over HTTP and returns the server's
 // MutateResponse.
-func (md *MutateDiff) applyMutation(dbID string, m causegen.Mutation) (server.MutateResponse, error) {
+func (ds diffServer) applyMutation(dbID string, m causegen.Mutation) (server.MutateResponse, error) {
 	var out server.MutateResponse
 	if m.Insert {
 		args := make([]string, len(m.Args))
@@ -183,14 +195,14 @@ func (md *MutateDiff) applyMutation(dbID string, m causegen.Mutation) (server.Mu
 		body, _ := json.Marshal(server.InsertTuplesRequest{
 			Tuples: []server.TupleSpec{{Rel: m.Rel, Args: args, Endo: m.Endo}},
 		})
-		err := md.post("/v1/databases/"+dbID+"/tuples", "application/json", bytes.NewReader(body), &out)
+		err := ds.post("/v1/databases/"+dbID+"/tuples", "application/json", bytes.NewReader(body), &out)
 		return out, err
 	}
-	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/databases/%s/tuples/%d", md.ts.URL, dbID, m.ID), nil)
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/databases/%s/tuples/%d", ds.ts.URL, dbID, m.ID), nil)
 	if err != nil {
 		return out, err
 	}
-	resp, err := md.ts.Client().Do(req)
+	resp, err := ds.ts.Client().Do(req)
 	if err != nil {
 		return out, err
 	}
@@ -208,13 +220,13 @@ func (md *MutateDiff) applyMutation(dbID string, m causegen.Mutation) (server.Mu
 // explain runs the instance's explain request and returns the
 // comparable result. Client errors (an instance a mutation destroyed)
 // are results, not failures — both sessions must produce the same one.
-func (md *MutateDiff) explain(dbID string, inst *causegen.Instance) (explainResult, error) {
+func (ds diffServer) explain(dbID string, inst *causegen.Instance) (explainResult, error) {
 	kind := "whyso"
 	if inst.WhyNo {
 		kind = "whyno"
 	}
 	body, _ := json.Marshal(server.ExplainRequest{Query: inst.Query.String(), Mode: "auto"})
-	resp, err := md.ts.Client().Post(md.ts.URL+"/v1/databases/"+dbID+"/"+kind, "application/json", bytes.NewReader(body))
+	resp, err := ds.ts.Client().Post(ds.ts.URL+"/v1/databases/"+dbID+"/"+kind, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return explainResult{}, err
 	}
@@ -237,16 +249,16 @@ func (md *MutateDiff) explain(dbID string, inst *causegen.Instance) (explainResu
 	return explainResult{status: resp.StatusCode, payload: payload}, nil
 }
 
-func (md *MutateDiff) upload(dbText string) (string, error) {
+func (ds diffServer) upload(dbText string) (string, error) {
 	var info server.DatabaseInfo
-	if err := md.post("/v1/databases", "text/plain", strings.NewReader(dbText), &info); err != nil {
+	if err := ds.post("/v1/databases", "text/plain", strings.NewReader(dbText), &info); err != nil {
 		return "", err
 	}
 	return info.ID, nil
 }
 
-func (md *MutateDiff) post(path, contentType string, body io.Reader, out any) error {
-	resp, err := md.ts.Client().Post(md.ts.URL+path, contentType, body)
+func (ds diffServer) post(path, contentType string, body io.Reader, out any) error {
+	resp, err := ds.ts.Client().Post(ds.ts.URL+path, contentType, body)
 	if err != nil {
 		return err
 	}
@@ -261,12 +273,12 @@ func (md *MutateDiff) post(path, contentType string, body io.Reader, out any) er
 	return json.Unmarshal(raw, out)
 }
 
-func (md *MutateDiff) drop(id string) {
-	req, err := http.NewRequest(http.MethodDelete, md.ts.URL+"/v1/databases/"+id, nil)
+func (ds diffServer) drop(id string) {
+	req, err := http.NewRequest(http.MethodDelete, ds.ts.URL+"/v1/databases/"+id, nil)
 	if err != nil {
 		return
 	}
-	resp, err := md.ts.Client().Do(req)
+	resp, err := ds.ts.Client().Do(req)
 	if err == nil {
 		resp.Body.Close()
 	}

@@ -1,0 +1,202 @@
+// Watch-replay differential: a live watch subscription opened before a
+// seeded mutation sequence must let its consumer reconstruct — by
+// folding every DiffEvent frame with server.ApplyWatchEvent — the
+// exact ranking a cold engine over the database at that version
+// returns, byte for byte, at every step of the sequence. Error-state
+// frames must appear exactly when the library engine rejects the
+// instance at that version (e.g. a mutation that makes a Why-No
+// instance invalid), and the stream must recover with a full_resync
+// once the instance is valid again.
+package difftest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/querycause/querycause/internal/causegen"
+	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/parser"
+	"github.com/querycause/querycause/internal/rel"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// WatchDiff owns an in-process querycaused server for the watch-replay
+// differential. It is safe for concurrent use by sweep workers.
+type WatchDiff struct {
+	diffServer
+	// N is the mutation-sequence length per replay (default 6).
+	N int
+}
+
+// NewWatchDiff boots the in-process server. Callers must Close it.
+func NewWatchDiff() *WatchDiff {
+	return &WatchDiff{diffServer: newDiffServer()}
+}
+
+func (wd *WatchDiff) seqLen() int {
+	if wd.N > 0 {
+		return wd.N
+	}
+	return 6
+}
+
+// watchCheckTimeout bounds one whole watch replay: if the server ever
+// fails to produce the one-frame-per-mutation liveness guarantee, the
+// blocked frame read turns into a context error instead of hanging the
+// sweep.
+const watchCheckTimeout = 2 * time.Minute
+
+// Check opens a watch on inst's explanation, applies the instance's
+// seeded mutation sequence (the same one MutateDiff replays), and
+// after every mutation folds the resulting frame into a replayed
+// ranking that must byte-equal the library engine run cold over the
+// mutated database at that version.
+func (wd *WatchDiff) Check(inst *causegen.Instance) error {
+	muts := causegen.RandomMutations(inst.Seed, inst, wd.seqLen())
+	dbText, err := parser.FormatDatabase(inst.DB)
+	if err != nil {
+		return fmt.Errorf("watchdiff: format database: %v", err)
+	}
+	id, err := wd.upload(dbText)
+	if err != nil {
+		return fmt.Errorf("watchdiff: upload: %v", err)
+	}
+	defer wd.drop(id)
+
+	ctx, cancel := context.WithTimeout(context.Background(), watchCheckTimeout)
+	defer cancel()
+	body, _ := json.Marshal(server.WatchRequest{Query: inst.Query.String(), WhyNo: inst.WhyNo, Mode: "auto"})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wd.ts.URL+"/v1/databases/"+id+"/watch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wd.ts.Client().Do(req)
+	if err != nil {
+		return fmt.Errorf("watchdiff: open watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		// An unwatchable instance (invalid Why-No, unsafe query): the
+		// explain path must reject it with the same status.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		res, err := wd.explain(id, inst)
+		if err != nil {
+			return fmt.Errorf("watchdiff: explain after watch rejection: %v", err)
+		}
+		if res.status != resp.StatusCode {
+			return fmt.Errorf("watchdiff: watch rejected with %d (%s) but explain answers %d: %s",
+				resp.StatusCode, bytes.TrimSpace(raw), res.status, res.payload)
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	nextFrame := func() (server.WatchEvent, error) {
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var ev server.WatchEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return ev, fmt.Errorf("malformed frame %q: %v", line, err)
+			}
+			return ev, nil
+		}
+		if err := sc.Err(); err != nil {
+			return server.WatchEvent{}, err
+		}
+		return server.WatchEvent{}, fmt.Errorf("stream closed")
+	}
+
+	snap, err := nextFrame()
+	if err != nil {
+		return fmt.Errorf("watchdiff: reading snapshot: %v", err)
+	}
+	if snap.Type != "snapshot" {
+		return fmt.Errorf("watchdiff: first frame is %q, want snapshot", snap.Type)
+	}
+	state := server.ApplyWatchEvent(nil, snap)
+	inErr := false
+	lastVersion := snap.Version
+
+	// The library oracle advances tuple-for-tuple with the session.
+	replay := inst.DB.Clone()
+	for i, m := range muts {
+		mr, err := wd.applyMutation(id, m)
+		if err != nil {
+			return fmt.Errorf("watchdiff: mutation %d (%v): %v", i, m, err)
+		}
+		ev, err := nextFrame()
+		if err != nil {
+			return fmt.Errorf("watchdiff: no frame after mutation %d (%v): %v", i, m, err)
+		}
+		if ev.Version != mr.Version || ev.Version <= lastVersion {
+			return fmt.Errorf("watchdiff: frame after mutation %d has version %d (previous %d, mutation left v%d)",
+				i, ev.Version, lastVersion, mr.Version)
+		}
+		lastVersion = ev.Version
+		state = server.ApplyWatchEvent(state, ev)
+		switch ev.Type {
+		case "error":
+			inErr = true
+		case "snapshot", "full_resync":
+			inErr = false
+		}
+
+		if err := causegen.ApplyMutations(replay, muts[i:i+1]); err != nil {
+			return fmt.Errorf("watchdiff: library replay of mutation %d: %v", i, err)
+		}
+		want, wantOK := libraryRanking(inst, replay)
+		if inErr && wantOK {
+			return fmt.Errorf("watchdiff: watch in error state after mutation %d (%v) but the library ranks v%d: %s",
+				i, m, ev.Version, rankingBytes(want))
+		}
+		if !inErr && !wantOK {
+			return fmt.Errorf("watchdiff: library rejects the instance at v%d but the watch stream is healthy after mutation %d (%v)",
+				ev.Version, i, m)
+		}
+		if wantOK {
+			got, wantB := rankingBytes(state), rankingBytes(want)
+			if !bytes.Equal(got, wantB) {
+				return fmt.Errorf("watchdiff: replayed ranking diverges from cold engine at v%d (mutation %d, %v):\nreplay: %s\ncold:   %s",
+					ev.Version, i, m, got, wantB)
+			}
+		}
+	}
+	return nil
+}
+
+// libraryRanking ranks inst's explanation cold over db with a fresh
+// in-process engine; ok=false means the engine rejects the instance at
+// this version (an invalid Why-No, an unsatisfied answer).
+func libraryRanking(inst *causegen.Instance, db *rel.Database) ([]server.ExplanationDTO, bool) {
+	cur := &causegen.Instance{Seed: inst.Seed, DB: db, Query: inst.Query, WhyNo: inst.WhyNo}
+	eng, err := newEngine(cur)
+	if err != nil {
+		return nil, false
+	}
+	rank, err := eng.RankAll(core.ModeAuto)
+	if err != nil {
+		return nil, false
+	}
+	return serverDTOs(db, rank), true
+}
+
+// rankingBytes renders a ranking for byte comparison, mapping nil and
+// empty to the same encoding.
+func rankingBytes(d []server.ExplanationDTO) []byte {
+	if d == nil {
+		d = []server.ExplanationDTO{}
+	}
+	b, _ := json.Marshal(d)
+	return b
+}

@@ -12,6 +12,8 @@ import (
 type runner struct {
 	p        *plan
 	removed  map[rel.TupleID]bool
+	pinAtom  int         // atom index restricted to the single row of pinID; -1 = no pin
+	pinID    rel.TupleID // only meaningful when pinAtom >= 0
 	prepared []bool
 	all      []bool               // scan step streams every row unfiltered
 	lists    [][]int32            // scan steps: filtered row list
@@ -28,9 +30,20 @@ type runner struct {
 // enumeration. Rows whose tuple ID is in removed never enter the
 // pipeline.
 func (p *plan) run(removed map[rel.TupleID]bool, yield func([]uint32, []rel.TupleID) bool) {
+	p.runPinned(removed, -1, 0, yield)
+}
+
+// runPinned is run with one atom position pinned to a single tuple: the
+// step for atom pinAtom matches only the row whose tuple ID is pinID,
+// so the stream is exactly the valuations whose witness uses pinID at
+// that position — the binding delta of one inserted tuple, computed
+// without re-running the unrestricted pipeline.
+func (p *plan) runPinned(removed map[rel.TupleID]bool, pinAtom int, pinID rel.TupleID, yield func([]uint32, []rel.TupleID) bool) {
 	r := &runner{
 		p:        p,
 		removed:  removed,
+		pinAtom:  pinAtom,
+		pinID:    pinID,
 		prepared: make([]bool, len(p.steps)),
 		all:      make([]bool, len(p.steps)),
 		lists:    make([][]int32, len(p.steps)),
@@ -92,7 +105,7 @@ func (r *runner) emitRow(st *step, row int32, i int) bool {
 func (r *runner) prepare(i int, st *step) {
 	r.prepared[i] = true
 	if len(st.join) == 0 {
-		if len(st.consts) == 0 && len(st.eq) == 0 && r.removed == nil {
+		if len(st.consts) == 0 && len(st.eq) == 0 && r.removed == nil && st.atom != r.pinAtom {
 			r.all[i] = true
 			return
 		}
@@ -131,6 +144,20 @@ func (r *runner) candidateRows(st *step, visit func(row int32)) {
 			}
 		}
 		return r.removed == nil || !r.removed[rl.RowID(int(row))]
+	}
+	if st.atom == r.pinAtom {
+		// The pinned atom admits at most one row: the one holding
+		// pinID. Scan backwards — a freshly inserted tuple sits at the
+		// end of its relation.
+		for row := int32(rl.Len()) - 1; row >= 0; row-- {
+			if rl.RowID(int(row)) == r.pinID {
+				if pass(row) {
+					visit(row)
+				}
+				return
+			}
+		}
+		return
 	}
 	if len(st.consts) > 0 {
 		seed := rl.CodeIndex(st.consts[0].col)[st.consts[0].code]

@@ -103,6 +103,22 @@ func HoldsWithout(db *rel.Database, q *rel.Query, removed map[rel.TupleID]bool) 
 // The caller (lineage.NLineageOf) only minimizes the result; there is
 // no separate lineage-building evaluation pass.
 func NLineageConjuncts(db *rel.Database, q *rel.Query) (conjuncts [][]rel.TupleID, isTrue bool, err error) {
+	return nlineageConjuncts(db, q, -1, 0)
+}
+
+// NLineageConjunctsPinned is NLineageConjuncts restricted to the
+// valuations whose witness uses tuple id at atom position atom — the
+// lineage delta contributed by one inserted tuple at one atom
+// occurrence. Callers maintaining a cached DNF under an insert union
+// the pinned conjuncts over every atom whose predicate is the inserted
+// tuple's relation (self-joins contribute one pin per occurrence;
+// duplicates merge under DNF set semantics). isTrue reports an
+// all-exogenous pinned witness, which makes the whole Φⁿ ≡ true.
+func NLineageConjunctsPinned(db *rel.Database, q *rel.Query, atom int, id rel.TupleID) (conjuncts [][]rel.TupleID, isTrue bool, err error) {
+	return nlineageConjuncts(db, q, atom, id)
+}
+
+func nlineageConjuncts(db *rel.Database, q *rel.Query, pinAtom int, pinID rel.TupleID) (conjuncts [][]rel.TupleID, isTrue bool, err error) {
 	p, err := compile(db, q)
 	if err != nil {
 		return nil, false, err
@@ -113,7 +129,7 @@ func NLineageConjuncts(db *rel.Database, q *rel.Query) (conjuncts [][]rel.TupleI
 	seen := make(map[string]bool)
 	var key []byte
 	conj := make([]rel.TupleID, 0, len(q.Atoms))
-	p.run(nil, func(_ []uint32, witness []rel.TupleID) bool {
+	p.runPinned(nil, pinAtom, pinID, func(_ []uint32, witness []rel.TupleID) bool {
 		conj = conj[:0]
 		for _, id := range witness {
 			if db.Endo(id) {

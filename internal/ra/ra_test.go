@@ -262,6 +262,93 @@ func TestNLineageConjunctsMatchesTwoPass(t *testing.T) {
 	}
 }
 
+// TestNLineageConjunctsPinned holds the pinned evaluation to its
+// definition: for every atom position and every tuple, the pinned
+// conjuncts are exactly the conjuncts of the full valuations whose
+// witness uses that tuple at that atom — including self-joins, where
+// the same tuple contributes different conjuncts per occurrence.
+func TestNLineageConjunctsPinned(t *testing.T) {
+	selfDB := rel.NewDatabase()
+	selfDB.MustAdd("E", true, "a", "b")
+	selfDB.MustAdd("E", true, "b", "c")
+	selfDB.MustAdd("E", false, "c", "a")
+	selfDB.MustAdd("E", true, "b", "b")
+	cases := []struct {
+		db *rel.Database
+		q  *rel.Query
+	}{
+		{chainDB(t), rel.NewBoolean(
+			rel.NewAtom("R", rel.V("x"), rel.V("y")),
+			rel.NewAtom("S", rel.V("y"), rel.V("z")),
+			rel.NewAtom("T", rel.V("z")),
+		)},
+		{selfDB, rel.NewBoolean(
+			rel.NewAtom("E", rel.V("x"), rel.V("y")),
+			rel.NewAtom("E", rel.V("y"), rel.V("z")),
+		)},
+	}
+	canonConj := func(c []rel.TupleID) string {
+		sorted := append([]rel.TupleID(nil), c...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out := sorted[:0]
+		for i, id := range sorted {
+			if i == 0 || sorted[i-1] != id {
+				out = append(out, id)
+			}
+		}
+		return fmt.Sprint(out)
+	}
+	for ci, tc := range cases {
+		naive, err := rel.EvalNaive(tc.db, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for atom := range tc.q.Atoms {
+			for id := rel.TupleID(0); int(id) < tc.db.NumTuples(); id++ {
+				want := make(map[string]bool)
+				wantTrue := false
+				for _, v := range naive {
+					if v.Witness[atom] != id {
+						continue
+					}
+					var endo []rel.TupleID
+					for _, w := range v.Witness {
+						if tc.db.Endo(w) {
+							endo = append(endo, w)
+						}
+					}
+					if len(endo) == 0 {
+						wantTrue = true
+					}
+					want[canonConj(endo)] = true
+				}
+				got, isTrue, err := NLineageConjunctsPinned(tc.db, tc.q, atom, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if isTrue != wantTrue {
+					t.Fatalf("case %d atom %d id %d: pinned isTrue=%v, naive says %v", ci, atom, id, isTrue, wantTrue)
+				}
+				if wantTrue {
+					continue // evaluation legitimately cut short
+				}
+				gotSet := make(map[string]bool)
+				for _, c := range got {
+					gotSet[canonConj(c)] = true
+				}
+				if len(gotSet) != len(want) {
+					t.Fatalf("case %d atom %d id %d: pinned %d conjuncts %v, naive %d %v", ci, atom, id, len(gotSet), gotSet, len(want), want)
+				}
+				for k := range want {
+					if !gotSet[k] {
+						t.Fatalf("case %d atom %d id %d: conjunct %s missing from pinned lineage", ci, atom, id, k)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPlannerPrefersSelective pins the atom-ordering heuristic:
 // joined-to-bound-variables beats unconnected, then constants beat
 // shared-variable count beat cardinality, ties to the lowest atom

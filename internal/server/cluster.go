@@ -84,6 +84,11 @@ func newClusterState(cfg Config, ring cluster.Ring) (*clusterState, error) {
 			return nil, fmt.Errorf("server: invalid peer URL %q", node)
 		}
 		p := httputil.NewSingleHostReverseProxy(target)
+		// Streaming responses (explain/stream, watch) must flush through
+		// the proxy frame by frame, not on a 100ms timer: a watch frame
+		// held in the proxy buffer would stall the subscriber until the
+		// next mutation.
+		p.FlushInterval = -1
 		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 			writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxying to session owner %s: %v", target, err)})
 		}

@@ -174,9 +174,27 @@ type StatsResponse struct {
 	// requests served; EnginesInvalid and CertsInvalid count the cached
 	// per-answer engines and certificate pairs those mutations
 	// incrementally invalidated (everything else stayed warm).
+	// EnginesPatched counts engines the delta-maintenance layer revived
+	// in place instead of dropping.
 	MutationsTotal uint64 `json:"mutations_total,omitempty"`
 	EnginesInvalid uint64 `json:"engines_invalidated,omitempty"`
 	CertsInvalid   uint64 `json:"certs_invalidated,omitempty"`
+	EnginesPatched uint64 `json:"engines_patched,omitempty"`
+
+	// Live-explanation counters: WatchesActive is the gauge of open
+	// watch streams, DiffEventsSent the cumulative frames written to
+	// them (snapshots, diffs, resyncs, and in-band errors), and
+	// DeltaFallbacks the mutations×engines where the delta-maintenance
+	// layer could not prove a patch safe and fell back to a cold
+	// rebuild. They are always present (not omitempty): a zero reads as
+	// "no watch traffic", which monitoring must distinguish from "stat
+	// missing".
+	WatchesActive  int64  `json:"watches_active"`
+	DiffEventsSent uint64 `json:"diff_events_sent"`
+	DeltaFallbacks uint64 `json:"delta_fallbacks"`
+	// WatchBudget is the per-session cap on concurrent watch
+	// subscriptions (0 = unlimited).
+	WatchBudget int `json:"watch_budget,omitempty"`
 
 	// Cluster routing counters, present only on clustered servers: Node
 	// is this replica's advertised URL, ClusterPeers the ring size.
@@ -319,9 +337,67 @@ type MutateResponse struct {
 	// EnginesInvalidated and CertsInvalidated count the cached
 	// per-answer engines and certificate pairs this mutation dropped;
 	// every cache entry not counted here survived and still answers
-	// warm.
+	// warm. EnginesPatched counts engines the delta layer revived in
+	// place (their lineage was patched, not recomputed) instead of
+	// dropping — patched engines answer byte-identically to a cold
+	// rebuild and are not counted as invalidated.
 	EnginesInvalidated int `json:"engines_invalidated"`
 	CertsInvalidated   int `json:"certs_invalidated"`
+	EnginesPatched     int `json:"engines_patched,omitempty"`
+}
+
+// WatchRequest subscribes to the live explanation of one answer or
+// non-answer: POST /v1/databases/{db}/watch answers with an NDJSON
+// stream of WatchEvent frames. Exactly one of Query/QueryID identifies
+// the query, like every explain-family endpoint.
+type WatchRequest struct {
+	Query   string   `json:"query,omitempty"`
+	QueryID string   `json:"query_id,omitempty"`
+	Answer  []string `json:"answer,omitempty"`
+	WhyNo   bool     `json:"why_no,omitempty"`
+	// Mode selects the responsibility strategy the watched ranking is
+	// computed under: "auto" (default), "exact", or "paper".
+	Mode string `json:"mode,omitempty"`
+	// Buffer bounds the frames queued for this subscriber while it is
+	// not reading (default 16). A subscriber that falls further behind
+	// misses frames and recovers with a full_resync frame.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// WatchEvent is one NDJSON frame of a watch stream. Type is
+// "snapshot" (first frame: Ranking is the full current ranking),
+// "diff" (one mutation's effect: apply CausesRemoved, then
+// RankChanged, then CausesAdded to the previous state and re-sort by
+// descending rho then ascending tuple id), "full_resync" (the
+// subscriber lagged or the topic recovered from an error; Ranking
+// replaces all previous state), or "error" (the re-rank at Version
+// failed; the stream continues and recovers via full_resync).
+// Consumers must ignore frames whose Version is not greater than the
+// version of the last frame they applied: a frame published
+// concurrently with a resync may arrive after it, already covered.
+type WatchEvent struct {
+	Type    string `json:"type"`
+	Version uint64 `json:"version"`
+	// Ranking is the full ranking, on snapshot and full_resync frames.
+	Ranking []ExplanationDTO `json:"ranking,omitempty"`
+	// CausesAdded / CausesRemoved / RankChanged are the diff payload:
+	// new causes, tuple ids no longer causes, and causes whose
+	// explanation (rho, contingency, or method) changed.
+	CausesAdded   []ExplanationDTO `json:"causes_added,omitempty"`
+	CausesRemoved []int            `json:"causes_removed,omitempty"`
+	RankChanged   []RankChangeDTO  `json:"rank_changed,omitempty"`
+	// Error carries the failure of an "error" frame.
+	Error *ErrorResponse `json:"error,omitempty"`
+}
+
+// RankChangeDTO reports one cause whose explanation changed under a
+// mutation: the old and new responsibility, and the full new
+// explanation to substitute.
+type RankChangeDTO struct {
+	TupleID int            `json:"tuple_id"`
+	OldRho  float64        `json:"old_rho"`
+	NewRho  float64        `json:"new_rho"`
+	New     ExplanationDTO `json:"new"`
 }
 
 // HealthResponse is the /healthz payload.

@@ -28,11 +28,15 @@
 //     a query shape across the dichotomy and change which
 //     responsibility method an explain dispatches to.
 //
-// Everything else — untouched engines, certificates, prepared queries —
-// survives the mutation, which is what makes a mutate-then-explain
-// workload cheap: the difftest metamorphic invariant checks the
-// surviving state answers byte-identically to a cold server rebuilt at
-// the final database version.
+// A stale engine is no longer necessarily dropped: the delta layer
+// (internal/delta) first tries to patch its cached lineage in place —
+// inserts merge the pinned-evaluation delta, endogenous deletes filter
+// the dead conjuncts — and only mutations it cannot prove safe
+// (exogenous deletes, Why-No engines) fall back to the cold drop. A
+// patched engine answers byte-identically to a cold rebuild; the
+// difftest metamorphic invariant checks exactly that, comparing the
+// surviving state against a cold server rebuilt at the final database
+// version.
 package server
 
 import (
@@ -41,18 +45,29 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/querycause/querycause/internal/delta"
 	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
 
-// invalidation counts the explanation state dropped by one mutation.
+// invalidation counts the explanation state one mutation touched:
+// engines dropped cold, engines the delta layer patched in place,
+// delta fallbacks (stale engines the delta path declined — a subset of
+// engines), and certificates dropped.
 type invalidation struct {
-	engines int
-	certs   int
+	engines   int
+	patched   int
+	fallbacks int
+	certs     int
 }
 
 func (a invalidation) add(b invalidation) invalidation {
-	return invalidation{engines: a.engines + b.engines, certs: a.certs + b.certs}
+	return invalidation{
+		engines:   a.engines + b.engines,
+		patched:   a.patched + b.patched,
+		fallbacks: a.fallbacks + b.fallbacks,
+		certs:     a.certs + b.certs,
+	}
 }
 
 // relProfile captures the endogeneity profile of one relation; a
@@ -65,32 +80,20 @@ func relProfile(r *rel.Relation) (exists, hasEndo bool) {
 	return true, r.HasEndo()
 }
 
-// invalidateMutation drops the session state one mutation can have
-// stale: engines by the rules in the package comment, certificates
-// when endoFlipped. endoDeleted >= 0 narrows engine invalidation for
-// an endogenous delete to engines whose cause set contains the tuple;
-// pass -1 for inserts and exogenous deletes. Caller holds dbMu for
-// writing.
-func (s *session) invalidateMutation(relName string, endoDeleted rel.TupleID, endoFlipped bool) invalidation {
+// invalidateMutation refreshes the session state one mutation can
+// have stale: engines by the rules in the package comment,
+// certificates when endoFlipped. endoDeleted >= 0 narrows engine
+// invalidation for an endogenous delete to engines whose cause set
+// contains the tuple; pass -1 for inserts and exogenous deletes. A
+// stale engine is first offered to the delta layer (unless the
+// session runs with delta maintenance disabled), which patches its
+// lineage in place when it can prove the patch byte-equivalent to a
+// cold rebuild; only declined engines are dropped. Certificates are
+// invalidated before engines are patched: a patched engine carries no
+// primed certificate (it re-classifies lazily), so it can never serve
+// a stale pre-flip classification. Caller holds dbMu for writing.
+func (s *session) invalidateMutation(relName string, endoDeleted rel.TupleID, endoFlipped bool, m delta.Mutation) invalidation {
 	var inv invalidation
-	for _, key := range s.engines.Keys() {
-		eng, ok := s.engines.Peek(key)
-		if !ok {
-			continue
-		}
-		var stale bool
-		if endoDeleted >= 0 && !endoFlipped {
-			stale = eng.Touches(endoDeleted)
-		} else if endoDeleted >= 0 {
-			stale = eng.Touches(endoDeleted) || eng.Mentions(relName)
-		} else {
-			stale = eng.Mentions(relName)
-		}
-		if stale {
-			s.engines.Remove(key)
-			inv.engines++
-		}
-	}
 	if endoFlipped {
 		// Certificate keys are shape keys (shapeKeyOf): a sequence of
 		// "Pred(terms…)|" segments, so this marker matches exactly the
@@ -104,6 +107,34 @@ func (s *session) invalidateMutation(relName string, endoDeleted rel.TupleID, en
 				inv.certs++
 			}
 		}
+	}
+	for _, key := range s.engines.Keys() {
+		eng, ok := s.engines.Peek(key)
+		if !ok {
+			continue
+		}
+		var stale bool
+		if endoDeleted >= 0 && !endoFlipped {
+			stale = eng.Touches(endoDeleted)
+		} else if endoDeleted >= 0 {
+			stale = eng.Touches(endoDeleted) || eng.Mentions(relName)
+		} else {
+			stale = eng.Mentions(relName)
+		}
+		if !stale {
+			continue
+		}
+		if !s.noDelta {
+			ne, patched, err := delta.Apply(s.db, eng, m)
+			if err == nil && patched {
+				s.engines.Put(key, ne)
+				inv.patched++
+				continue
+			}
+			inv.fallbacks++
+		}
+		s.engines.Remove(key)
+		inv.engines++
 	}
 	return inv
 }
@@ -166,7 +197,8 @@ func (s *session) applyInsert(specs []TupleSpec) ([]rel.TupleID, invalidation, e
 			s.endo++
 		}
 		_, endoAfter := relProfile(s.db.Relation(t.Rel))
-		inv = inv.add(s.invalidateMutation(t.Rel, -1, endoBefore != endoAfter))
+		inv = inv.add(s.invalidateMutation(t.Rel, -1, endoBefore != endoAfter,
+			delta.Mutation{Rel: t.Rel, Inserted: id, Deleted: -1}))
 		ids = append(ids, id)
 	}
 	return ids, inv, nil
@@ -193,7 +225,8 @@ func (s *session) applyDelete(id rel.TupleID) (invalidation, error) {
 	if wasEndo {
 		endoDeleted = id
 	}
-	return s.invalidateMutation(relName, endoDeleted, endoBefore != endoAfter), nil
+	return s.invalidateMutation(relName, endoDeleted, endoBefore != endoAfter,
+		delta.Mutation{Rel: relName, Inserted: -1, Deleted: id, WasEndo: wasEndo}), nil
 }
 
 // handleInsertTuples serves POST /v1/databases/{db}/tuples.
@@ -217,6 +250,16 @@ func (s *Server) handleInsertTuples(w http.ResponseWriter, r *http.Request) {
 	sess.dbMu.Lock()
 	ids, inv, err := sess.applyInsert(req.Tuples)
 	version, live := sess.db.Version(), sess.db.NumLive()
+	if err == nil {
+		// Fan watch frames out while still holding the write lock, so
+		// every subscriber sees exactly one frame per mutation request, in
+		// mutation order.
+		rels := make(map[string]bool, len(req.Tuples))
+		for _, t := range req.Tuples {
+			rels[t.Rel] = true
+		}
+		sess.watch.Fanout(version, rels)
+	}
 	sess.dbMu.Unlock()
 	if err != nil {
 		writeErr(w, err)
@@ -234,6 +277,7 @@ func (s *Server) handleInsertTuples(w http.ResponseWriter, r *http.Request) {
 		TupleIDs:           out,
 		EnginesInvalidated: inv.engines,
 		CertsInvalidated:   inv.certs,
+		EnginesPatched:     inv.patched,
 	})
 }
 
@@ -255,9 +299,16 @@ func (s *Server) handleDeleteTuple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid tuple id %q", r.PathValue("id"))
 		return
 	}
+	var relName string
 	sess.dbMu.Lock()
+	if sess.db.Live(rel.TupleID(id)) {
+		relName = sess.db.Tuple(rel.TupleID(id)).Rel
+	}
 	inv, derr := sess.applyDelete(rel.TupleID(id))
 	version, live := sess.db.Version(), sess.db.NumLive()
+	if derr == nil {
+		sess.watch.Fanout(version, map[string]bool{relName: true})
+	}
 	sess.dbMu.Unlock()
 	if derr != nil {
 		writeErr(w, derr)
@@ -270,6 +321,7 @@ func (s *Server) handleDeleteTuple(w http.ResponseWriter, r *http.Request) {
 		Tuples:             live,
 		EnginesInvalidated: inv.engines,
 		CertsInvalidated:   inv.certs,
+		EnginesPatched:     inv.patched,
 	})
 }
 
@@ -279,5 +331,7 @@ func (s *Server) finishMutation(sess *session, inv invalidation) {
 	s.mutations.Add(1)
 	s.engineInvalidations.Add(uint64(inv.engines))
 	s.certInvalidations.Add(uint64(inv.certs))
+	s.enginesPatched.Add(uint64(inv.patched))
+	s.deltaFallbacks.Add(uint64(inv.fallbacks))
 	s.markDirty(sess)
 }

@@ -141,49 +141,97 @@ func TestInsertAndDeleteEndpoints(t *testing.T) {
 }
 
 // TestIncrementalInvalidation is the tentpole behavior: a mutation
-// drops exactly the engines whose lineage it can touch, and everything
-// else keeps answering from cache.
+// touches exactly the engines whose lineage it can affect, and
+// everything else keeps answering from cache. With delta maintenance
+// disabled the touched engines are dropped cold (the PR-8 rules); with
+// it enabled (the default) provably-patchable ones are revived in
+// place and keep answering warm — byte-identically to a rebuild.
 func TestIncrementalInvalidation(t *testing.T) {
-	_, ts := newTest(t, Config{})
-	info := upload(t, ts, mutateDBText) // R(a4,a3) S(a3) S(a2) R(a5,a2) T(a1); ids 0..4
-
 	const qRS = "q(x) :- R(x,y), S(y)"
 	const qT = "q(x) :- T(x)"
-	explainWhySo(t, ts.URL, info.ID, qRS, "a4") // engine: lineage {R(a4,a3), S(a3)} = ids {0,1}
-	explainWhySo(t, ts.URL, info.ID, qRS, "a5") // engine: lineage {R(a5,a2), S(a2)} = ids {2,3}
-	explainWhySo(t, ts.URL, info.ID, qT, "a1")  // engine over T only
-
-	// Insert into T: only the T engine mentions it.
-	ins := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "T", Args: []string{"a8"}, Endo: true})
-	if ins.EnginesInvalidated != 1 {
-		t.Fatalf("insert into T invalidated %d engines; want 1", ins.EnginesInvalidated)
-	}
-	if got := explainWhySo(t, ts.URL, info.ID, qRS, "a4"); !got.EngineCached {
-		t.Fatal("R/S engine went cold after a T-only insert")
-	}
-	if got := explainWhySo(t, ts.URL, info.ID, qT, "a1"); got.EngineCached {
-		t.Fatal("T engine stayed cached across an insert into T")
+	setup := func(t *testing.T, cfg Config) (string, DatabaseInfo) {
+		_, ts := newTest(t, cfg)
+		info := upload(t, ts, mutateDBText)         // R(a4,a3) S(a3) S(a2) R(a5,a2) T(a1); ids 0..4
+		explainWhySo(t, ts.URL, info.ID, qRS, "a4") // engine: lineage {R(a4,a3), S(a3)} = ids {0,1}
+		explainWhySo(t, ts.URL, info.ID, qRS, "a5") // engine: lineage {R(a5,a2), S(a2)} = ids {2,3}
+		explainWhySo(t, ts.URL, info.ID, qT, "a1")  // engine over T only
+		return ts.URL, info
 	}
 
-	// Delete endogenous S(a2) (id 2): it is in a5's lineage but not
-	// a4's, and S keeps other endogenous tuples (no flip) — so exactly
-	// the a5 engine drops, certificates included stay.
-	del := deleteTuple(t, ts.URL, info.ID, 2)
-	if del.EnginesInvalidated != 1 || del.CertsInvalidated != 0 {
-		t.Fatalf("delete S(a2): invalidated %d engines, %d certs; want 1, 0", del.EnginesInvalidated, del.CertsInvalidated)
-	}
-	if got := explainWhySo(t, ts.URL, info.ID, qRS, "a4"); !got.EngineCached {
-		t.Fatal("a4 engine went cold after deleting a tuple outside its lineage")
-	}
-	// a5 is no longer an answer at all (its only witness used S(a2)):
-	// the rebuilt engine finds no causes, and it really was rebuilt.
-	a5 := explainWhySo(t, ts.URL, info.ID, qRS, "a5")
-	if a5.EngineCached {
-		t.Fatal("a5 engine survived deleting its lineage tuple S(a2)")
-	}
-	if len(a5.Explanations) != 0 {
-		t.Fatalf("destroyed answer a5 still has %d explanations", len(a5.Explanations))
-	}
+	t.Run("cold", func(t *testing.T) {
+		url, info := setup(t, Config{DisableDelta: true})
+
+		// Insert into T: only the T engine mentions it.
+		ins := insertTuples(t, url, info.ID, TupleSpec{Rel: "T", Args: []string{"a8"}, Endo: true})
+		if ins.EnginesInvalidated != 1 || ins.EnginesPatched != 0 {
+			t.Fatalf("insert into T invalidated %d engines, patched %d; want 1, 0", ins.EnginesInvalidated, ins.EnginesPatched)
+		}
+		if got := explainWhySo(t, url, info.ID, qRS, "a4"); !got.EngineCached {
+			t.Fatal("R/S engine went cold after a T-only insert")
+		}
+		if got := explainWhySo(t, url, info.ID, qT, "a1"); got.EngineCached {
+			t.Fatal("T engine stayed cached across an insert into T")
+		}
+
+		// Delete endogenous S(a2) (id 2): it is in a5's lineage but not
+		// a4's, and S keeps other endogenous tuples (no flip) — so exactly
+		// the a5 engine drops, certificates included stay.
+		del := deleteTuple(t, url, info.ID, 2)
+		if del.EnginesInvalidated != 1 || del.CertsInvalidated != 0 {
+			t.Fatalf("delete S(a2): invalidated %d engines, %d certs; want 1, 0", del.EnginesInvalidated, del.CertsInvalidated)
+		}
+		if got := explainWhySo(t, url, info.ID, qRS, "a4"); !got.EngineCached {
+			t.Fatal("a4 engine went cold after deleting a tuple outside its lineage")
+		}
+		// a5 is no longer an answer at all (its only witness used S(a2)):
+		// the rebuilt engine finds no causes, and it really was rebuilt.
+		a5 := explainWhySo(t, url, info.ID, qRS, "a5")
+		if a5.EngineCached {
+			t.Fatal("a5 engine survived deleting its lineage tuple S(a2)")
+		}
+		if len(a5.Explanations) != 0 {
+			t.Fatalf("destroyed answer a5 still has %d explanations", len(a5.Explanations))
+		}
+	})
+
+	t.Run("delta", func(t *testing.T) {
+		url, info := setup(t, Config{})
+
+		// Insert into T: the T engine is stale, but an insert is
+		// patchable — it is revived in place, not dropped.
+		ins := insertTuples(t, url, info.ID, TupleSpec{Rel: "T", Args: []string{"a8"}, Endo: true})
+		if ins.EnginesInvalidated != 0 || ins.EnginesPatched != 1 {
+			t.Fatalf("insert into T invalidated %d engines, patched %d; want 0, 1", ins.EnginesInvalidated, ins.EnginesPatched)
+		}
+		if got := explainWhySo(t, url, info.ID, qRS, "a4"); !got.EngineCached {
+			t.Fatal("R/S engine went cold after a T-only insert")
+		}
+		// The patched engine serves from cache and still answers
+		// correctly: q(a1) ranks T(a1) (id 4) as its only cause.
+		a1 := explainWhySo(t, url, info.ID, qT, "a1")
+		if !a1.EngineCached {
+			t.Fatal("patched T engine was not served from cache")
+		}
+		if len(a1.Explanations) != 1 || a1.Explanations[0].TupleID != 4 {
+			t.Fatalf("patched T engine ranking = %+v; want the single cause T(a1)", a1.Explanations)
+		}
+
+		// Delete endogenous S(a2) (id 2): an endo delete is patchable —
+		// the a5 engine's conjunct is filtered in place and it keeps
+		// serving warm, now reporting the destroyed answer.
+		del := deleteTuple(t, url, info.ID, 2)
+		if del.EnginesInvalidated != 0 || del.EnginesPatched != 1 || del.CertsInvalidated != 0 {
+			t.Fatalf("delete S(a2): invalidated %d, patched %d, certs %d; want 0, 1, 0",
+				del.EnginesInvalidated, del.EnginesPatched, del.CertsInvalidated)
+		}
+		a5 := explainWhySo(t, url, info.ID, qRS, "a5")
+		if !a5.EngineCached {
+			t.Fatal("a5 engine was dropped; an endo delete must patch it in place")
+		}
+		if len(a5.Explanations) != 0 {
+			t.Fatalf("destroyed answer a5 still has %d explanations", len(a5.Explanations))
+		}
+	})
 }
 
 // TestEndoFlipInvalidatesCertificates: inserting the first endogenous

@@ -99,6 +99,8 @@ func (r *registry) restore(snap *persist.Snapshot) (*session, error) {
 		db:      db,
 		endo:    endo,
 		created: now,
+		watch:   NewWatchSet(),
+		noDelta: r.disableDelta,
 		byID:    make(map[string]*preparedQuery),
 		certs:   cache.New[string, *certEntry](r.certCap, nil),
 		engines: cache.New[string, *core.Engine](r.engineCap, nil),

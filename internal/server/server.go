@@ -23,6 +23,9 @@
 //	POST   /v1/databases/{db}/batch           many explains in one call (ExplainAll fan-out)
 //	POST   /v1/databases/{db}/causes          actual causes only (no ranking); warms the engine cache
 //	POST   /v1/databases/{db}/explain/stream  streamed ranking (NDJSON, one explanation per line)
+//	POST   /v1/databases/{db}/watch           live explanation (NDJSON DiffEvent frames per mutation)
+//	POST   /v1/databases/{db}/tuples          insert tuples (delta-maintains cached state, fans out watch frames)
+//	DELETE /v1/databases/{db}/tuples/{id}     delete one tuple
 //	GET    /v1/stats                          cache hit rates, in-flight gauge, session counts
 //	GET    /healthz
 //
@@ -117,6 +120,17 @@ type Config struct {
 	// starve the rest. 0 (default) = unlimited.
 	SessionBudget int
 
+	// WatchBudget caps the concurrent watch subscriptions per session;
+	// subscriptions over it are shed with ErrBudgetExceeded (503).
+	// Watches are long-lived, so they are budgeted separately from the
+	// explain fairness cap. 0 (default) = unlimited.
+	WatchBudget int
+	// DisableDelta turns off the delta-maintenance layer: every stale
+	// engine is dropped cold on mutation instead of patched in place.
+	// Results are identical either way (the experiment harness compares
+	// the two paths); this is the escape hatch and the baseline arm.
+	DisableDelta bool
+
 	// Persist, when non-nil, enables session durability: snapshots are
 	// written behind state-changing requests and loaded on start (and
 	// lazily on a registry miss), so restarts serve warm explains.
@@ -194,10 +208,19 @@ type Server struct {
 
 	// Mutation counters: requests served by the tuple-mutation
 	// endpoints, and the explanation state they incrementally
-	// invalidated (see mutate.go).
+	// invalidated (see mutate.go). enginesPatched counts engines the
+	// delta layer revived in place, deltaFallbacks the stale engines it
+	// declined (dropped cold).
 	mutations           atomic.Uint64
 	engineInvalidations atomic.Uint64
 	certInvalidations   atomic.Uint64
+	enginesPatched      atomic.Uint64
+	deltaFallbacks      atomic.Uint64
+
+	// Watch counters: gauge of open watch streams and cumulative frames
+	// written to them (see watch.go).
+	watchesActive  atomic.Int64
+	diffEventsSent atomic.Uint64
 
 	// cluster is nil on non-clustered servers; see cluster.go.
 	cluster           *clusterState
@@ -230,6 +253,7 @@ func New(cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.WorkerBudget),
 		reaperDone: make(chan struct{}),
 	}
+	s.reg.disableDelta = cfg.DisableDelta
 	if cfg.Self != "" && len(cfg.Peers) > 0 {
 		nodes := append([]string(nil), cfg.Peers...)
 		ring := cluster.New(append(nodes, cfg.Self)) // ring dedups; Self is always a member
@@ -311,6 +335,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/databases/{db}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/databases/{db}/causes", s.handleCauses)
 	s.mux.HandleFunc("POST /v1/databases/{db}/explain/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/databases/{db}/watch", s.handleWatch)
 	s.mux.HandleFunc("POST /v1/databases/{db}/tuples", s.handleInsertTuples)
 	s.mux.HandleFunc("DELETE /v1/databases/{db}/tuples/{id}", s.handleDeleteTuple)
 }
@@ -510,6 +535,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MutationsTotal:   s.mutations.Load(),
 		EnginesInvalid:   s.engineInvalidations.Load(),
 		CertsInvalid:     s.certInvalidations.Load(),
+		EnginesPatched:   s.enginesPatched.Load(),
+		WatchesActive:    s.watchesActive.Load(),
+		DiffEventsSent:   s.diffEventsSent.Load(),
+		DeltaFallbacks:   s.deltaFallbacks.Load(),
+		WatchBudget:      s.cfg.WatchBudget,
 	}
 	if s.cluster != nil {
 		resp.Node = s.cluster.self

@@ -70,6 +70,13 @@ type session struct {
 	// dbMu is the database mutation lock (see the type comment).
 	dbMu sync.RWMutex
 
+	// watch is the live-explanation subscription registry; mutation
+	// handlers fan frames out through it before releasing dbMu. noDelta
+	// disables the delta-maintenance layer for this session (set from
+	// Config.DisableDelta), forcing every invalidation cold.
+	watch   *WatchSet
+	noDelta bool
+
 	// mu guards byID and nextQ; prepMu serializes prepare so concurrent
 	// identical prepares dedup to one id. Lock order: prepMu, then the
 	// prepared LRU's internal lock, then mu (the LRU's onEvict takes mu;
@@ -274,6 +281,10 @@ type registry struct {
 	engineCap   int
 	clock       func() time.Time
 
+	// disableDelta turns off delta maintenance for every session minted
+	// or restored by this registry (Config.DisableDelta).
+	disableDelta bool
+
 	// owns, when non-nil (cluster mode), reports whether this node owns
 	// a session id on the consistent-hash ring; add mints ids the node
 	// owns so creators serve their own sessions without redirects.
@@ -329,6 +340,8 @@ func (r *registry) add(db *rel.Database) *session {
 		db:      db,
 		endo:    endo,
 		created: now,
+		watch:   NewWatchSet(),
+		noDelta: r.disableDelta,
 		byID:    make(map[string]*preparedQuery),
 		certs:   cache.New[string, *certEntry](r.certCap, nil),
 		engines: cache.New[string, *core.Engine](r.engineCap, nil),

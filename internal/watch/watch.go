@@ -1,0 +1,131 @@
+// Package watch is the fanout layer of the live-explanation subsystem:
+// a topic-keyed hub distributing events to subscribers over bounded
+// buffers. It is deliberately transport- and payload-agnostic — the
+// server and the in-process session both publish their DiffEvent wire
+// frames through a Hub, so the two transports share one slow-consumer
+// policy:
+//
+//   - Publish never blocks. A subscriber whose buffer is full misses
+//     the event and is marked lagged; its consumer observes the mark
+//     (TakeLag), drains what remains, and emits a full-resync snapshot
+//     instead of a broken diff chain.
+//   - Subscribe/Close are idempotent with respect to Publish: sends
+//     happen under the hub lock and never race a channel close.
+//
+// Budgets (how many subscriptions a session may hold) are enforced by
+// the caller at Subscribe time via Active counts; the hub only counts.
+package watch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hub fans events out to subscribers grouped by topic key.
+type Hub[E any] struct {
+	mu     sync.Mutex
+	topics map[string]map[*Sub[E]]struct{}
+	active atomic.Int64
+	sent   atomic.Uint64
+	lagged atomic.Uint64
+}
+
+// NewHub builds an empty hub.
+func NewHub[E any]() *Hub[E] {
+	return &Hub[E]{topics: make(map[string]map[*Sub[E]]struct{})}
+}
+
+// Sub is one subscription: consume from C, call Close exactly when
+// done. After Close the channel is closed (consumers may range it).
+type Sub[E any] struct {
+	hub    *Hub[E]
+	topic  string
+	ch     chan E
+	lag    atomic.Bool
+	closed bool // guarded by hub.mu
+}
+
+// Subscribe registers a subscriber on topic with the given buffer
+// capacity (minimum 1: an unbuffered subscriber would lag on every
+// publish).
+func (h *Hub[E]) Subscribe(topic string, buffer int) *Sub[E] {
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Sub[E]{hub: h, topic: topic, ch: make(chan E, buffer)}
+	h.mu.Lock()
+	set := h.topics[topic]
+	if set == nil {
+		set = make(map[*Sub[E]]struct{})
+		h.topics[topic] = set
+	}
+	set[s] = struct{}{}
+	h.mu.Unlock()
+	h.active.Add(1)
+	return s
+}
+
+// Publish delivers ev to every subscriber of topic, without blocking:
+// subscribers with a full buffer are marked lagged instead. It returns
+// the number of subscribers the event was actually buffered to.
+func (h *Hub[E]) Publish(topic string, ev E) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for s := range h.topics[topic] {
+		select {
+		case s.ch <- ev:
+			n++
+		default:
+			s.lag.Store(true)
+			h.lagged.Add(1)
+		}
+	}
+	h.sent.Add(uint64(n))
+	return n
+}
+
+// Subscribers reports the number of subscribers on topic.
+func (h *Hub[E]) Subscribers(topic string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.topics[topic])
+}
+
+// Active reports the total live subscription count across all topics.
+func (h *Hub[E]) Active() int64 { return h.active.Load() }
+
+// Sent reports the cumulative count of events buffered to subscribers.
+func (h *Hub[E]) Sent() uint64 { return h.sent.Load() }
+
+// Lagged reports the cumulative count of events dropped on full
+// subscriber buffers.
+func (h *Hub[E]) Lagged() uint64 { return h.lagged.Load() }
+
+// C is the subscriber's event channel. It is closed by Close.
+func (s *Sub[E]) C() <-chan E { return s.ch }
+
+// TakeLag reports whether the subscriber missed an event since the
+// last call, clearing the mark. A true result obligates the consumer
+// to resynchronize from current state: buffered events predate the
+// drop and the chain after it is broken.
+func (s *Sub[E]) TakeLag() bool { return s.lag.Swap(false) }
+
+// Close unregisters the subscription and closes its channel. Safe to
+// call once per subscription; Publish never races the close because
+// both hold the hub lock.
+func (s *Sub[E]) Close() {
+	s.hub.mu.Lock()
+	defer s.hub.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	set := s.hub.topics[s.topic]
+	delete(set, s)
+	if len(set) == 0 {
+		delete(s.hub.topics, s.topic)
+	}
+	close(s.ch)
+	s.hub.active.Add(-1)
+}

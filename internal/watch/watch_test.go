@@ -1,0 +1,108 @@
+package watch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishReachesTopicSubscribersOnly(t *testing.T) {
+	h := NewHub[int]()
+	a := h.Subscribe("t1", 4)
+	b := h.Subscribe("t1", 4)
+	c := h.Subscribe("t2", 4)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	if n := h.Publish("t1", 7); n != 2 {
+		t.Fatalf("Publish delivered to %d subscribers, want 2", n)
+	}
+	if got := <-a.C(); got != 7 {
+		t.Fatalf("a received %d, want 7", got)
+	}
+	if got := <-b.C(); got != 7 {
+		t.Fatalf("b received %d, want 7", got)
+	}
+	select {
+	case ev := <-c.C():
+		t.Fatalf("t2 subscriber received stray event %d", ev)
+	default:
+	}
+	if h.Active() != 3 {
+		t.Fatalf("Active() = %d, want 3", h.Active())
+	}
+	if h.Subscribers("t1") != 2 || h.Subscribers("t2") != 1 {
+		t.Fatalf("Subscribers counts wrong: t1=%d t2=%d", h.Subscribers("t1"), h.Subscribers("t2"))
+	}
+}
+
+func TestSlowConsumerLagsInsteadOfBlocking(t *testing.T) {
+	h := NewHub[int]()
+	s := h.Subscribe("t", 2)
+	defer s.Close()
+
+	for i := 0; i < 5; i++ {
+		h.Publish("t", i)
+	}
+	if !s.TakeLag() {
+		t.Fatal("subscriber with full buffer must be marked lagged")
+	}
+	if s.TakeLag() {
+		t.Fatal("TakeLag must clear the mark")
+	}
+	// The two buffered events are the oldest ones (pre-drop).
+	if got := <-s.C(); got != 0 {
+		t.Fatalf("first buffered event %d, want 0", got)
+	}
+	if got := <-s.C(); got != 1 {
+		t.Fatalf("second buffered event %d, want 1", got)
+	}
+	if h.Lagged() != 3 {
+		t.Fatalf("Lagged() = %d, want 3", h.Lagged())
+	}
+	if h.Sent() != 2 {
+		t.Fatalf("Sent() = %d, want 2", h.Sent())
+	}
+}
+
+func TestCloseUnsubscribesAndClosesChannel(t *testing.T) {
+	h := NewHub[string]()
+	s := h.Subscribe("t", 1)
+	s.Close()
+	s.Close() // idempotent
+	if _, ok := <-s.C(); ok {
+		t.Fatal("channel must be closed after Close")
+	}
+	if h.Active() != 0 || h.Subscribers("t") != 0 {
+		t.Fatalf("closed subscription still counted: active=%d subs=%d", h.Active(), h.Subscribers("t"))
+	}
+	if n := h.Publish("t", "x"); n != 0 {
+		t.Fatalf("Publish after Close delivered to %d", n)
+	}
+}
+
+// TestPublishCloseRace holds the no-send-after-close contract under the
+// race detector: concurrent Publish and Close must never panic.
+func TestPublishCloseRace(t *testing.T) {
+	h := NewHub[int]()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		s := h.Subscribe("t", 1)
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Publish("t", j)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-s.C()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	if h.Active() != 0 {
+		t.Fatalf("Active() = %d after all Closes", h.Active())
+	}
+}

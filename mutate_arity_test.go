@@ -1,0 +1,86 @@
+package querycause_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// TestInsertBatchArityPinning pins the arity contract for mixed
+// batches: a relation unknown to the database gets its arity from the
+// FIRST batch tuple that mentions it, a live relation keeps its stored
+// arity no matter what the batch says, and a rejected batch applies
+// nothing — identically on the local engine, over HTTP, and through a
+// 3-node cluster.
+func TestInsertBatchArityPinning(t *testing.T) {
+	check := func(t *testing.T, sess qc.Session) {
+		ctx := context.Background()
+		tup := func(rel string, args ...string) qc.TupleSpec {
+			return qc.TupleSpec{Rel: rel, Args: args, Endo: true}
+		}
+		wantBad := func(name string, specs ...qc.TupleSpec) {
+			t.Helper()
+			if _, err := sess.Insert(ctx, specs...); !errors.Is(err, qc.ErrBadInstance) {
+				t.Errorf("%s: err = %v; want ErrBadInstance", name, err)
+			}
+		}
+		// A new relation is pinned by the first batch tuple mentioning it,
+		// in either direction — wide-then-narrow and narrow-then-wide.
+		wantBad("first tuple pins Z/2", tup("Z", "a", "b"), tup("Z", "c"))
+		wantBad("first tuple pins Z/1", tup("Z", "c"), tup("Z", "a", "b"))
+		// A live relation's stored arity wins over the batch (R is R/2).
+		wantBad("live relation pins R/2", tup("R", "only-one"))
+		// Rejection is atomic: a valid prefix must not apply.
+		wantBad("valid prefix does not apply", tup("S", "good"), tup("Z", "a", "b"), tup("Z", "c"))
+
+		// The probe: mutateChainDB holds ids 0..3, so if the rejected
+		// batches truly applied nothing — including their valid prefixes
+		// and their transient Z pins — this consistent batch gets [4 5 6],
+		// with Z/2 pinned by its first tuple.
+		ids, err := sess.Insert(ctx, tup("S", "a9"), tup("Z", "p", "q"), tup("Z", "r", "s"))
+		if err != nil {
+			t.Fatalf("consistent mixed batch: %v", err)
+		}
+		if len(ids) != 3 || ids[0] != 4 || ids[1] != 5 || ids[2] != 6 {
+			t.Fatalf("consistent mixed batch ids = %v, want [4 5 6]", ids)
+		}
+		// Z is now live at arity 2, so the live pin takes over.
+		wantBad("live pin survives the batch that created Z", tup("Z", "solo"))
+	}
+
+	bothTransportsFresh(t, mutateChainDB, check)
+
+	t.Run("cluster", func(t *testing.T) {
+		n := 3
+		lns := make([]net.Listener, n)
+		urls := make([]string, n)
+		for i := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lns[i] = ln
+			urls[i] = "http://" + ln.Addr().String()
+		}
+		for i := range lns {
+			srv := server.New(server.Config{ReapInterval: -1, Self: urls[i], Peers: urls})
+			hs := &http.Server{Handler: srv.Handler()}
+			go hs.Serve(lns[i])
+			t.Cleanup(func() {
+				hs.Close()
+				srv.Close()
+			})
+		}
+		sess, err := qc.Dial(context.Background(), urls[0], mutateChainDB())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer sess.Close()
+		check(t, sess)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -53,6 +54,26 @@ type Session interface {
 	// and historical explanations keep rendering the removed tuple.
 	// Like Insert, a delete invalidates Rankings opened before it.
 	Delete(ctx context.Context, id TupleID) error
+	// Watch subscribes to the live explanation of one answer (or, with
+	// spec.WhyNo, one non-answer): the first frame is a snapshot of
+	// the current ranking, then every mutation against the session
+	// produces exactly one frame — a diff (causes added/removed, ranks
+	// changed) when the mutation can affect the watched query, an
+	// empty version-bump otherwise. Replaying frames with ApplyDiff
+	// reconstructs, at every version, the ranking a cold Rank would
+	// return, byte for byte. A failure to re-rank after a mutation
+	// (e.g. a mutation that invalidates a why-no instance) arrives as
+	// an in-band frame with Type "error" and a nil iteration error;
+	// the subscription stays open and recovers with a full_resync
+	// frame once re-ranking succeeds again. A subscriber that falls
+	// more than spec.Buffer frames behind has the backlog dropped and
+	// is re-seeded with a full_resync instead of a broken diff chain.
+	// Invalid specs (nil query, invalid why-no instance) fail as the
+	// first iteration error; otherwise the sequence ends only with a
+	// non-nil error when ctx is canceled or the transport fails.
+	// The sequence is single-use; breaking out of the range
+	// unsubscribes.
+	Watch(ctx context.Context, spec WatchSpec, opts ...Option) iter.Seq2[DiffEvent, error]
 	// Close releases the session (and drops the server-side session on
 	// a Dial'ed one).
 	Close() error
@@ -85,6 +106,22 @@ type Ranking interface {
 	RankStream(ctx context.Context, opts ...Option) iter.Seq2[Explanation, error]
 }
 
+// WatchSpec names the explanation a Session.Watch subscribes to.
+type WatchSpec struct {
+	// Query is the watched query (required).
+	Query *Query
+	// Answer binds the watched answer (why-so) or non-answer (why-no);
+	// empty for a Boolean query.
+	Answer []Value
+	// WhyNo watches a non-answer: the frames track the ranking of the
+	// candidate missing tuples (the database's endogenous tuples).
+	WhyNo bool
+	// Buffer is the per-subscription frame buffer (default 16). A
+	// subscriber that falls more than Buffer frames behind has its
+	// backlog dropped and recovers with a full_resync frame.
+	Buffer int
+}
+
 // Open returns an in-process Session over db. While the session is in
 // use the database must be mutated only through Session.Insert and
 // Session.Delete, which serialize against the session's explains.
@@ -94,7 +131,7 @@ func Open(db *Database, opts ...Option) (Session, error) {
 	if db == nil {
 		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Open: nil database"))
 	}
-	return &localSession{db: db, cfg: defaultConfig().apply(opts)}, nil
+	return &localSession{db: db, cfg: defaultConfig().apply(opts), watch: server.NewWatchSet()}, nil
 }
 
 // SortExplanations sorts a ranking in place into the order Rank
@@ -102,6 +139,16 @@ func Open(db *Database, opts ...Option) (Session, error) {
 // RankStream and sorting with SortExplanations reproduces Rank
 // byte-for-byte.
 func SortExplanations(exps []Explanation) { core.SortExplanations(exps) }
+
+// ApplyDiff folds one watch frame into a replayed ranking: snapshot
+// and full_resync frames replace the state wholesale, diff frames
+// apply removals, changes, and additions and re-sort into ranking
+// order, and error frames leave the state untouched. Replaying a
+// Session.Watch stream through ApplyDiff reconstructs, at every
+// version, the ranking a cold Rank would return at that version.
+func ApplyDiff(state []ExplanationDTO, ev DiffEvent) []ExplanationDTO {
+	return server.ApplyWatchEvent(state, ev)
+}
 
 // localSession is the in-process transport: a thin, option-aware
 // veneer over internal/core.
@@ -114,6 +161,11 @@ type localSession struct {
 	// opened hold self-contained engine state and need no lock.
 	dbMu   sync.RWMutex
 	closed atomic.Bool
+	// watch fans live-explanation frames out to Watch subscribers.
+	// Insert and Delete publish through it before releasing the write
+	// lock, so frames advance atomically with the database — the same
+	// discipline the server applies (see internal/server WatchSet).
+	watch *server.WatchSet
 }
 
 func (s *localSession) checkOpen() error {
@@ -201,6 +253,7 @@ func (s *localSession) Insert(ctx context.Context, tuples ...TupleSpec) ([]Tuple
 		return nil, err
 	}
 	ids := make([]TupleID, 0, len(tuples))
+	rels := make(map[string]bool, len(tuples))
 	for _, t := range tuples {
 		args := make([]Value, len(t.Args))
 		for i, a := range t.Args {
@@ -212,7 +265,11 @@ func (s *localSession) Insert(ctx context.Context, tuples ...TupleSpec) ([]Tuple
 			return ids, qerr.Tag(qerr.ErrBadInstance, err)
 		}
 		ids = append(ids, id)
+		rels[t.Rel] = true
 	}
+	// One frame per Insert call, not per tuple — still inside the write
+	// lock, so subscribers see frames in database order.
+	s.watch.Fanout(s.db.Version(), rels)
 	return ids, nil
 }
 
@@ -228,7 +285,152 @@ func (s *localSession) Delete(ctx context.Context, id TupleID) error {
 	if !s.db.Live(id) {
 		return qerr.Tag(qerr.ErrTupleNotFound, fmt.Errorf("querycause: no live tuple %d", id))
 	}
-	return s.db.Delete(id)
+	relName := s.db.Tuple(id).Rel
+	if err := s.db.Delete(id); err != nil {
+		return err
+	}
+	s.watch.Fanout(s.db.Version(), map[string]bool{relName: true})
+	return nil
+}
+
+// Watch on the in-process transport subscribes directly to the
+// session's WatchSet — the exact fanout machinery the server uses, so
+// frame sequences are byte-identical across transports. The rank
+// closure builds a cold engine per affected fanout; that stays under
+// the mutation's write lock, mirroring the server's (delta-patched)
+// re-rank window.
+func (s *localSession) Watch(ctx context.Context, spec WatchSpec, opts ...Option) iter.Seq2[DiffEvent, error] {
+	cfg := s.cfg.apply(opts)
+	return func(yield func(DiffEvent, error) bool) {
+		if err := s.checkOpen(); err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		if spec.Query == nil {
+			yield(DiffEvent{}, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Watch: nil query")))
+			return
+		}
+		ctx, cancel := cfg.withTimeout(ctx)
+		defer cancel()
+		buffer := spec.Buffer
+		if buffer <= 0 {
+			buffer = 16
+		}
+		q := spec.Query
+		answer := append([]Value(nil), spec.Answer...)
+		key := watchKey(q, answer, spec.WhyNo, cfg.mode)
+		rank := func() ([]ExplanationDTO, error) {
+			// Runs under dbMu — the read side for the snapshot, the
+			// mutating call's write side for fanouts — so it takes no
+			// database lock and detaches from the subscriber's context.
+			var eng *core.Engine
+			var err error
+			if spec.WhyNo {
+				eng, err = core.NewWhyNo(s.db, q, answer...)
+			} else {
+				eng, err = core.NewWhySo(s.db, q, answer...)
+			}
+			if err != nil {
+				return nil, err
+			}
+			exps, err := eng.RankAllParallel(context.Background(), cfg.mode, core.ParallelOptions{Workers: cfg.parallelism})
+			if err != nil {
+				return nil, err
+			}
+			dtos := make([]ExplanationDTO, len(exps))
+			for i, ex := range exps {
+				dtos[i] = server.NewExplanationDTO(s.db, ex)
+			}
+			return dtos, nil
+		}
+		s.dbMu.RLock()
+		sub, snap, err := s.watch.Subscribe(key, buffer, s.db.Version(), func(relName string) bool {
+			for _, a := range q.Atoms {
+				if a.Pred == relName {
+					return true
+				}
+			}
+			return false
+		}, rank)
+		s.dbMu.RUnlock()
+		if err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		defer s.watch.Unsubscribe(key, sub)
+		lastVersion := snap.Version
+		if !yield(snap, nil) {
+			return
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				yield(DiffEvent{}, ctx.Err())
+				return
+			case ev, ok := <-sub.C():
+				if !ok {
+					yield(DiffEvent{}, fmt.Errorf("querycause: watch subscription closed"))
+					return
+				}
+				if sub.TakeLag() {
+					// Dropped frames break the diff chain: discard what is
+					// still buffered (it predates the drop) and re-seed from
+					// the topic's current state — the same recovery the
+					// server's handler performs.
+					for drained := false; !drained; {
+						select {
+						case _, ok := <-sub.C():
+							if !ok {
+								yield(DiffEvent{}, fmt.Errorf("querycause: watch subscription closed"))
+								return
+							}
+						default:
+							drained = true
+						}
+					}
+					res, ok := s.watch.Resync(key)
+					if !ok {
+						yield(DiffEvent{}, fmt.Errorf("querycause: watch topic dropped"))
+						return
+					}
+					if !yield(res, nil) {
+						return
+					}
+					lastVersion = res.Version
+					continue
+				}
+				if ev.Version <= lastVersion {
+					// Superseded frame (published before a resync that already
+					// covered it); applying it would corrupt the replay.
+					continue
+				}
+				if !yield(ev, nil) {
+					return
+				}
+				lastVersion = ev.Version
+			}
+		}
+	}
+}
+
+// watchKey derives the local topic key: watches of the same query,
+// answer, direction, and mode share one topic (and therefore one
+// re-rank per mutation), exactly as on the server.
+func watchKey(q *Query, answer []Value, whyNo bool, mode Mode) string {
+	var b strings.Builder
+	if whyNo {
+		b.WriteString("no:")
+	} else {
+		b.WriteString("so:")
+	}
+	b.WriteString(mode.String())
+	b.WriteByte('|')
+	b.WriteString(q.String())
+	for _, v := range answer {
+		b.WriteByte('\x1f')
+		b.WriteString(string(v))
+	}
+	return b.String()
 }
 
 func (s *localSession) Close() error {

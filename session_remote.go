@@ -216,6 +216,40 @@ func (s *remoteSession) Delete(ctx context.Context, id TupleID) error {
 	return nil
 }
 
+// Watch on the remote transport is Client.WatchStream against the
+// session: the server's WatchSet performs the fanout (diff chains,
+// error frames, lag recovery), so the frame sequence is byte-identical
+// to the in-process transport's.
+func (s *remoteSession) Watch(ctx context.Context, spec WatchSpec, opts ...Option) iter.Seq2[DiffEvent, error] {
+	cfg := s.cfg.apply(opts)
+	return func(yield func(DiffEvent, error) bool) {
+		if err := s.checkOpen(); err != nil {
+			yield(DiffEvent{}, err)
+			return
+		}
+		if spec.Query == nil {
+			yield(DiffEvent{}, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Watch: nil query")))
+			return
+		}
+		ctx, cancel := cfg.withTimeout(ctx)
+		defer cancel()
+		for ev, err := range s.c.WatchStream(ctx, s.dbID, WatchRequest{
+			Query:  spec.Query.String(),
+			Answer: valueStrings(spec.Answer),
+			WhyNo:  spec.WhyNo,
+			Mode:   cfg.mode.String(),
+			Buffer: spec.Buffer,
+		}) {
+			if !yield(ev, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
 // Close drops the server-side session. It uses its own short deadline
 // (Close has no context); a session the server already evicted counts
 // as closed, not as an error.

@@ -1,0 +1,130 @@
+package querycause_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+
+	qc "github.com/querycause/querycause"
+	"github.com/querycause/querycause/internal/server"
+)
+
+// starDB builds a database where the answer "a" has 2n causes, enough
+// that abandoning a parallel RankStream mid-flight leaves workers with
+// real work still queued.
+func starDB(n int) *qc.Database {
+	db := qc.NewDatabase()
+	for i := 0; i < n; i++ {
+		b := qc.Value(fmt.Sprintf("b%02d", i))
+		db.MustAdd("R", true, "a", b)
+		db.MustAdd("S", true, b)
+	}
+	return db
+}
+
+// waitForGoroutines polls until the live goroutine count drops back to
+// the baseline (plus slack for runtime background goroutines), failing
+// with a full goroutine dump if it never does.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Idle keep-alive connections park two goroutines per conn on the
+		// shared default transport; they are pooled, not leaked.
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var buf strings.Builder
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	t.Fatalf("goroutines leaked: %d live, baseline %d\n%s",
+		runtime.NumGoroutine(), base, buf.String())
+}
+
+// TestStreamAbandonmentLeaksNoGoroutines: breaking out of RankStream
+// mid-flight and abandoning Watch after its snapshot must release every
+// worker, closer, and transport goroutine — on the local engine and
+// through the HTTP client alike. The count is taken after everything is
+// closed and must return to the pre-test baseline.
+func TestStreamAbandonmentLeaksNoGoroutines(t *testing.T) {
+	q, err := qc.ParseQuery("q(x) :- R(x,y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abandon := func(t *testing.T, sess qc.Session) {
+		ctx := context.Background()
+		// Several rounds amplify any per-stream leak above the slack.
+		for round := 0; round < 3; round++ {
+			r, err := sess.WhySo(ctx, q, "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			yielded := 0
+			for _, serr := range r.RankStream(ctx, qc.WithParallelism(4)) {
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				yielded++
+				break // abandon with workers still in flight
+			}
+			if yielded != 1 {
+				t.Fatalf("round %d: yielded %d explanations before break, want 1", round, yielded)
+			}
+		}
+		// Abandon a watch right after its snapshot frame.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		for ev, werr := range sess.Watch(wctx, qc.WatchSpec{Query: q, Answer: []qc.Value{"a"}}) {
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			if ev.Type != "snapshot" {
+				t.Fatalf("first watch frame type = %q, want snapshot", ev.Type)
+			}
+			break
+		}
+	}
+
+	t.Run("local", func(t *testing.T) {
+		base := runtime.NumGoroutine()
+		sess, err := qc.Open(starDB(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		abandon(t, sess)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitForGoroutines(t, base)
+	})
+	t.Run("remote", func(t *testing.T) {
+		base := runtime.NumGoroutine()
+		srv := server.New(server.Config{ReapInterval: -1})
+		ts := httptest.NewServer(srv.Handler())
+		sess, err := qc.Dial(context.Background(), ts.URL, starDB(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		abandon(t, sess)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ts.Close()
+		srv.Close()
+		waitForGoroutines(t, base)
+	})
+}
