@@ -4,13 +4,19 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"iter"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/querycause/querycause/internal/parser"
@@ -55,8 +61,11 @@ type (
 	// StreamDone is the terminal event of a successful stream.
 	StreamDone = server.StreamDone
 	// ClusterInfo is the /v1/cluster topology payload: the answering
-	// node's identity and the full static peer list.
+	// node's identity, the full peer list, and the topology epoch.
 	ClusterInfo = server.ClusterResponse
+	// ClusterChange reports the outcome of a membership change: the
+	// installed topology and how far it propagated.
+	ClusterChange = server.ClusterChangeResponse
 	// TupleSpec describes one tuple to insert into a session database.
 	TupleSpec = server.TupleSpec
 	// MutateResponse reports the session state after a tuple insert or
@@ -75,22 +84,36 @@ type (
 	RankChange = server.RankChangeDTO
 )
 
-// Client is a thin Go client for a querycaused server.
+// Client is a thin Go client for a querycaused server. It is safe for
+// concurrent use; the base URL it talks to may move at runtime (a
+// cluster redirect under a newer topology epoch re-pins it, and
+// SetFallbacks arms failover to peer nodes when the pinned node stops
+// answering).
 type Client struct {
-	base    string
 	http    *http.Client
 	retries int
+
+	// mu guards the routing state below: the pinned base URL, the
+	// highest topology epoch observed on responses, and the failover
+	// rotation through fallback bases.
+	mu        sync.Mutex
+	base      string
+	epoch     uint64
+	fallbacks []string
+	fbIdx     int
 }
 
 // NewClient returns a client for the server at baseURL (e.g.
 // "http://localhost:8347"). httpClient may be nil for
 // http.DefaultClient.
 //
-// Idempotent GETs (health, stats, session listings) are retried up to
-// two extra times on transport errors and gateway-style statuses (502,
-// 503, 504) with a short flat backoff — no Retry-After parsing.
-// Non-GET requests are never retried. SetRetries adjusts or disables
-// the behaviour.
+// Idempotent requests — GETs, DELETEs, and mutations carrying an
+// Idempotency-Key (InsertTuples and DeleteTuple generate one) — are
+// retried up to two extra times on transport errors and transient
+// statuses (429, 502, 503, 504), with jittered exponential backoff; a
+// server-sent Retry-After header overrides the computed pause.
+// Explain-family POSTs are never retried. SetRetries adjusts or
+// disables the behaviour.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -100,20 +123,100 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 
 const defaultGETRetries = 2
 
-// getRetryBackoff is flat and short: these are in-datacenter health
-// and stats probes, not user-facing calls worth an exponential wait.
-var getRetryBackoff = 50 * time.Millisecond
+// retryBackoffBase seeds the jittered exponential backoff (it doubles
+// per attempt up to retryBackoffCap); a var so tests can shrink it.
+var retryBackoffBase = 50 * time.Millisecond
 
-// SetRetries sets how many extra attempts an idempotent GET gets after
-// a transport error or a 502/503/504 (0 disables retries). It returns
-// the client for chaining and must not be called concurrently with
-// requests.
+const retryBackoffCap = 2 * time.Second
+
+// retryDelay computes the pause before retry attempt n (1-based):
+// the server's Retry-After when it sent one (capped — a clustered
+// server answering 503 mid-handoff knows better than any client-side
+// curve), otherwise an exponential step with full jitter in [d/2, d]
+// so synchronized clients do not retry in lockstep.
+func retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return min(retryAfter, retryBackoffCap)
+	}
+	d := retryBackoffBase << (attempt - 1)
+	if d <= 0 || d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// SetRetries sets how many extra attempts an idempotent request gets
+// after a transport error or a transient status (0 disables retries).
+// It returns the client for chaining and must not be called
+// concurrently with requests.
 func (c *Client) SetRetries(n int) *Client {
 	if n < 0 {
 		n = 0
 	}
 	c.retries = n
 	return c
+}
+
+// SetFallbacks arms base-URL failover: when the pinned node stops
+// answering (transport error on a retryable request, or a watch
+// reconnect), the client rotates to the next fallback and lets the
+// cluster's redirect/restore machinery route it onward. Dial wires the
+// cluster topology in automatically. It returns the client for
+// chaining.
+func (c *Client) SetFallbacks(bases []string) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fallbacks = nil
+	for _, b := range bases {
+		if b = strings.TrimRight(b, "/"); b != "" {
+			c.fallbacks = append(c.fallbacks, b)
+		}
+	}
+	return c
+}
+
+// Base returns the server base URL the client is currently pinned to.
+func (c *Client) Base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
+// rotateBase fails over to the next fallback base differing from the
+// current one; no-op without fallbacks.
+func (c *Client) rotateBase() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for range c.fallbacks {
+		c.fbIdx = (c.fbIdx + 1) % len(c.fallbacks)
+		if c.fallbacks[c.fbIdx] != c.base {
+			c.base = c.fallbacks[c.fbIdx]
+			return
+		}
+	}
+}
+
+// maybeRebase re-pins the client after a second redirect in one
+// request — the signal that ownership moved under a topology change
+// mid-flight. The redirect's X-Cluster-Epoch header guards the switch:
+// a target whose epoch is not newer than the one already observed is a
+// stale node, not a fresher topology, and the pin stays.
+func (c *Client) maybeRebase(loc string, resp *http.Response) {
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return
+	}
+	origin := u.Scheme + "://" + u.Host
+	epoch, eerr := strconv.ParseUint(resp.Header.Get(server.EpochHeader), 10, 64)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if eerr == nil {
+		if epoch <= c.epoch {
+			return
+		}
+		c.epoch = epoch
+	}
+	c.base = origin
 }
 
 // errMessageCap bounds how much of an error body is kept in an
@@ -144,6 +247,10 @@ type APIError struct {
 	// the server predates codes or the body was not an ErrorResponse.
 	Code    string
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when absent):
+	// how long to wait before retrying a 429/503. The client's retry
+	// loop honors it in place of its own backoff curve.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -159,14 +266,39 @@ func (e *APIError) Unwrap() error {
 	return nil
 }
 
-// retryableGET reports whether a GET response status is worth a
-// retry: gateway-style transient failures only. 4xx (including 429)
-// and plain 500 are returned to the caller as-is.
-func retryableGET(status int) bool {
-	return status == http.StatusBadGateway || status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout
+// retryableStatus reports whether a response status is worth an
+// idempotent retry: gateway-style transient failures (502, 503, 504 —
+// a clustered server answers 503 for sessions mid-handoff) and 429
+// backpressure. Other 4xx and plain 500 are returned to the caller
+// as-is.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// newIdempotencyKey mints the dedup key a mutation request carries so
+// a retry replays the recorded response instead of applying twice.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a time-based key rather than silently dropping dedup.
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doKeyed(ctx, method, path, in, out, "")
+}
+
+// doKeyed is do with an optional Idempotency-Key. Retries apply to
+// idempotent requests: GETs, DELETEs, and anything carrying a key
+// (the server dedups keyed mutations, so re-sending one is safe even
+// when the first attempt applied and only its response was lost).
+func (c *Client) doKeyed(ctx context.Context, method, path string, in, out any, idemKey string) error {
 	var raw []byte
 	if in != nil {
 		var err error
@@ -176,41 +308,69 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	attempts := 1
-	if method == http.MethodGet {
+	if method == http.MethodGet || method == http.MethodDelete || idemKey != "" {
 		attempts += c.retries
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			var retryAfter time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				retryAfter = apiErr.RetryAfter
+			} else {
+				// Transport error: the pinned node may be gone. Fail over to
+				// a fallback base (no-op without SetFallbacks) and let the
+				// cluster route the retry.
+				c.rotateBase()
+			}
 			select {
 			case <-ctx.Done():
 				// The caller canceled; cancellation dominates whatever the
 				// previous attempt returned, so errors.Is(err,
 				// context.Canceled/DeadlineExceeded) holds.
 				return ctx.Err()
-			case <-time.After(getRetryBackoff):
+			case <-time.After(retryDelay(attempt, retryAfter)):
 			}
 		}
 		var retry bool
-		retry, lastErr = c.doOnce(ctx, method, path, raw, in != nil, out)
+		retry, lastErr = c.doOnce(ctx, method, path, raw, in != nil, out, idemKey)
 		if lastErr == nil || !retry {
-			return lastErr
+			break
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 	}
+	if lastErr != nil && ctx.Err() == nil && !errors.As(lastErr, new(*APIError)) {
+		// The request died on the transport and is being reported to the
+		// caller (it was not retryable, or the budget is spent). The
+		// pinned node may be gone for good: fail over now so the NEXT
+		// request from this client probes a fallback base instead of
+		// re-dialing a dead node. The failed request itself is never
+		// re-sent — an unkeyed POST must not be duplicated — but a
+		// caller-level retry will enter through a live node.
+		c.rotateBase()
+	}
 	return lastErr
 }
 
+// maxRedirectHops bounds how many cluster redirects one request
+// follows. The common case is zero or one hop (client pinned to the
+// wrong node exactly once); more hops mean ownership is moving under
+// a topology change mid-flight, which settles within a hop or two —
+// the budget absorbs that instead of failing the request, and the
+// epoch-guarded rebase (maybeRebase) re-pins the client along the way.
+const maxRedirectHops = 4
+
 // doOnce performs one HTTP exchange; retry reports whether the failure
 // is transient enough for an idempotent retry. A cluster 307/308 is
-// followed exactly once — it is a re-route, not a retry, so it does
-// not consume a retry attempt — and a second redirect is an error
-// (the topology the first hop was based on no longer holds, or two
-// nodes disagree about ownership).
-func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out any) (retry bool, err error) {
-	url := c.base + path
+// followed without consuming a retry attempt — it is a re-route, not a
+// retry. A second redirect in one request re-pins the client to the
+// newest topology's owner; exhausting the hop budget is a retryable
+// failure (the topology is still converging).
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out any, idemKey string) (retry bool, err error) {
+	url := c.Base() + path
 	for hop := 0; ; hop++ {
 		var body io.Reader
 		if hasBody {
@@ -225,27 +385,33 @@ func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, ha
 			// net/http would transparently re-POST the body on a 307 (it
 			// knows how to rewind a bytes.Reader) under its own 10-hop
 			// budget; clearing GetBody surfaces the redirect here so the
-			// one-hop/loop policy above is enforceable.
+			// hop policy above is enforceable.
 			req.GetBody = nil
+		}
+		if idemKey != "" {
+			req.Header.Set("Idempotency-Key", idemKey)
 		}
 		resp, err := c.http.Do(req)
 		if err != nil {
-			return true, err // transport error: retryable for GETs
+			return true, err // transport error: retryable for idempotent requests
 		}
 		if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
-			loc, err := redirectTarget(resp)
-			if err != nil {
-				return false, err
+			loc, lerr := redirectTarget(resp)
+			if lerr != nil {
+				return false, lerr
+			}
+			if hop >= maxRedirectHops {
+				return true, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after %d cluster hops; topology still converging", url, loc, hop)
 			}
 			if hop > 0 {
-				return false, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc)
+				c.maybeRebase(loc, resp)
 			}
 			url = loc
 			continue
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			return retryableGET(resp.StatusCode), decodeAPIError(resp)
+			return retryableStatus(resp.StatusCode), decodeAPIError(resp)
 		}
 		if out == nil {
 			return false, nil
@@ -269,9 +435,10 @@ func redirectTarget(resp *http.Response) (string, error) {
 // decodeAPIError turns a non-2xx response into an *APIError. The body
 // is read up to bodyDrainCap; an ErrorResponse payload supplies the
 // message and code, anything else (plain text, proxy HTML, truncated
-// JSON) is kept verbatim, capped at errMessageCap.
+// JSON) is kept verbatim, capped at errMessageCap. A Retry-After
+// header (delta-seconds or HTTP-date) is parsed into RetryAfter.
 func decodeAPIError(resp *http.Response) *APIError {
-	apiErr := &APIError{StatusCode: resp.StatusCode}
+	apiErr := &APIError{StatusCode: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, bodyDrainCap))
 	if err != nil {
 		return apiErr
@@ -286,6 +453,27 @@ func decodeAPIError(resp *http.Response) *APIError {
 		apiErr.Message = apiErr.Message[:errMessageCap] + "…(truncated)"
 	}
 	return apiErr
+}
+
+// parseRetryAfter reads a Retry-After header value: integer
+// delta-seconds, or an HTTP-date resolved against the local clock.
+// Absent, malformed, or already-elapsed values are zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // UploadDatabase registers a database given in the parser's textual
@@ -335,19 +523,26 @@ func (c *Client) PrepareQuery(ctx context.Context, dbID, query string) (PrepareQ
 // carries the server-assigned tuple ids (in request order) and the new
 // mutation version; cached explanation state the mutation cannot
 // affect stays warm on the server.
+//
+// The request carries a generated Idempotency-Key, so it is safely
+// retried: if the first attempt applied and only its response was
+// lost, the retry replays the recorded response instead of inserting
+// twice.
 func (c *Client) InsertTuples(ctx context.Context, dbID string, tuples []TupleSpec) (MutateResponse, error) {
 	var out MutateResponse
-	err := c.do(ctx, http.MethodPost, "/v1/databases/"+dbID+"/tuples",
-		server.InsertTuplesRequest{Tuples: tuples}, &out)
+	err := c.doKeyed(ctx, http.MethodPost, "/v1/databases/"+dbID+"/tuples",
+		server.InsertTuplesRequest{Tuples: tuples}, &out, newIdempotencyKey())
 	return out, err
 }
 
 // DeleteTuple removes one tuple by id. Deleting an unknown or
 // already-deleted id fails with ErrTupleNotFound; ids are never
-// reused.
+// reused. The request carries a generated Idempotency-Key so a retry
+// that races its own first attempt replays the recorded response
+// instead of failing with ErrTupleNotFound.
 func (c *Client) DeleteTuple(ctx context.Context, dbID string, tupleID int) (MutateResponse, error) {
 	var out MutateResponse
-	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/databases/%s/tuples/%d", dbID, tupleID), nil, &out)
+	err := c.doKeyed(ctx, http.MethodDelete, fmt.Sprintf("/v1/databases/%s/tuples/%d", dbID, tupleID), nil, &out, newIdempotencyKey())
 	return out, err
 }
 
@@ -402,7 +597,7 @@ func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExpl
 			yield(ExplanationDTO{}, err)
 			return
 		}
-		resp, err := c.openStream(ctx, c.base+"/v1/databases/"+dbID+"/explain/stream", raw)
+		resp, err := c.openStream(ctx, "/v1/databases/"+dbID+"/explain/stream", raw)
 		if err != nil {
 			yield(ExplanationDTO{}, err)
 			return
@@ -447,19 +642,27 @@ func (c *Client) ExplainStream(ctx context.Context, dbID string, sreq StreamExpl
 	}
 }
 
-// openStream POSTs raw JSON to url and returns the (streaming)
-// response, following at most one cluster redirect — the same one-hop
-// policy as doOnce. The caller owns the response body.
-func (c *Client) openStream(ctx context.Context, url string, raw []byte) (*http.Response, error) {
+// openStream POSTs raw JSON to path (resolved against the current
+// base) and returns the (streaming) response, following cluster
+// redirects under the same hop policy as doOnce. The caller owns the
+// response body.
+func (c *Client) openStream(ctx context.Context, path string, raw []byte) (*http.Response, error) {
+	url := c.Base() + path
 	for hop := 0; ; hop++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		req.GetBody = nil // same one-hop cluster redirect policy as doOnce
+		req.GetBody = nil // same cluster redirect hop policy as doOnce
 		resp, err := c.http.Do(req)
 		if err != nil {
+			if ctx.Err() == nil && hop == 0 {
+				// Same failover-on-transport-error policy as doKeyed: the
+				// stream is not re-sent, but the next open from this
+				// client enters through a fallback base.
+				c.rotateBase()
+			}
 			return nil, err
 		}
 		if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
@@ -467,8 +670,11 @@ func (c *Client) openStream(ctx context.Context, url string, raw []byte) (*http.
 			if err != nil {
 				return nil, err
 			}
+			if hop >= maxRedirectHops {
+				return nil, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after %d cluster hops; topology still converging", url, loc, hop)
+			}
 			if hop > 0 {
-				return nil, fmt.Errorf("querycaused: redirect loop: %s redirected again (to %s) after one cluster hop; refresh the topology and re-dial", url, loc)
+				c.maybeRebase(loc, resp)
 			}
 			url = loc
 			continue
@@ -476,6 +682,12 @@ func (c *Client) openStream(ctx context.Context, url string, raw []byte) (*http.
 		return resp, nil
 	}
 }
+
+// watchMaxFailures caps consecutive failed reconnect attempts before
+// a watch gives up and surfaces the last error. Any delivered frame
+// resets the counter, so a long-lived watch survives any number of
+// isolated interruptions.
+const watchMaxFailures = 8
 
 // WatchStream subscribes to the live explanation of one answer or
 // non-answer (POST /v1/databases/{db}/watch) and returns an iterator
@@ -485,49 +697,116 @@ func (c *Client) openStream(ctx context.Context, url string, raw []byte) (*http.
 // version-bump otherwise. Frames with Type "error" report a re-rank
 // failure in-band (the subscription stays open and recovers with a
 // full_resync), so they arrive as events with a nil iteration error.
+//
+// The watch is resumable: when the transport fails or the server
+// closes the stream (a node died, or the session moved during a
+// handoff), the client reconnects with jittered exponential backoff —
+// honoring a server-sent Retry-After — and asks to resume from the
+// last delivered version. The server replays the missed diff frames
+// when its buffer still covers them, so the resumed stream continues
+// the diff chain gaplessly; otherwise the first frame after a
+// reconnect is a full_resync snapshot to fold in place of the chain.
+// Reconnects rotate through SetFallbacks bases, so a watch survives
+// the death of the very node it was streaming from.
+//
 // The sequence is single-use; breaking out of the range closes the
 // subscription. A watch has no terminal event — the sequence ends
-// with a non-nil error when the context is canceled, the transport
-// fails, or the server closes the stream.
+// with a non-nil error when the context is canceled, the server
+// rejects the subscription outright (a non-retryable status), or
+// watchMaxFailures consecutive reconnect attempts fail.
 func (c *Client) WatchStream(ctx context.Context, dbID string, wreq WatchRequest) iter.Seq2[DiffEvent, error] {
 	return func(yield func(DiffEvent, error) bool) {
-		raw, err := json.Marshal(wreq)
-		if err != nil {
-			yield(DiffEvent{}, err)
-			return
-		}
-		resp, err := c.openStream(ctx, c.base+"/v1/databases/"+dbID+"/watch", raw)
-		if err != nil {
-			yield(DiffEvent{}, err)
-			return
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			yield(DiffEvent{}, decodeAPIError(resp))
-			return
-		}
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 64<<10), 16<<20)
-		for sc.Scan() {
-			line := bytes.TrimSpace(sc.Bytes())
-			if len(line) == 0 {
-				continue
+		lastVersion := wreq.ResumeFrom
+		failures := 0
+		var lastErr error
+		for {
+			if failures > 0 {
+				var retryAfter time.Duration
+				var apiErr *APIError
+				if errors.As(lastErr, &apiErr) {
+					retryAfter = apiErr.RetryAfter
+				} else {
+					c.rotateBase() // transport error: the pinned node may be gone
+				}
+				select {
+				case <-ctx.Done():
+					yield(DiffEvent{}, ctx.Err())
+					return
+				case <-time.After(retryDelay(failures, retryAfter)):
+				}
 			}
-			var ev DiffEvent
-			if err := json.Unmarshal(line, &ev); err != nil {
-				yield(DiffEvent{}, fmt.Errorf("querycaused: malformed watch frame: %w", err))
+			wreq.ResumeFrom = lastVersion
+			delivered, done, err := c.watchOnce(ctx, dbID, wreq, &lastVersion, yield)
+			if done {
+				return // consumer broke out, or a terminal error was yielded
+			}
+			if delivered {
+				failures = 0
+			}
+			failures++
+			lastErr = err
+			if ctx.Err() != nil {
+				yield(DiffEvent{}, ctx.Err())
 				return
 			}
-			if !yield(ev, nil) {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && !retryableStatus(apiErr.StatusCode) {
+				yield(DiffEvent{}, err) // e.g. session dropped: reconnecting cannot help
+				return
+			}
+			if failures >= watchMaxFailures {
+				yield(DiffEvent{}, fmt.Errorf("querycaused: watch failed after %d reconnect attempts: %w", failures, err))
 				return
 			}
 		}
-		if err := sc.Err(); err != nil {
-			yield(DiffEvent{}, err)
-			return
-		}
-		yield(DiffEvent{}, fmt.Errorf("querycaused: watch stream closed by the server"))
 	}
+}
+
+// watchOnce runs one watch connection: subscribe, deliver frames,
+// track the last delivered version. done means the iteration is over
+// (the consumer broke out or a terminal error was yielded); otherwise
+// err says why the connection ended and the caller decides whether to
+// reconnect. delivered reports whether any frame arrived, which
+// resets the caller's failure counter.
+func (c *Client) watchOnce(ctx context.Context, dbID string, wreq WatchRequest, lastVersion *uint64, yield func(DiffEvent, error) bool) (delivered, done bool, err error) {
+	raw, err := json.Marshal(wreq)
+	if err != nil {
+		yield(DiffEvent{}, err)
+		return false, true, nil
+	}
+	resp, err := c.openStream(ctx, "/v1/databases/"+dbID+"/watch", raw)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return false, false, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev DiffEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A malformed frame means the connection truncated mid-line or
+			// the stream is corrupt; reconnect and resume rather than fail.
+			return delivered, false, fmt.Errorf("querycaused: malformed watch frame: %w", err)
+		}
+		if !yield(ev, nil) {
+			return delivered, true, nil
+		}
+		delivered = true
+		if ev.Version > *lastVersion {
+			*lastVersion = ev.Version
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, false, err
+	}
+	return delivered, false, fmt.Errorf("querycaused: watch stream closed by the server")
 }
 
 // rehydrate turns a wire ErrorResponse into an error that matches the
@@ -548,6 +827,28 @@ func rehydrate(wire *server.ErrorResponse) error {
 func (c *Client) Cluster(ctx context.Context) (ClusterInfo, error) {
 	var out ClusterInfo
 	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out)
+	return out, err
+}
+
+// JoinNode adds a node (by its advertised base URL) to the cluster the
+// client is pinned to. The receiving node mints the next topology
+// epoch, propagates it to every member including the joiner, and
+// rebalances sessions in the background; propagation is best-effort
+// and reported in the response. Joining is an admin operation and is
+// not retried automatically.
+func (c *Client) JoinNode(ctx context.Context, nodeURL string) (ClusterChange, error) {
+	var out ClusterChange
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/nodes", server.ClusterNodeRequest{URL: nodeURL}, &out)
+	return out, err
+}
+
+// RemoveNode removes a node from the cluster. The removed node is
+// still told about the new topology (best-effort) so it stops serving
+// sessions it no longer owns and hands them to their new owners; wait
+// for its session count to drain before shutting it down.
+func (c *Client) RemoveNode(ctx context.Context, nodeURL string) (ClusterChange, error) {
+	var out ClusterChange
+	err := c.do(ctx, http.MethodDelete, "/v1/cluster/nodes?url="+url.QueryEscape(nodeURL), nil, &out)
 	return out, err
 }
 

@@ -110,8 +110,9 @@ func TestAPIErrorBodies(t *testing.T) {
 	}
 }
 
-// TestClientGETRetries: idempotent GETs retry transient gateway
-// failures; POSTs never do; SetRetries(0) turns retries off.
+// TestClientGETRetries: idempotent GETs retry transient failures
+// (gateway 5xx and 429 backpressure); unkeyed POSTs never do;
+// SetRetries(0) turns retries off.
 func TestClientGETRetries(t *testing.T) {
 	t.Run("get-retries-then-succeeds", func(t *testing.T) {
 		var calls atomic.Int64
@@ -136,14 +137,33 @@ func TestClientGETRetries(t *testing.T) {
 		var calls atomic.Int64
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			calls.Add(1)
-			w.WriteHeader(http.StatusTooManyRequests)
+			w.WriteHeader(http.StatusNotFound)
 		}))
 		defer ts.Close()
 		if err := qc.NewClient(ts.URL, nil).Health(context.Background()); err == nil {
-			t.Fatal("429 Health succeeded")
+			t.Fatal("404 Health succeeded")
 		}
 		if calls.Load() != 1 {
-			t.Errorf("server saw %d calls; want 1 (4xx is not retried)", calls.Load())
+			t.Errorf("server saw %d calls; want 1 (plain 4xx is not retried)", calls.Load())
+		}
+	})
+
+	t.Run("get-429-retried", func(t *testing.T) {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				w.WriteHeader(http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok","uptime_seconds":1}`))
+		}))
+		defer ts.Close()
+		if err := qc.NewClient(ts.URL, nil).Health(context.Background()); err != nil {
+			t.Fatalf("Health after 429s: %v (calls=%d)", err, calls.Load())
+		}
+		if calls.Load() != 3 {
+			t.Errorf("server saw %d calls; want 3 (429 backpressure is retried)", calls.Load())
 		}
 	})
 

@@ -111,15 +111,17 @@ func load() {
 // and returns the mixed request shapes the clients cycle through —
 // all but one written against the Session interface, so the same
 // closures would drive an in-process Open'ed session unchanged.
-func loadTargets(ctx context.Context, c *qc.Client, baseURL string) (targets []loadTarget, cleanup func(), err error) {
+// opts ride every Dial (the chaos soak uses them to route the
+// sessions through a fault-injecting transport with extra retries).
+func loadTargets(ctx context.Context, c *qc.Client, baseURL string, opts ...qc.Option) (targets []loadTarget, cleanup func(), err error) {
 	var sessions []qc.Session
 	cleanup = func() {
 		for _, s := range sessions {
 			_ = s.Close()
 		}
 	}
-	dial := func(db *qc.Database, opts ...qc.Option) (qc.Session, error) {
-		sess, err := qc.Dial(ctx, baseURL, db, opts...)
+	dial := func(db *qc.Database, extra ...qc.Option) (qc.Session, error) {
+		sess, err := qc.Dial(ctx, baseURL, db, append(append([]qc.Option(nil), opts...), extra...)...)
 		if err == nil {
 			sessions = append(sessions, sess)
 		}

@@ -17,6 +17,8 @@
 //	            [-mutate-sizes 1000,10300,103000]
 //	experiments -run deltacurve [-delta-out BENCH_delta.json]
 //	            [-delta-sizes 1000,10300,103000] [-delta-muts 4]
+//	experiments -run chaoscurve [-chaos-out BENCH_chaos.json]
+//	            [-chaos-clients N] [-chaos-requests N] [-chaos-seed S]
 //
 // The exactcurve experiment regenerates the exact-solver cost curve
 // and ablation baseline (see exactcurve.go); evalcurve records the
@@ -43,6 +45,14 @@
 // plus the measured warm-restart time to -cluster-out (see
 // cluster.go). It writes a bench file, so it too is excluded from
 // -run all.
+//
+// The chaoscurve experiment is the survivability soak: the same
+// in-process ring under dynamic membership — a node joins mid-run and
+// another is decommissioned and killed — with every client behind a
+// fault-injecting transport and live watch streams that must fold,
+// across every reconnect and handoff, to rankings byte-identical to a
+// cold explain (see chaoscurve.go). It writes -chaos-out, so it is
+// excluded from -run all.
 package main
 
 import (
@@ -92,6 +102,7 @@ func main() {
 		"cluster":     clusterSoak,
 		"mutatecurve": mutateCurve,
 		"deltacurve":  deltaCurve,
+		"chaoscurve":  chaosCurve,
 	}
 	// load needs a running server, and the curve/cluster experiments
 	// write bench files, so none of them is part of "all".
@@ -104,7 +115,7 @@ func main() {
 	}
 	f, ok := exps[*run]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster mutatecurve deltacurve\n", *run, strings.Join(order, " "))
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; options: all %s load exactcurve evalcurve cluster mutatecurve deltacurve chaoscurve\n", *run, strings.Join(order, " "))
 		os.Exit(2)
 	}
 	f()

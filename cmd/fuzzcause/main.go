@@ -27,6 +27,7 @@ import (
 	"github.com/querycause/querycause/internal/core"
 	"github.com/querycause/querycause/internal/difftest"
 	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/faultinject"
 	"github.com/querycause/querycause/internal/workload"
 )
 
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mutateEvery = fs.Int("mutate-every", 8, "replay every k-th instance through the mutation differential")
 		watchDiff   = fs.Bool("watch-diff", true, "also replay mutation sequences under a live watch: the DiffEvent replay must byte-equal a cold ranking at every version")
 		watchEvery  = fs.Int("watch-every", 8, "replay every k-th instance through the watch differential")
+		faults      = fs.Bool("faults", false, "arm a seeded fault injector on the session/cluster differentials' HTTP transport (drops, latency, 503 bursts, truncated watch streams); results must stay byte-identical")
 		metaEvery   = fs.Int("metamorphic-every", 1, "apply metamorphic invariants to every k-th instance")
 		plannerDiff = fs.Bool("planner-diff", true, "differential-test the planned streaming evaluator against the naive reference on every instance")
 		evalEvery   = fs.Int("eval-every", 1, "apply the naive-vs-planned evaluator differential to every k-th instance")
@@ -120,15 +122,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer sd.Close()
 		opts.Server = sd
 	}
+	var inj *faultinject.Injector
+	if *faults {
+		inj = faultinject.New(faultinject.Config{
+			Seed: *seed, Drop: 0.08, Delay: 0.10, MaxDelay: 2 * time.Millisecond,
+			Err: 0.08, Truncate: 0.25,
+		})
+	}
 	if *sessDiff {
 		sd := difftest.NewSessionDiff()
 		defer sd.Close()
+		if inj != nil {
+			sd.WithFaults(inj)
+		}
 		opts.Session = sd
 		opts.SessionEvery = *sessEvery
 	}
 	if *clustDiff {
 		cd := difftest.NewClusterDiff()
 		defer cd.Close()
+		if inj != nil {
+			cd.WithFaults(inj)
+		}
 		opts.Cluster = cd
 		opts.ClusterEvery = *clustEvery
 	}
@@ -171,6 +186,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "fuzzcause: OK — %d instances, zero mismatches in %v\n", total, time.Since(start).Round(time.Millisecond))
+	if inj != nil {
+		fmt.Fprintf(stdout, "fuzzcause: injected faults absorbed: %+v\n", inj.Counters())
+	}
 	return 0
 }
 

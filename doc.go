@@ -174,7 +174,7 @@
 //
 // # Clustering and durability
 //
-// querycaused shards horizontally: started with -self and a static
+// querycaused shards horizontally: started with -self and an initial
 // -peers list, each node joins a consistent-hash ring
 // (internal/cluster) that assigns every session id exactly one owner.
 // Session-id minting picks ids the creating node owns, so uploads
@@ -189,6 +189,31 @@
 // and cached certificates — so a drained replica loses nothing.
 // Per-session explain budgets (-session-budget) shed runaway tenants
 // with ErrBudgetExceeded. See "Running a cluster" in README.md.
+//
+// # Surviving failures
+//
+// Membership is dynamic: the ring is versioned by an epoch, and
+// Client.JoinNode / Client.RemoveNode (POST/DELETE /v1/cluster/nodes
+// against any member) mint the next epoch and propagate it to every
+// node with epoch-monotone installs. A topology change rebalances:
+// sessions whose ids now hash elsewhere are frozen, snapshotted, and
+// handed to their new owners warm — caches, prepared queries, and the
+// idempotency ledger included — while racing requests get 503 +
+// Retry-After rather than errors. Redirects carry the new epoch in
+// X-Cluster-Epoch so pinned clients refresh their ring. On the client
+// side, retries back off exponentially with jitter (honoring a
+// server-sent Retry-After), mutation retries are deduplicated with
+// Idempotency-Key so an ambiguous timeout cannot double-apply, a dead
+// pinned base fails over to SetFallbacks bases, and watch streams
+// reconnect with resume_from to continue their diff chain gap-free
+// (or re-seed with one full_resync when the server's replay buffer no
+// longer covers the gap). internal/faultinject drops, delays, errors,
+// and truncates requests at the transport to prove all of it: the
+// differential sweep runs under injected faults, and the chaoscurve
+// soak (cmd/experiments -run chaoscurve) joins and kills nodes under
+// mixed load with live watches, requiring zero unrecovered failures
+// and byte-equal watch replays. See "Operating the cluster" in
+// README.md.
 //
 // # The data plane
 //

@@ -1,0 +1,12 @@
+package querycause
+
+import "time"
+
+// SetRetryBackoffBase swaps the client retry/reconnect backoff seed
+// for tests and returns a restore func. Not safe while requests are
+// in flight on other clients.
+func SetRetryBackoffBase(d time.Duration) func() {
+	old := retryBackoffBase
+	retryBackoffBase = d
+	return func() { retryBackoffBase = old }
+}

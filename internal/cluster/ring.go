@@ -4,17 +4,19 @@
 // Each node in a cluster is identified by its advertised base URL
 // (e.g. "http://10.0.0.5:8347"). The ring maps a session ID to the one
 // node that owns it; every replica builds the same ring from the same
-// static membership list (the -peers flag), so ownership is agreed
-// upon with no coordination. A node that receives a request for a
-// session it does not own either 307-redirects the client to the owner
-// or reverse-proxies on its behalf (internal/server), and clients that
-// learn the topology from GET /v1/cluster route straight to owners.
+// membership list, so ownership is agreed upon with no coordination.
+// A node that receives a request for a session it does not own either
+// 307-redirects the client to the owner or reverse-proxies on its
+// behalf (internal/server), and clients that learn the topology from
+// GET /v1/cluster route straight to owners.
 //
-// Membership is static configuration for now. The Ring interface is
-// the seam for dynamic membership later: everything above it asks only
-// "who owns this key" and "who is in the cluster", so a gossip- or
-// lease-backed implementation can slot in without touching the server
-// or client.
+// Membership starts from configuration (the -peers flag) and changes
+// at runtime through Versioned: an epoch-numbered Topology installed
+// with strictly monotone Apply, minted by Add/Remove on whichever node
+// serves the admin request and propagated to the rest. Everything
+// above the Ring interface asks only "who owns this key" and "who is
+// in the cluster", so a gossip- or lease-backed implementation could
+// still slot in without touching the server or client.
 package cluster
 
 import (
@@ -37,7 +39,7 @@ type Ring interface {
 
 // DefaultVnodes is the number of virtual nodes each member contributes
 // to the ring. 64 points per node keeps the key-range spread within a
-// few percent of even for small static clusters while the ring stays
+// few percent of even for small clusters while the ring stays
 // tiny (N*64 points).
 const DefaultVnodes = 64
 

@@ -1,0 +1,125 @@
+// Dynamic membership: a Topology is a versioned member list, and a
+// Versioned ring atomically swaps consistent-hash rings as topologies
+// with higher epochs arrive. Replicas converge without coordination
+// because application is monotone — a topology is installed only if
+// its epoch is strictly greater than the current one, so the same set
+// of propagation messages applied in any order and any number of times
+// yields the same final ring on every node.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Topology is one versioned cluster membership. Epochs are minted by
+// whichever node serves an admin join/leave request: it increments its
+// current epoch and pushes the result to every peer (old and new).
+// Ties cannot conflict in practice because admin operations are rare
+// and human-driven; if two nodes do mint the same epoch concurrently,
+// the first application wins on each replica and the operator re-issues
+// (the admin response carries the epoch so this is visible).
+type Topology struct {
+	Epoch uint64   `json:"epoch"`
+	Nodes []string `json:"nodes"`
+}
+
+// Versioned is a Ring whose membership can change at runtime. Reads
+// (Owner, Nodes, Epoch) are lock-free pointer loads; writes rebuild the
+// underlying HashRing and CAS it in.
+//
+// The zero value is unusable; build one with NewVersioned.
+type Versioned struct {
+	cur atomic.Pointer[versionedState]
+}
+
+type versionedState struct {
+	topo Topology
+	ring *HashRing
+}
+
+// NewVersioned builds a dynamic ring at epoch 1 over nodes (deduped,
+// sorted, empties dropped — same normalization as New).
+func NewVersioned(nodes []string) *Versioned {
+	v := &Versioned{}
+	ring := New(nodes)
+	v.cur.Store(&versionedState{topo: Topology{Epoch: 1, Nodes: ring.Nodes()}, ring: ring})
+	return v
+}
+
+// Current returns the installed topology. The Nodes slice is shared;
+// callers must not mutate it.
+func (v *Versioned) Current() Topology { return v.cur.Load().topo }
+
+// Epoch returns the installed topology's epoch.
+func (v *Versioned) Epoch() uint64 { return v.cur.Load().topo.Epoch }
+
+// Owner implements Ring against the installed topology.
+func (v *Versioned) Owner(key string) string { return v.cur.Load().ring.Owner(key) }
+
+// Nodes implements Ring against the installed topology.
+func (v *Versioned) Nodes() []string { return v.cur.Load().ring.Nodes() }
+
+// Apply installs t if and only if its epoch is strictly greater than
+// the current one, reporting whether it was installed. Stale and
+// duplicate topologies are ignored, which makes propagation idempotent:
+// peers can forward topologies to each other freely and every replica
+// converges on the highest epoch it has seen.
+func (v *Versioned) Apply(t Topology) bool {
+	ring := New(t.Nodes)
+	t.Nodes = ring.Nodes()
+	for {
+		cur := v.cur.Load()
+		if t.Epoch <= cur.topo.Epoch {
+			return false
+		}
+		if v.cur.CompareAndSwap(cur, &versionedState{topo: t, ring: ring}) {
+			return true
+		}
+	}
+}
+
+// Add mints the next epoch with node joined, installs it, and returns
+// the new topology. It fails (ok=false) if node is empty or already a
+// member.
+func (v *Versioned) Add(node string) (Topology, error) {
+	if node == "" {
+		return Topology{}, fmt.Errorf("cluster: cannot add empty node")
+	}
+	for {
+		cur := v.cur.Load()
+		if i := sort.SearchStrings(cur.topo.Nodes, node); i < len(cur.topo.Nodes) && cur.topo.Nodes[i] == node {
+			return Topology{}, fmt.Errorf("cluster: node %s is already a member (epoch %d)", node, cur.topo.Epoch)
+		}
+		next := Topology{Epoch: cur.topo.Epoch + 1, Nodes: append(append([]string(nil), cur.topo.Nodes...), node)}
+		ring := New(next.Nodes)
+		next.Nodes = ring.Nodes()
+		if v.cur.CompareAndSwap(cur, &versionedState{topo: next, ring: ring}) {
+			return next, nil
+		}
+	}
+}
+
+// Remove mints the next epoch with node gone, installs it, and returns
+// the new topology. Removing the last member or a non-member fails.
+func (v *Versioned) Remove(node string) (Topology, error) {
+	for {
+		cur := v.cur.Load()
+		i := sort.SearchStrings(cur.topo.Nodes, node)
+		if i >= len(cur.topo.Nodes) || cur.topo.Nodes[i] != node {
+			return Topology{}, fmt.Errorf("cluster: node %s is not a member (epoch %d)", node, cur.topo.Epoch)
+		}
+		if len(cur.topo.Nodes) == 1 {
+			return Topology{}, fmt.Errorf("cluster: refusing to remove the last member %s", node)
+		}
+		nodes := make([]string, 0, len(cur.topo.Nodes)-1)
+		nodes = append(nodes, cur.topo.Nodes[:i]...)
+		nodes = append(nodes, cur.topo.Nodes[i+1:]...)
+		next := Topology{Epoch: cur.topo.Epoch + 1, Nodes: nodes}
+		ring := New(next.Nodes)
+		if v.cur.CompareAndSwap(cur, &versionedState{topo: next, ring: ring}) {
+			return next, nil
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/querycause/querycause/internal/causegen"
 	"github.com/querycause/querycause/internal/cluster"
 	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/faultinject"
 	"github.com/querycause/querycause/internal/parser"
 	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/server"
@@ -35,6 +36,10 @@ type ClusterDiff struct {
 	ring cluster.Ring
 	srvs []*server.Server
 	hss  []*http.Server
+	// hc and dialOpts route the raw-wire clients and Dial'ed sessions
+	// through a fault injector when WithFaults armed one.
+	hc       *http.Client
+	dialOpts []querycause.Option
 }
 
 // NewClusterDiff boots the 3-node cluster. Callers must Close it.
@@ -68,6 +73,29 @@ func NewClusterDiff() *ClusterDiff {
 	return cd
 }
 
+// WithFaults routes every HTTP exchange of the differential — the
+// Dial'ed sessions and the raw wire clients — through in, with extra
+// retry budget (see faultRetries). The cluster must still be
+// byte-indistinguishable from a single node. It returns cd for
+// chaining.
+func (cd *ClusterDiff) WithFaults(in *faultinject.Injector) *ClusterDiff {
+	cd.hc = &http.Client{Transport: in.Transport(nil)}
+	cd.dialOpts = append(cd.dialOpts,
+		querycause.WithHTTPClient(cd.hc),
+		querycause.WithRetries(faultRetries))
+	return cd
+}
+
+// client builds a raw wire client for base, faulted when WithFaults
+// armed an injector.
+func (cd *ClusterDiff) client(base string) *querycause.Client {
+	c := querycause.NewClient(base, cd.hc)
+	if cd.hc != nil {
+		c.SetRetries(faultRetries)
+	}
+	return c
+}
+
 // Close shuts all replicas down.
 func (cd *ClusterDiff) Close() {
 	for i := range cd.hss {
@@ -94,7 +122,7 @@ func (cd *ClusterDiff) Check(inst *causegen.Instance, want []core.Explanation) e
 		return fmt.Errorf("clusterdiff: Open: %v", err)
 	}
 	defer local.Close()
-	remote, err := querycause.Dial(ctx, cd.urls[0], inst.DB)
+	remote, err := querycause.Dial(ctx, cd.urls[0], inst.DB, cd.dialOpts...)
 	if err != nil {
 		return fmt.Errorf("clusterdiff: Dial: %v", err)
 	}
@@ -134,7 +162,7 @@ func (cd *ClusterDiff) Check(inst *causegen.Instance, want []core.Explanation) e
 	if err != nil {
 		return fmt.Errorf("clusterdiff: format: %v", err)
 	}
-	entry := querycause.NewClient(cd.urls[0], nil)
+	entry := cd.client(cd.urls[0])
 	info, err := entry.UploadDatabase(ctx, text)
 	if err != nil {
 		return fmt.Errorf("clusterdiff: upload: %v", err)
@@ -156,7 +184,7 @@ func (cd *ClusterDiff) Check(inst *causegen.Instance, want []core.Explanation) e
 	}
 	req := querycause.ExplainRequest{Query: inst.Query.String()}
 	explainVia := func(base string) (querycause.ExplainResponse, error) {
-		c := querycause.NewClient(base, nil)
+		c := cd.client(base)
 		if inst.WhyNo {
 			return c.WhyNo(ctx, info.ID, "", req)
 		}
@@ -177,7 +205,7 @@ func (cd *ClusterDiff) Check(inst *causegen.Instance, want []core.Explanation) e
 
 	// Angle 3: teardown through the remaining non-owner must delete the
 	// session cluster-wide.
-	if err := querycause.NewClient(third, nil).DropDatabase(ctx, info.ID); err != nil {
+	if err := cd.client(third).DropDatabase(ctx, info.ID); err != nil {
 		return fmt.Errorf("clusterdiff: delete via non-owner: %v", err)
 	}
 	if _, err := explainVia(owner); !errors.Is(err, qerr.ErrSessionNotFound) {

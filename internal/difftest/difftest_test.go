@@ -17,6 +17,7 @@ import (
 	"github.com/querycause/querycause/internal/causegen"
 	"github.com/querycause/querycause/internal/core"
 	"github.com/querycause/querycause/internal/exact"
+	"github.com/querycause/querycause/internal/faultinject"
 	"github.com/querycause/querycause/internal/lineage"
 	"github.com/querycause/querycause/internal/rel"
 	"github.com/querycause/querycause/internal/workload"
@@ -127,6 +128,54 @@ func TestDifferentialSweep(t *testing.T) {
 		if *clusterFlag && rep.ClusterChecked == 0 {
 			t.Errorf("sweep of %d instances exercised zero cluster replays", n)
 		}
+	}
+}
+
+// TestDifferentialSweepWithFaults reruns the transport-facing
+// differentials (session and cluster equivalence) with a fault
+// injector between the client and the wire: connection drops, latency,
+// 503 bursts, and truncated watch streams. The checks are unchanged —
+// byte-identical transports, errors.Is-equal failures — so a pass
+// means the client's retry/failover/resume machinery absorbed every
+// injected fault without altering a single answer.
+func TestDifferentialSweepWithFaults(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{
+		Seed:     *seedFlag,
+		Drop:     0.08,
+		Delay:    0.10,
+		MaxDelay: 2 * time.Millisecond,
+		Err:      0.08,
+		Truncate: 0.25,
+	})
+	sess := NewSessionDiff().WithFaults(inj)
+	defer sess.Close()
+	cd := NewClusterDiff().WithFaults(inj)
+	defer cd.Close()
+	n := sweepSize() / 4
+	opts := Options{
+		Seed:         *seedFlag,
+		N:            n,
+		Gen:          SweepGen,
+		Session:      sess,
+		SessionEvery: 4,
+		Cluster:      cd,
+		ClusterEvery: 4,
+		// The engine-side oracles are covered by the main sweep; this
+		// one is about the wire.
+		MetamorphicEvery: -1,
+		EvalEvery:        -1,
+	}
+	rep, err := Run(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("faulted sweep: %v", err)
+	}
+	t.Logf("%v; injected faults: %+v", rep, inj.Counters())
+	failOnMismatches(t, rep, opts)
+	if rep.SessionChecked == 0 || rep.ClusterChecked == 0 {
+		t.Fatalf("faulted sweep exercised session=%d cluster=%d replays; want both > 0", rep.SessionChecked, rep.ClusterChecked)
+	}
+	if n >= 100 && inj.Counters().Total() == 0 {
+		t.Errorf("fault injector armed but injected nothing across %d instances", n)
 	}
 }
 

@@ -12,11 +12,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 
 	querycause "github.com/querycause/querycause"
 	"github.com/querycause/querycause/internal/causegen"
 	"github.com/querycause/querycause/internal/core"
+	"github.com/querycause/querycause/internal/faultinject"
 	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/server"
 )
@@ -27,6 +29,9 @@ import (
 type SessionDiff struct {
 	srv *server.Server
 	ts  *httptest.Server
+	// dialOpts ride every Dial; WithFaults uses them to route the HTTP
+	// transport through a fault injector.
+	dialOpts []querycause.Option
 }
 
 // NewSessionDiff boots the backing server. Callers must Close it.
@@ -39,6 +44,23 @@ func NewSessionDiff() *SessionDiff {
 	})
 	return &SessionDiff{srv: srv, ts: httptest.NewServer(srv.Handler())}
 }
+
+// WithFaults routes the remote transport's HTTP exchanges through in,
+// with extra retry budget so every injected fault is absorbed: the
+// sweep still demands byte-identical transports, now under connection
+// drops, latency, 503 bursts, and truncated watch streams. It returns
+// sd for chaining.
+func (sd *SessionDiff) WithFaults(in *faultinject.Injector) *SessionDiff {
+	sd.dialOpts = append(sd.dialOpts,
+		querycause.WithHTTPClient(&http.Client{Transport: in.Transport(nil)}),
+		querycause.WithRetries(faultRetries))
+	return sd
+}
+
+// faultRetries is the retry budget fault-injected differentials run
+// with: enough headroom that a full 503 burst plus a dropped
+// connection on the same request still recovers.
+const faultRetries = 8
 
 // Close shuts the backing server down.
 func (sd *SessionDiff) Close() {
@@ -56,7 +78,7 @@ func (sd *SessionDiff) Check(inst *causegen.Instance, want []core.Explanation) e
 		return fmt.Errorf("sessiondiff: Open: %v", err)
 	}
 	defer local.Close()
-	remote, err := querycause.Dial(ctx, sd.ts.URL, inst.DB)
+	remote, err := querycause.Dial(ctx, sd.ts.URL, inst.DB, sd.dialOpts...)
 	if err != nil {
 		return fmt.Errorf("sessiondiff: Dial: %v", err)
 	}

@@ -1,0 +1,330 @@
+// Package faultinject is the repository's chaos toolkit: a seeded,
+// deterministic-by-construction fault injector that sits on either
+// side of the querycaused wire. On the client side an injectable
+// http.RoundTripper drops connections, delays requests, and
+// synthesizes 503 bursts; on the server side a net.Listener wrapper
+// hands out connections that die mid-write, truncating NDJSON frames
+// in the middle of a line. The difftest sweep and the chaoscurve soak
+// run with an Injector armed and still demand byte-identical results —
+// the resilience machinery (client retries with jittered backoff,
+// Idempotency-Key dedup, resumable watches) has to absorb every
+// injected fault without changing a single answer.
+//
+// Faults are only injected on requests the client contractually
+// retries — GETs, DELETEs, keyed mutation POSTs, and watch
+// subscriptions (which reconnect and resume). Unkeyed POSTs (uploads,
+// explain calls) pass through untouched: faulting a request nobody
+// retries tests nothing but the fault injector.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the fault probabilities (all in [0, 1]; zero disables
+// that fault class).
+type Config struct {
+	// Seed seeds the injector's RNG. Two injectors with the same seed
+	// draw the same fault sequence (scheduling still interleaves
+	// concurrent requests differently).
+	Seed int64
+	// Drop is the probability a retry-safe request is dropped with a
+	// transport error before reaching the server — a died node, from
+	// the client's point of view.
+	Drop float64
+	// Delay is the probability a retry-safe request is held for a
+	// random latency up to MaxDelay before proceeding.
+	Delay float64
+	// MaxDelay caps injected latency (default 25ms).
+	MaxDelay time.Duration
+	// Err is the probability a retry-safe request starts a burst of
+	// synthesized 503 responses (the burst length is drawn uniformly
+	// from [1, BurstMax]; subsequent retry-safe requests consume it).
+	Err float64
+	// BurstMax bounds a 503 burst's length (default 3).
+	BurstMax int
+	// Truncate is the probability a watch stream's response body is cut
+	// after a random byte budget — mid-NDJSON-frame more often than
+	// not — forcing the client's resume path.
+	Truncate float64
+	// Cut is the probability a listener-side connection gets a random
+	// byte budget and dies mid-write once it is spent.
+	Cut float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 25 * time.Millisecond
+	}
+	if c.BurstMax <= 0 {
+		c.BurstMax = 3
+	}
+	return c
+}
+
+// Counters reports how many faults of each class were injected.
+type Counters struct {
+	Drops       uint64 `json:"drops"`
+	Delays      uint64 `json:"delays"`
+	Errors      uint64 `json:"errors_503"`
+	Truncations uint64 `json:"truncations"`
+	Cuts        uint64 `json:"conn_cuts"`
+}
+
+// Total is the number of injected faults across all classes.
+func (c Counters) Total() uint64 {
+	return c.Drops + c.Delays + c.Errors + c.Truncations + c.Cuts
+}
+
+// Injector draws faults from a seeded RNG and hands out transports
+// and listeners that apply them. Safe for concurrent use; Arm(false)
+// quiesces injection (e.g. for a soak's final assertions) without
+// tearing the wrapped plumbing down.
+type Injector struct {
+	cfg   Config
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	burst int // remaining synthesized 503s in the current burst
+
+	drops  atomic.Uint64
+	delays atomic.Uint64
+	errs   atomic.Uint64
+	truncs atomic.Uint64
+	cuts   atomic.Uint64
+}
+
+// New returns an armed Injector drawing from cfg.Seed.
+func New(cfg Config) *Injector {
+	in := &Injector{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(cfg.Seed))}
+	in.armed.Store(true)
+	return in
+}
+
+// Arm enables or disables fault injection; wrapped transports and
+// listeners pass everything through untouched while disarmed.
+func (in *Injector) Arm(on bool) { in.armed.Store(on) }
+
+// Counters snapshots the per-class injection counts.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Drops:       in.drops.Load(),
+		Delays:      in.delays.Load(),
+		Errors:      in.errs.Load(),
+		Truncations: in.truncs.Load(),
+		Cuts:        in.cuts.Load(),
+	}
+}
+
+// chance draws one biased coin under the injector's lock.
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// intn draws one bounded int under the injector's lock.
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// retrySafe reports whether the client contractually recovers from a
+// faulted exchange of this request: idempotent methods, keyed
+// mutations (the server's dedup makes a re-send safe), and watch
+// subscriptions (resumable by protocol).
+func retrySafe(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodGet, http.MethodDelete:
+		return true
+	case http.MethodPost:
+		return req.Header.Get("Idempotency-Key") != "" || strings.HasSuffix(req.URL.Path, "/watch")
+	}
+	return false
+}
+
+// Transport wraps inner (nil for http.DefaultTransport) with fault
+// injection. Use it as an http.Client's Transport.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{in: in, inner: inner}
+}
+
+type transport struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	if !in.armed.Load() || !retrySafe(req) {
+		return t.inner.RoundTrip(req)
+	}
+	if in.chance(in.cfg.Delay) {
+		in.delays.Add(1)
+		d := time.Duration(in.intn(int(in.cfg.MaxDelay)) + 1)
+		select {
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
+	if in.takeErr() {
+		in.errs.Add(1)
+		closeBody(req)
+		return synth503(req), nil
+	}
+	if in.chance(in.cfg.Drop) {
+		in.drops.Add(1)
+		closeBody(req)
+		return nil, fmt.Errorf("faultinject: connection dropped before %s %s", req.Method, req.URL.Path)
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Truncation applies to watch streams only: a cut GET body would
+	// surface as a JSON decode error nobody retries, while a cut watch
+	// stream exercises exactly the resume path under test.
+	if strings.HasSuffix(req.URL.Path, "/watch") && resp.StatusCode/100 == 2 && in.chance(in.cfg.Truncate) {
+		in.truncs.Add(1)
+		budget := int64(in.intn(4096) + 64)
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: budget}
+	}
+	return resp, nil
+}
+
+// takeErr decides whether this request is answered by a synthesized
+// 503: it either continues the current burst or (with probability
+// cfg.Err) starts a new one.
+func (in *Injector) takeErr() bool {
+	if in.cfg.Err <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.burst > 0 {
+		in.burst--
+		return true
+	}
+	if in.rng.Float64() < in.cfg.Err {
+		in.burst = in.rng.Intn(in.cfg.BurstMax) // this response + burst more
+		return true
+	}
+	return false
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		_ = req.Body.Close()
+	}
+}
+
+func synth503(req *http.Request) *http.Response {
+	const body = `{"error":"faultinject: injected service unavailability"}`
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody cuts a response body after a byte budget, simulating
+// a connection dying mid-NDJSON-frame. The cut surfaces as an
+// unexpected EOF to the reader.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.rc.Read(p)
+	t.remaining -= int64(n)
+	if err == nil && t.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }
+
+// Listener wraps ln with connection-level faults: each accepted
+// connection may (with probability cfg.Cut) receive a random byte
+// budget and die mid-write once it is spent — from a client's point
+// of view, a stream that stops mid-frame.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	in := l.in
+	if !in.armed.Load() || !in.chance(in.cfg.Cut) {
+		return conn, nil
+	}
+	in.cuts.Add(1)
+	return &cutConn{Conn: conn, budget: int64(in.intn(16<<10) + 512)}, nil
+}
+
+// cutConn forwards writes until its byte budget is spent, then closes
+// the underlying connection — a partial final write included, so the
+// peer sees a truncated stream rather than a clean shutdown.
+type cutConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+	dead   bool
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, fmt.Errorf("faultinject: connection cut")
+	}
+	if int64(len(p)) <= c.budget {
+		n, err := c.Conn.Write(p)
+		c.budget -= int64(n)
+		return n, err
+	}
+	n, _ := c.Conn.Write(p[:c.budget])
+	c.dead = true
+	_ = c.Conn.Close()
+	return n, fmt.Errorf("faultinject: connection cut after byte budget")
+}

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, hc *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hc.Do(req)
+}
+
+// TestTransportInjects503Bursts: with Err=1 every retry-safe request
+// is answered by a synthesized 503 and the counter advances; disarming
+// restores clean passthrough.
+func TestTransportInjects503Bursts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	in := New(Config{Seed: 1, Err: 1})
+	hc := &http.Client{Transport: in.Transport(nil)}
+
+	resp, err := get(t, hc, ts.URL)
+	if err != nil {
+		t.Fatalf("injected 503 came back as transport error: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "faultinject") {
+		t.Fatalf("body = %q, want injected error payload", body)
+	}
+	if c := in.Counters(); c.Errors == 0 {
+		t.Fatalf("counters = %+v, want Errors > 0", c)
+	}
+
+	in.Arm(false)
+	resp, err = get(t, hc, ts.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarmed request: resp=%v err=%v, want clean 200", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestTransportDropsConnections: with Drop=1 every retry-safe request
+// fails with a transport error before reaching the server.
+func TestTransportDropsConnections(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { hits++ }))
+	defer ts.Close()
+	in := New(Config{Seed: 2, Drop: 1})
+	hc := &http.Client{Transport: in.Transport(nil)}
+	if _, err := get(t, hc, ts.URL); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d requests through a Drop=1 transport", hits)
+	}
+	if c := in.Counters(); c.Drops == 0 {
+		t.Fatalf("counters = %+v, want Drops > 0", c)
+	}
+}
+
+// TestTransportSparesUnsafeRequests: unkeyed POSTs pass through every
+// fault class untouched — faults are only injected where the client
+// contractually recovers.
+func TestTransportSparesUnsafeRequests(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	in := New(Config{Seed: 3, Drop: 1, Err: 1, Delay: 1, Truncate: 1})
+	hc := &http.Client{Transport: in.Transport(nil)}
+	resp, err := hc.Post(ts.URL+"/v1/databases", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("unkeyed POST faulted: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unkeyed POST got %d, want clean 200", resp.StatusCode)
+	}
+	if c := in.Counters(); c.Total() != 0 {
+		t.Fatalf("counters = %+v, want no injection on unsafe requests", c)
+	}
+
+	// A keyed POST is fair game.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/databases/d1/tuples", strings.NewReader("{}"))
+	req.Header.Set("Idempotency-Key", "k1")
+	resp2, err := hc.Do(req)
+	if err == nil {
+		resp2.Body.Close()
+	}
+	if c := in.Counters(); c.Total() == 0 {
+		t.Fatal("keyed POST was not considered for injection")
+	}
+}
+
+// TestTransportTruncatesWatchStreams: a 2xx watch response body is cut
+// after a byte budget, surfacing as an unexpected EOF mid-stream.
+func TestTransportTruncatesWatchStreams(t *testing.T) {
+	big := strings.Repeat(`{"type":"diff","version":1}`+"\n", 1024)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(big))
+	}))
+	defer ts.Close()
+	in := New(Config{Seed: 4, Truncate: 1})
+	hc := &http.Client{Transport: in.Transport(nil)}
+	resp, err := get(t, hc, ts.URL+"/v1/databases/d1/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v (got %d bytes), want io.ErrUnexpectedEOF", err, len(body))
+	}
+	if len(body) >= len(big) {
+		t.Fatalf("body not truncated: %d bytes of %d", len(body), len(big))
+	}
+	if c := in.Counters(); c.Truncations == 0 {
+		t.Fatalf("counters = %+v, want Truncations > 0", c)
+	}
+}
+
+// TestTransportDelay: Delay=1 injects bounded latency but the request
+// still succeeds.
+func TestTransportDelay(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	in := New(Config{Seed: 5, Delay: 1, MaxDelay: 5 * time.Millisecond})
+	hc := &http.Client{Transport: in.Transport(nil)}
+	resp, err := get(t, hc, ts.URL)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delayed request: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+	if c := in.Counters(); c.Delays == 0 {
+		t.Fatalf("counters = %+v, want Delays > 0", c)
+	}
+}
+
+// TestListenerCutsConnections: a Cut=1 listener's connections die
+// after their byte budget, so a large response arrives truncated.
+func TestListenerCutsConnections(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{Seed: 6, Cut: 1})
+	big := strings.Repeat("x", 64<<10)
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "65536")
+		_, _ = w.Write([]byte(big))
+	})}
+	go hs.Serve(in.Listener(ln))
+	defer hs.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String())
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(body) == len(big) {
+			t.Fatal("response arrived intact through a Cut=1 listener")
+		}
+	}
+	if c := in.Counters(); c.Cuts == 0 {
+		t.Fatalf("counters = %+v, want Cuts > 0", c)
+	}
+}
+
+// TestDeterministicSequence: two injectors with the same seed draw the
+// same fault decisions for the same request sequence.
+func TestDeterministicSequence(t *testing.T) {
+	draw := func(seed int64) []bool {
+		in := New(Config{Seed: seed, Drop: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.chance(in.cfg.Drop)
+		}
+		return out
+	}
+	a, b, c := draw(42), draw(42), draw(43)
+	same := true
+	for i := range a {
+		same = same && a[i] == b[i]
+	}
+	if !same {
+		t.Fatal("same seed drew different fault sequences")
+	}
+	diff := false
+	for i := range a {
+		diff = diff || a[i] != c[i]
+	}
+	if !diff {
+		t.Fatal("different seeds drew identical 64-draw sequences (suspicious)")
+	}
+}

@@ -109,6 +109,21 @@ type Snapshot struct {
 	// Certs are the hot dichotomy certificates, most recently used
 	// first.
 	Certs []Certificate
+	// Idem are the session's mutation idempotency records, oldest
+	// first. They ride the snapshot so a client retrying a mutation
+	// whose response was lost to a handoff or restart is deduplicated by
+	// the new owner too. Snapshots written before this field decode with
+	// Idem nil — no records, never an error (gob tolerates the missing
+	// field).
+	Idem []Idempotency
+}
+
+// Idempotency is one deduplicated mutation: the client-supplied
+// Idempotency-Key and the JSON-encoded response the original apply
+// produced, replayed verbatim to retries.
+type Idempotency struct {
+	Key      string
+	Response []byte
 }
 
 // Tuple is one database row: a relation-table index, the endogenous

@@ -8,10 +8,11 @@
 // and repins) or reverse-proxied on the client's behalf (ClusterProxy,
 // for clients that cannot follow redirects).
 //
-// Membership is static: every replica is started with the same -peers
-// list and builds the same ring, so ownership needs no coordination.
-// The ring sits behind the cluster.Ring interface; dynamic membership
-// only has to swap the implementation.
+// Membership is dynamic: the ring is a cluster.Versioned whose
+// topology carries an epoch. Admin endpoints (membership.go) join and
+// remove nodes at runtime, propagate the new topology to every peer,
+// and trigger session handoff; GET /v1/cluster and every redirect
+// carry the epoch so clients detect staleness.
 package server
 
 import (
@@ -19,17 +20,31 @@ import (
 	"net/http"
 	"net/http/httputil"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/querycause/querycause/internal/cluster"
 	"github.com/querycause/querycause/internal/qerr"
 )
 
+// EpochHeader carries the sender's topology epoch on redirects and
+// cluster responses, so a client holding a stale topology learns it is
+// stale from the very response that reroutes it.
+const EpochHeader = "X-Cluster-Epoch"
+
 // clusterState is the routing half of a clustered server.
 type clusterState struct {
-	self    string
-	ring    cluster.Ring
-	proxy   bool
+	self  string
+	ring  *cluster.Versioned
+	proxy bool
+	// peers is the HTTP client used for node-to-node calls: topology
+	// propagation and session handoff. Short timeout — peers are LAN
+	// neighbors, and a dead one must not stall an admin request.
+	peers *http.Client
+
+	mu      sync.Mutex
 	proxies map[string]*httputil.ReverseProxy
 }
 
@@ -62,39 +77,61 @@ func (s *Server) clusterHandler() http.Handler {
 		}
 		if s.cluster.proxy {
 			s.clusterProxied.Add(1)
-			s.cluster.proxies[owner].ServeHTTP(w, r)
+			s.cluster.proxyFor(owner).ServeHTTP(w, r)
 			return
 		}
 		s.clusterRedirected.Add(1)
 		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.Header().Set(EpochHeader, strconv.FormatUint(s.cluster.ring.Epoch(), 10))
 		w.WriteHeader(http.StatusTemporaryRedirect)
 	})
 }
 
+// proxyFor returns the reverse proxy for a peer, building and caching
+// it on first use. Proxies are built lazily because membership changes
+// at runtime; a stale entry for a removed node is harmless (it is
+// simply never selected once the ring drops the node).
+func (cs *clusterState) proxyFor(node string) *httputil.ReverseProxy {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if p, ok := cs.proxies[node]; ok {
+		return p
+	}
+	target, err := url.Parse(node)
+	if err != nil || target.Scheme == "" || target.Host == "" {
+		// Membership is validated on the way in (newClusterState and the
+		// join endpoint), so this is unreachable; fail loudly if not.
+		panic(fmt.Sprintf("server: invalid peer URL %q in ring", node))
+	}
+	p := httputil.NewSingleHostReverseProxy(target)
+	// Streaming responses (explain/stream, watch) must flush through
+	// the proxy frame by frame, not on a 100ms timer: a watch frame
+	// held in the proxy buffer would stall the subscriber until the
+	// next mutation.
+	p.FlushInterval = -1
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxying to session owner %s: %v", target, err)})
+	}
+	cs.proxies[node] = p
+	return p
+}
+
 // newClusterState validates the cluster config and builds the routing
 // state. Self is implicitly a member even if absent from Peers.
-func newClusterState(cfg Config, ring cluster.Ring) (*clusterState, error) {
-	cs := &clusterState{self: cfg.Self, ring: ring, proxy: cfg.ClusterProxy, proxies: make(map[string]*httputil.ReverseProxy)}
+func newClusterState(cfg Config, ring *cluster.Versioned) (*clusterState, error) {
 	for _, node := range ring.Nodes() {
-		if node == cfg.Self {
-			continue
-		}
 		target, err := url.Parse(node)
 		if err != nil || target.Scheme == "" || target.Host == "" {
 			return nil, fmt.Errorf("server: invalid peer URL %q", node)
 		}
-		p := httputil.NewSingleHostReverseProxy(target)
-		// Streaming responses (explain/stream, watch) must flush through
-		// the proxy frame by frame, not on a 100ms timer: a watch frame
-		// held in the proxy buffer would stall the subscriber until the
-		// next mutation.
-		p.FlushInterval = -1
-		p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
-			writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: fmt.Sprintf("proxying to session owner %s: %v", target, err)})
-		}
-		cs.proxies[node] = p
 	}
-	return cs, nil
+	return &clusterState{
+		self:    cfg.Self,
+		ring:    ring,
+		proxy:   cfg.ClusterProxy,
+		peers:   &http.Client{Timeout: 5 * time.Second},
+		proxies: make(map[string]*httputil.ReverseProxy),
+	}, nil
 }
 
 // handleCluster serves GET /v1/cluster: the topology clients use for
@@ -103,9 +140,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	resp := ClusterResponse{}
 	if s.cluster != nil {
+		topo := s.cluster.ring.Current()
 		resp.Self = s.cluster.self
-		resp.Peers = s.cluster.ring.Nodes()
+		resp.Peers = topo.Nodes
 		resp.Proxy = s.cluster.proxy
+		resp.Epoch = topo.Epoch
+		w.Header().Set(EpochHeader, strconv.FormatUint(topo.Epoch, 10))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -197,13 +197,22 @@ type StatsResponse struct {
 	WatchBudget int `json:"watch_budget,omitempty"`
 
 	// Cluster routing counters, present only on clustered servers: Node
-	// is this replica's advertised URL, ClusterPeers the ring size.
+	// is this replica's advertised URL, ClusterPeers the ring size,
+	// ClusterEpoch the version of the topology currently installed.
 	// ClusterRedirected counts requests 307-redirected to their owner,
 	// ClusterProxied requests reverse-proxied on the client's behalf.
 	Node              string `json:"node,omitempty"`
 	ClusterPeers      int    `json:"cluster_peers,omitempty"`
+	ClusterEpoch      uint64 `json:"cluster_epoch,omitempty"`
 	ClusterRedirected uint64 `json:"cluster_redirected,omitempty"`
 	ClusterProxied    uint64 `json:"cluster_proxied,omitempty"`
+	// Handoff counters: HandoffsOut counts sessions this node shipped to
+	// their new owner after a topology change, HandoffsIn sessions it
+	// received, HandoffFails transfers that failed (the session stayed
+	// put and is retried on the next topology change).
+	HandoffsOut  uint64 `json:"handoffs_out,omitempty"`
+	HandoffsIn   uint64 `json:"handoffs_in,omitempty"`
+	HandoffFails uint64 `json:"handoff_fails,omitempty"`
 
 	// Persistence counters, present only when a snapshot store is
 	// configured: RestoredSessions counts sessions loaded warm (at boot
@@ -217,7 +226,7 @@ type StatsResponse struct {
 }
 
 // ClusterResponse is the GET /v1/cluster payload: the receiving node's
-// advertised URL and the full static membership. Clients build the
+// advertised URL and the full current membership. Clients build the
 // same consistent-hash ring from Peers and route session requests
 // straight to owners; a non-clustered server answers with empty Peers.
 type ClusterResponse struct {
@@ -229,6 +238,34 @@ type ClusterResponse struct {
 	// Proxy reports whether this node proxies non-owned requests
 	// instead of 307-redirecting them.
 	Proxy bool `json:"proxy,omitempty"`
+	// Epoch is the version of this membership. Every topology change
+	// (join, removal) bumps it; redirects and cluster responses carry it
+	// in the X-Cluster-Epoch header so clients detect a stale ring and
+	// refresh.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ClusterNodeRequest is the POST /v1/cluster/nodes payload: the
+// advertised URL of the node joining the ring. The receiving node
+// mints the next topology epoch, propagates it to every member
+// (including the joiner), and hands off the sessions the new ring
+// assigns elsewhere. DELETE /v1/cluster/nodes?url=… removes a node
+// the same way.
+type ClusterNodeRequest struct {
+	URL string `json:"url"`
+}
+
+// ClusterChangeResponse reports the outcome of a membership change
+// (or a received topology): the installed topology and how far it
+// propagated. Propagation is best-effort — unreached peers converge
+// when any member re-propagates or they rejoin.
+type ClusterChangeResponse struct {
+	Epoch uint64   `json:"epoch"`
+	Nodes []string `json:"nodes"`
+	// PeersNotified counts members the new topology was pushed to;
+	// PeersFailed counts members that could not be reached.
+	PeersNotified int `json:"peers_notified"`
+	PeersFailed   int `json:"peers_failed,omitempty"`
 }
 
 // ErrorResponse is the uniform error payload. Code, when present, is
@@ -362,6 +399,12 @@ type WatchRequest struct {
 	// not reading (default 16). A subscriber that falls further behind
 	// misses frames and recovers with a full_resync frame.
 	Buffer int `json:"buffer,omitempty"`
+	// ResumeFrom resumes a broken watch: the version of the last frame
+	// the subscriber applied. When the topic's diff buffer still covers
+	// that version the stream replays the missed frames and continues
+	// the chain gap-free (no snapshot frame); otherwise it starts with a
+	// full_resync. Zero (or absent) subscribes fresh with a snapshot.
+	ResumeFrom uint64 `json:"resume_from,omitempty"`
 }
 
 // WatchEvent is one NDJSON frame of a watch stream. Type is

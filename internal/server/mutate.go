@@ -40,6 +40,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -49,6 +50,46 @@ import (
 	"github.com/querycause/querycause/internal/qerr"
 	"github.com/querycause/querycause/internal/rel"
 )
+
+// idempotencyHeader keys mutation dedup: a client retrying a mutation
+// (after a timeout, a dropped connection, or a mid-handoff 503) sends
+// the same key and the session replays the stored response instead of
+// applying twice. Replayed responses carry replayHeader: true.
+const (
+	idempotencyHeader = "Idempotency-Key"
+	replayHeader      = "Idempotent-Replay"
+)
+
+// writeRawJSON writes a pre-marshaled JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeMoved answers a request against a session frozen for handoff:
+// its snapshot is in flight to the new owner and must stay the final
+// word, so the client retries (the redirect/refresh path lands it on
+// the new owner).
+func writeMoved(w http.ResponseWriter, id string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "session %s is migrating to its new owner; retry", id)
+}
+
+// idemReplay answers a keyed mutation retry from the dedup cache,
+// reporting whether it did. Caller holds dbMu (either side).
+func idemReplay(w http.ResponseWriter, sess *session, key string) bool {
+	if key == "" {
+		return false
+	}
+	body, ok := sess.idem[key]
+	if !ok {
+		return false
+	}
+	w.Header().Set(replayHeader, "true")
+	writeRawJSON(w, http.StatusOK, body)
+	return true
+}
 
 // invalidation counts the explanation state one mutation touched:
 // engines dropped cold, engines the delta layer patched in place,
@@ -247,9 +288,20 @@ func (s *Server) handleInsertTuples(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	idemKey := r.Header.Get(idempotencyHeader)
 	sess.dbMu.Lock()
+	if sess.moved.Load() {
+		sess.dbMu.Unlock()
+		writeMoved(w, sess.id)
+		return
+	}
+	if idemReplay(w, sess, idemKey) {
+		sess.dbMu.Unlock()
+		return
+	}
 	ids, inv, err := sess.applyInsert(req.Tuples)
 	version, live := sess.db.Version(), sess.db.NumLive()
+	var respBody []byte
 	if err == nil {
 		// Fan watch frames out while still holding the write lock, so
 		// every subscriber sees exactly one frame per mutation request, in
@@ -259,6 +311,22 @@ func (s *Server) handleInsertTuples(w http.ResponseWriter, r *http.Request) {
 			rels[t.Rel] = true
 		}
 		sess.watch.Fanout(version, rels)
+		out := make([]int, len(ids))
+		for i, id := range ids {
+			out[i] = int(id)
+		}
+		respBody, _ = json.Marshal(MutateResponse{
+			Database:           sess.id,
+			Version:            version,
+			Tuples:             live,
+			TupleIDs:           out,
+			EnginesInvalidated: inv.engines,
+			CertsInvalidated:   inv.certs,
+			EnginesPatched:     inv.patched,
+		})
+		if idemKey != "" {
+			sess.rememberIdem(idemKey, respBody)
+		}
 	}
 	sess.dbMu.Unlock()
 	if err != nil {
@@ -266,19 +334,7 @@ func (s *Server) handleInsertTuples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.finishMutation(sess, inv)
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = int(id)
-	}
-	writeJSON(w, http.StatusOK, MutateResponse{
-		Database:           sess.id,
-		Version:            version,
-		Tuples:             live,
-		TupleIDs:           out,
-		EnginesInvalidated: inv.engines,
-		CertsInvalidated:   inv.certs,
-		EnginesPatched:     inv.patched,
-	})
+	writeRawJSON(w, http.StatusOK, respBody)
 }
 
 // handleDeleteTuple serves DELETE /v1/databases/{db}/tuples/{id}.
@@ -299,15 +355,37 @@ func (s *Server) handleDeleteTuple(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid tuple id %q", r.PathValue("id"))
 		return
 	}
+	idemKey := r.Header.Get(idempotencyHeader)
 	var relName string
 	sess.dbMu.Lock()
+	if sess.moved.Load() {
+		sess.dbMu.Unlock()
+		writeMoved(w, sess.id)
+		return
+	}
+	if idemReplay(w, sess, idemKey) {
+		sess.dbMu.Unlock()
+		return
+	}
 	if sess.db.Live(rel.TupleID(id)) {
 		relName = sess.db.Tuple(rel.TupleID(id)).Rel
 	}
 	inv, derr := sess.applyDelete(rel.TupleID(id))
 	version, live := sess.db.Version(), sess.db.NumLive()
+	var respBody []byte
 	if derr == nil {
 		sess.watch.Fanout(version, map[string]bool{relName: true})
+		respBody, _ = json.Marshal(MutateResponse{
+			Database:           sess.id,
+			Version:            version,
+			Tuples:             live,
+			EnginesInvalidated: inv.engines,
+			CertsInvalidated:   inv.certs,
+			EnginesPatched:     inv.patched,
+		})
+		if idemKey != "" {
+			sess.rememberIdem(idemKey, respBody)
+		}
 	}
 	sess.dbMu.Unlock()
 	if derr != nil {
@@ -315,14 +393,7 @@ func (s *Server) handleDeleteTuple(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.finishMutation(sess, inv)
-	writeJSON(w, http.StatusOK, MutateResponse{
-		Database:           sess.id,
-		Version:            version,
-		Tuples:             live,
-		EnginesInvalidated: inv.engines,
-		CertsInvalidated:   inv.certs,
-		EnginesPatched:     inv.patched,
-	})
+	writeRawJSON(w, http.StatusOK, respBody)
 }
 
 // finishMutation bumps the mutation counters and schedules a snapshot

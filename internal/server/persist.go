@@ -32,6 +32,13 @@ func (s *session) snapshot() (*persist.Snapshot, error) {
 	snap := &persist.Snapshot{ID: s.id}
 	s.dbMu.RLock()
 	snap.SetDatabase(s.db)
+	// The dedup cache rides along under the same read lock, so the
+	// snapshot records a keyed mutation's dedup entry iff it records
+	// the mutation's effect — a retry against the restored (or handed-
+	// off) session replays instead of double-applying.
+	for _, key := range s.idemOrder {
+		snap.Idem = append(snap.Idem, persist.Idempotency{Key: key, Response: s.idem[key]})
+	}
 	s.dbMu.RUnlock()
 
 	s.mu.RLock()
@@ -102,8 +109,12 @@ func (r *registry) restore(snap *persist.Snapshot) (*session, error) {
 		watch:   NewWatchSet(),
 		noDelta: r.disableDelta,
 		byID:    make(map[string]*preparedQuery),
+		idem:    make(map[string][]byte),
 		certs:   cache.New[string, *certEntry](r.certCap, nil),
 		engines: cache.New[string, *core.Engine](r.engineCap, nil),
+	}
+	for _, rec := range snap.Idem {
+		s.rememberIdem(rec.Key, rec.Response)
 	}
 	s.prepared = cache.New[string, *preparedQuery](r.preparedCap, func(_ string, pq *preparedQuery) {
 		s.mu.Lock()

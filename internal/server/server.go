@@ -27,6 +27,9 @@
 //	POST   /v1/databases/{db}/tuples          insert tuples (delta-maintains cached state, fans out watch frames)
 //	DELETE /v1/databases/{db}/tuples/{id}     delete one tuple
 //	GET    /v1/stats                          cache hit rates, in-flight gauge, session counts
+//	GET    /v1/cluster                        membership + topology epoch
+//	POST   /v1/cluster/nodes                  join a node to the ring (propagates + rebalances)
+//	DELETE /v1/cluster/nodes?url=…            remove a node from the ring
 //	GET    /healthz
 //
 // Errors carry a machine-readable taxonomy code (internal/qerr) in
@@ -102,12 +105,15 @@ type Config struct {
 
 	// Self and Peers turn on cluster mode: Self is this node's
 	// advertised base URL (e.g. "http://10.0.0.5:8347") and Peers the
-	// full static membership (Self included; it is added if missing).
-	// The replicas form a consistent-hash ring over session IDs
-	// (internal/cluster); session IDs are minted to hash onto the
-	// creating node, and requests arriving at a non-owner are
-	// 307-redirected to the owner (or reverse-proxied, see
-	// ClusterProxy). Both empty (the default) means not clustered.
+	// initial membership (Self included; it is added if missing).
+	// Membership is dynamic after boot: POST/DELETE /v1/cluster/nodes
+	// mint a new topology epoch, propagate it, and hand sessions to
+	// their new owners (membership.go). The replicas form a
+	// consistent-hash ring over session IDs (internal/cluster); session
+	// IDs are minted to hash onto the creating node, and requests
+	// arriving at a non-owner are 307-redirected to the owner (or
+	// reverse-proxied, see ClusterProxy). Both empty (the default)
+	// means not clustered.
 	Self  string
 	Peers []string
 	// ClusterProxy makes non-owner nodes reverse-proxy requests to the
@@ -222,11 +228,21 @@ type Server struct {
 	watchesActive  atomic.Int64
 	diffEventsSent atomic.Uint64
 
-	// cluster is nil on non-clustered servers; see cluster.go.
+	// cluster is nil on non-clustered servers; see cluster.go and
+	// membership.go. topoChangedAt is the wall clock of the last
+	// topology change this node observed (unix nanos); sessionOf uses it
+	// to answer 503-retry instead of 404 for sessions that may be mid-
+	// handoff. The handoff counters track session transfers (out:
+	// shipped to a new owner; in: received; fails: transfer attempts
+	// that did not complete — the session stayed on the old owner).
 	cluster           *clusterState
 	clusterRedirected atomic.Uint64
 	clusterProxied    atomic.Uint64
 	sessionSheds      atomic.Uint64
+	topoChangedAt     atomic.Int64
+	handoffsOut       atomic.Uint64
+	handoffsIn        atomic.Uint64
+	handoffFails      atomic.Uint64
 
 	// store/wb are nil without Config.Persist; see persist.go.
 	store    *persist.Store
@@ -240,7 +256,9 @@ type Server struct {
 // New builds a server and starts its idle-session reaper (unless
 // disabled). With Config.Persist set it rehydrates every snapshot on
 // disk before returning, so the server is warm the moment it serves;
-// with Self+Peers it joins the static consistent-hash cluster. It
+// with Self+Peers it joins the consistent-hash cluster (initial
+// membership; the ring grows and shrinks at runtime via the
+// /v1/cluster/nodes admin endpoints). It
 // panics on malformed cluster config (an unparsable peer URL) — boot
 // validation, not a runtime condition.
 func New(cfg Config) *Server {
@@ -256,14 +274,16 @@ func New(cfg Config) *Server {
 	s.reg.disableDelta = cfg.DisableDelta
 	if cfg.Self != "" && len(cfg.Peers) > 0 {
 		nodes := append([]string(nil), cfg.Peers...)
-		ring := cluster.New(append(nodes, cfg.Self)) // ring dedups; Self is always a member
+		ring := cluster.NewVersioned(append(nodes, cfg.Self)) // ring dedups; Self is always a member
 		cs, err := newClusterState(cfg, ring)
 		if err != nil {
 			panic(err)
 		}
 		s.cluster = cs
 		// Mint session ids that hash onto this node, so the uploading
-		// client keeps talking to the owner with no redirects.
+		// client keeps talking to the owner with no redirects. The
+		// closure reads the live ring: after a membership change, new
+		// ids hash onto this node under the topology of the moment.
 		s.reg.owns = func(id string) bool { return ring.Owner(id) == cfg.Self }
 	}
 	if cfg.Persist != nil {
@@ -324,6 +344,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /v1/cluster/nodes", s.handleClusterJoin)
+	s.mux.HandleFunc("DELETE /v1/cluster/nodes", s.handleClusterRemove)
+	s.mux.HandleFunc("PUT /v1/cluster/topology", s.handleClusterTopology)
+	s.mux.HandleFunc("PUT /v1/cluster/sessions/{db}", s.handleSessionTransfer)
 	s.mux.HandleFunc("POST /v1/databases", s.handleCreateDB)
 	s.mux.HandleFunc("GET /v1/databases", s.handleListDBs)
 	s.mux.HandleFunc("DELETE /v1/databases/{db}", s.handleDeleteDB)
@@ -403,6 +427,12 @@ func (s *Server) trackInflight() func() {
 	return func() { s.inflight.Add(-1) }
 }
 
+// handoffGrace is how long after a topology change a missing session
+// answers 503-with-Retry-After instead of 404: the session may be in
+// flight between its old and new owner, and a 404 would make clients
+// report a durable failure for a transient condition.
+const handoffGrace = 5 * time.Second
+
 func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("db")
 	sess, ok := s.reg.get(id)
@@ -412,6 +442,13 @@ func (s *Server) sessionOf(w http.ResponseWriter, r *http.Request) (*session, bo
 		sess, ok = s.loadSession(id)
 	}
 	if !ok {
+		if s.cluster != nil {
+			if at := s.topoChangedAt.Load(); at != 0 && time.Since(time.Unix(0, at)) < handoffGrace {
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "session %q may be migrating after a topology change; retry", id)
+				return nil, false
+			}
+		}
 		writeErr(w, errSessionNotFound(id))
 		return nil, false
 	}
@@ -542,10 +579,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WatchBudget:      s.cfg.WatchBudget,
 	}
 	if s.cluster != nil {
+		topo := s.cluster.ring.Current()
 		resp.Node = s.cluster.self
-		resp.ClusterPeers = len(s.cluster.ring.Nodes())
+		resp.ClusterPeers = len(topo.Nodes)
+		resp.ClusterEpoch = topo.Epoch
 		resp.ClusterRedirected = s.clusterRedirected.Load()
 		resp.ClusterProxied = s.clusterProxied.Load()
+		resp.HandoffsOut = s.handoffsOut.Load()
+		resp.HandoffsIn = s.handoffsIn.Load()
+		resp.HandoffFails = s.handoffFails.Load()
 	}
 	if s.store != nil {
 		resp.PersistEnabled = true

@@ -66,9 +66,23 @@ type session struct {
 	// sheds above it, and the eviction paths refuse to drop a session
 	// with in-flight work.
 	inflight atomic.Int64
+	// moved marks a session frozen for handoff to another cluster node:
+	// mutation handlers answer 503 + Retry-After instead of applying
+	// (the snapshot in flight must stay the final word), reads may
+	// still serve. Set under dbMu's write lock so no mutation straddles
+	// the freeze.
+	moved atomic.Bool
 
 	// dbMu is the database mutation lock (see the type comment).
 	dbMu sync.RWMutex
+
+	// idem / idemOrder are the mutation dedup cache (Idempotency-Key →
+	// stored response body, FIFO-bounded by idemCacheSize). Guarded by
+	// dbMu: entries are written under the mutation's write lock, so a
+	// snapshot reading them under the read lock always sees a dedup
+	// record if and only if it sees the mutation's effect.
+	idem      map[string][]byte
+	idemOrder []string
 
 	// watch is the live-explanation subscription registry; mutation
 	// handlers fan frames out through it before releasing dbMu. noDelta
@@ -116,6 +130,26 @@ func (s *session) lookupQuery(id string) (*preparedQuery, bool) {
 		s.prepared.Get(pq.key)
 	}
 	return pq, ok
+}
+
+// idemCacheSize bounds the per-session mutation dedup cache: the
+// responses of the last 256 keyed mutations replay verbatim on retry.
+const idemCacheSize = 256
+
+// rememberIdem records a keyed mutation's response for replay on
+// retry, FIFO-evicting beyond idemCacheSize. Caller holds dbMu's write
+// lock (the same lock the mutation applied under, so dedup records and
+// their effects are atomic to snapshots).
+func (s *session) rememberIdem(key string, resp []byte) {
+	if _, dup := s.idem[key]; dup {
+		return
+	}
+	s.idem[key] = resp
+	s.idemOrder = append(s.idemOrder, key)
+	for len(s.idemOrder) > idemCacheSize {
+		delete(s.idem, s.idemOrder[0])
+		s.idemOrder = s.idemOrder[1:]
+	}
 }
 
 // endoFn is core.EndoFn on the session database: the exact rule the
@@ -343,6 +377,7 @@ func (r *registry) add(db *rel.Database) *session {
 		watch:   NewWatchSet(),
 		noDelta: r.disableDelta,
 		byID:    make(map[string]*preparedQuery),
+		idem:    make(map[string][]byte),
 		certs:   cache.New[string, *certEntry](r.certCap, nil),
 		engines: cache.New[string, *core.Engine](r.engineCap, nil),
 	}

@@ -46,6 +46,18 @@ type WatchSet struct {
 	hub    *watch.Hub[WatchEvent]
 }
 
+// watchReplayBuffer bounds each topic's ring of recent frames — the
+// diff buffer a resuming subscriber (resume_from) replays from. 64
+// frames cover 64 mutation requests of disconnection; older resumes
+// recover with a full_resync.
+const watchReplayBuffer = 64
+
+// maxRetainedTopics bounds the subscriber-less topics a session keeps
+// alive so a disconnected watcher can resume its diff chain instead of
+// paying a full_resync. Beyond the cap, a topic whose last subscriber
+// leaves is dropped immediately.
+const maxRetainedTopics = 32
+
 // watchTopic is the fanout state of one watched explanation.
 type watchTopic struct {
 	// mentions reports whether the watched query reads relName — the
@@ -64,6 +76,46 @@ type watchTopic struct {
 	version uint64
 	last    []ExplanationDTO
 	lastErr *ErrorResponse
+	// recent is the bounded ring of frames published since floor, oldest
+	// first; a subscriber resuming from a version >= floor replays the
+	// retained frames after it and rejoins the live chain gap-free.
+	recent []WatchEvent
+	floor  uint64
+}
+
+// remember appends a published frame to the replay ring, advancing the
+// resume floor as old frames age out.
+func (t *watchTopic) remember(ev WatchEvent) {
+	t.recent = append(t.recent, ev)
+	if len(t.recent) > watchReplayBuffer {
+		t.floor = t.recent[0].Version
+		t.recent = t.recent[1:]
+	}
+}
+
+// initialFrames selects a new subscriber's first frames. A fresh
+// subscription (resumeFrom 0) gets the current-state snapshot. A
+// resume whose version the diff buffer still covers gets the retained
+// frames after it — possibly none, when it is already current — and
+// rejoins the live chain with no client-visible break in the version
+// sequence. Anything else (resumed past the buffer, onto a fresh
+// topic at a different version, or from the future) gets a
+// full_resync.
+func (t *watchTopic) initialFrames(resumeFrom uint64) []WatchEvent {
+	switch {
+	case resumeFrom == 0:
+		return []WatchEvent{t.snapshot("snapshot")}
+	case t.lastErr == nil && resumeFrom >= t.floor && resumeFrom <= t.version:
+		var out []WatchEvent
+		for _, ev := range t.recent {
+			if ev.Version > resumeFrom {
+				out = append(out, ev)
+			}
+		}
+		return out
+	default:
+		return []WatchEvent{t.snapshot("full_resync")}
+	}
 }
 
 // NewWatchSet builds an empty subscription registry.
@@ -77,37 +129,64 @@ func (ws *WatchSet) Active() int64 { return ws.hub.Active() }
 // Subscribe registers a subscriber on key, creating the topic on first
 // use (which computes the initial ranking via rank — the only eager
 // work; a second subscriber reuses the topic's current state). It
-// returns the subscription and the snapshot frame to emit first. An
+// returns the subscription and the initial frames to emit first: a
+// snapshot for a fresh subscription, the retained diff frames after
+// resumeFrom for a resume the diff buffer still covers (possibly
+// none), or a single full_resync when the resume point is gone. An
 // error means the fresh topic's initial ranking failed; nothing was
 // registered.
-func (ws *WatchSet) Subscribe(key string, buffer int, version uint64, mentions func(string) bool, rank func() ([]ExplanationDTO, error)) (*watch.Sub[WatchEvent], WatchEvent, error) {
+func (ws *WatchSet) Subscribe(key string, buffer int, version uint64, resumeFrom uint64, mentions func(string) bool, rank func() ([]ExplanationDTO, error)) (*watch.Sub[WatchEvent], []WatchEvent, error) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
 	t, ok := ws.topics[key]
 	if !ok {
 		ranking, err := rank()
 		if err != nil {
-			return nil, WatchEvent{}, err
+			return nil, nil, err
 		}
-		t = &watchTopic{mentions: mentions, rank: rank, version: version, last: ranking}
+		t = &watchTopic{mentions: mentions, rank: rank, version: version, floor: version, last: ranking}
 		ws.topics[key] = t
 	}
 	t.refs++
 	sub := ws.hub.Subscribe(key, buffer)
-	return sub, t.snapshot("snapshot"), nil
+	return sub, t.initialFrames(resumeFrom), nil
 }
 
-// Unsubscribe closes sub and drops the topic when its last subscriber
-// leaves.
+// Unsubscribe closes sub. The topic survives its last subscriber
+// (bounded by maxRetainedTopics) so that subscriber can come back with
+// resume_from and replay the frames it missed instead of paying a
+// full re-rank.
 func (ws *WatchSet) Unsubscribe(key string, sub *watch.Sub[WatchEvent]) {
 	sub.Close()
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	if t, ok := ws.topics[key]; ok {
-		if t.refs--; t.refs <= 0 {
-			delete(ws.topics, key)
+	t, ok := ws.topics[key]
+	if !ok {
+		return
+	}
+	if t.refs--; t.refs > 0 {
+		return
+	}
+	retained := 0
+	for _, other := range ws.topics {
+		if other.refs <= 0 {
+			retained++
 		}
 	}
+	if retained > maxRetainedTopics {
+		delete(ws.topics, key)
+	}
+}
+
+// CloseAll ends every subscription and drops all topics. Session
+// handoff calls it on the old owner so watch handlers end their
+// streams and the clients reconnect — to the new owner — with
+// resume_from.
+func (ws *WatchSet) CloseAll() {
+	ws.mu.Lock()
+	ws.topics = make(map[string]*watchTopic)
+	ws.mu.Unlock()
+	ws.hub.CloseAll()
 }
 
 // snapshot renders the topic's current state as a full-state frame:
@@ -152,6 +231,14 @@ func (ws *WatchSet) Fanout(version uint64, rels map[string]bool) int {
 				break
 			}
 		}
+		if affected && t.refs <= 0 {
+			// A retained (subscriber-less) topic would need a re-rank here to
+			// stay resumable — explain-sized work inside the mutation's write
+			// lock, with nobody listening. Drop it instead; a later resume
+			// recovers with a full_resync.
+			delete(ws.topics, key)
+			continue
+		}
 		var ev WatchEvent
 		switch {
 		case !affected:
@@ -176,6 +263,7 @@ func (ws *WatchSet) Fanout(version uint64, rels map[string]bool) int {
 				ev = WatchEvent{Type: "diff", Version: version, CausesAdded: added, CausesRemoved: removed, RankChanged: changed}
 			}
 		}
+		t.remember(ev)
 		delivered += ws.hub.Publish(key, ev)
 	}
 	return delivered
@@ -367,7 +455,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errBudget("server at capacity: %v", actx.Err()))
 		return
 	}
-	sub, snap, serr := sess.watch.Subscribe(key, buffer, sess.db.Version(),
+	sub, initial, serr := sess.watch.Subscribe(key, buffer, sess.db.Version(), req.ResumeFrom,
 		func(relName string) bool { return queryMentions(q, relName) }, rank)
 	release()
 	sess.dbMu.RUnlock()
@@ -384,7 +472,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
-	lastVersion := snap.Version
+	lastVersion := req.ResumeFrom
 	emit := func(ev WatchEvent) bool {
 		// Per-frame write deadline: a wedged client is disconnected
 		// instead of pinning the handler forever. Transports without
@@ -399,8 +487,11 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		s.diffEventsSent.Add(1)
 		return true
 	}
-	if !emit(snap) {
-		return
+	for _, ev := range initial {
+		if !emit(ev) {
+			return
+		}
+		lastVersion = ev.Version
 	}
 	for {
 		select {

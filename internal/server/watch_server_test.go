@@ -432,3 +432,170 @@ func TestWatchBadRequests(t *testing.T) {
 		t.Fatalf("failed subscriptions leaked the gauge: %d", st.WatchesActive)
 	}
 }
+
+// TestWatchResumeReplaysMissedDiffs: a subscriber that disconnects,
+// misses mutations, and resubscribes with resume_from gets exactly the
+// retained diff frames it missed — no snapshot, no full_resync — and
+// the stream then continues live. A second subscriber stays on the
+// topic throughout, so even mutations affecting the watched query keep
+// the diff chain alive (a subscriber-less topic hit by an affected
+// mutation is dropped instead, and resumes pay a full_resync — that
+// contract is TestWatchResumeBeyondBufferResyncs). Replaying missed
+// plus live frames over the pre-disconnect state reconstructs the cold
+// ranking.
+func TestWatchResumeReplaysMissedDiffs(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, mutateDBText)
+	const q = "q(x) :- R(x,y), S(y)"
+	req := WatchRequest{Query: q, Answer: []string{"a4"}}
+
+	keeper := openWatch(t, ts.URL, info.ID, req) // keeps the topic live
+	keeper.next()
+	ws := openWatch(t, ts.URL, info.ID, req)
+	state := ApplyWatchEvent(nil, ws.next())
+	ins := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "R", Args: []string{"a4", "a2"}, Endo: true})
+	last := ws.next()
+	if last.Version != ins.Version {
+		t.Fatalf("live frame at version %d, want %d", last.Version, ins.Version)
+	}
+	state = ApplyWatchEvent(state, last)
+	ws.close()
+
+	// Missed while disconnected: two mutations, both touching watched
+	// relations, so the replayed frames carry real diffs.
+	missed1 := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "S", Args: []string{"w1"}, Endo: true})
+	missed2 := insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "R", Args: []string{"a4", "w1"}, Endo: true})
+
+	req.ResumeFrom = last.Version
+	ws2 := openWatch(t, ts.URL, info.ID, req)
+	for _, want := range []MutateResponse{missed1, missed2} {
+		ev := ws2.next()
+		if ev.Type != "diff" || ev.Version != want.Version {
+			t.Fatalf("replayed frame = type %q version %d; want diff at %d", ev.Type, ev.Version, want.Version)
+		}
+		state = ApplyWatchEvent(state, ev)
+	}
+	cold := explainWhySo(t, ts.URL, info.ID, q, "a4")
+	if rankingJSON(t, state) != rankingJSON(t, cold.Explanations) {
+		t.Fatalf("resumed replay %s != cold %s", rankingJSON(t, state), rankingJSON(t, cold.Explanations))
+	}
+
+	// The resumed stream is live, not just a replay: the next mutation
+	// arrives as an ordinary diff.
+	ins = insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "T", Args: []string{"zz"}, Endo: true})
+	if ev := ws2.next(); ev.Type != "diff" || ev.Version != ins.Version {
+		t.Fatalf("post-resume live frame = %+v; want empty diff at %d", ev, ins.Version)
+	}
+}
+
+// TestWatchResumeGapFree: resuming exactly at the topic's current
+// version replays nothing — the subscriber continues from where it
+// left off, and the next frame it sees is the next mutation's diff.
+func TestWatchResumeGapFree(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, mutateDBText)
+	const q = "q(x) :- R(x,y), S(y)"
+	req := WatchRequest{Query: q, Answer: []string{"a4"}}
+
+	ws := openWatch(t, ts.URL, info.ID, req)
+	snap := ws.next()
+	ws.close()
+
+	// A gap-free resume has zero initial frames, and the handler only
+	// flushes on frame writes — fire the mutation concurrently so the
+	// subscribe call unblocks on its diff. Whether the mutation lands
+	// before the resubscription (replayed) or after (delivered live),
+	// the first frame is the same diff.
+	done := make(chan MutateResponse, 1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		done <- insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "R", Args: []string{"a4", "a2"}, Endo: true})
+	}()
+	req.ResumeFrom = snap.Version
+	ws2 := openWatch(t, ts.URL, info.ID, req)
+	ev := ws2.next()
+	ins := <-done
+	if ev.Type != "diff" || ev.Version != ins.Version {
+		t.Fatalf("gap-free resume's first frame = type %q version %d; want diff at %d", ev.Type, ev.Version, ins.Version)
+	}
+}
+
+// TestWatchResumeBeyondBufferResyncs: a resume_from the diff buffer no
+// longer covers recovers with a single full_resync frame whose ranking
+// byte-equals the cold explain — and so does a resume onto a fresh
+// topic (created after the original owner's topic died, e.g. on the
+// new owner after a handoff) whose floor is above the resume point.
+func TestWatchResumeBeyondBufferResyncs(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, mutateDBText)
+	const q = "q(x) :- R(x,y), S(y)"
+	req := WatchRequest{Query: q, Answer: []string{"a4"}}
+
+	// Fresh-topic case first: no one has watched this key, the topic's
+	// floor is the current version, and a resume from version 1 (far in
+	// the past) cannot be a diff chain.
+	req.ResumeFrom = 1
+	ws := openWatch(t, ts.URL, info.ID, req)
+	ev := ws.next()
+	if ev.Type != "full_resync" {
+		t.Fatalf("fresh-topic stale resume frame = %q; want full_resync", ev.Type)
+	}
+	cold := explainWhySo(t, ts.URL, info.ID, q, "a4")
+	if rankingJSON(t, ev.Ranking) != rankingJSON(t, cold.Explanations) {
+		t.Fatalf("full_resync ranking %s != cold %s", rankingJSON(t, ev.Ranking), rankingJSON(t, cold.Explanations))
+	}
+	ws.close()
+
+	// Aged-out case: push more frames than the topic retains, then
+	// resume from before the retained window.
+	resumeAt := ev.Version
+	for i := 0; i < watchReplayBuffer+4; i++ {
+		insertTuples(t, ts.URL, info.ID, TupleSpec{Rel: "S", Args: []string{fmt.Sprintf("w%d", i)}, Endo: true})
+	}
+	req.ResumeFrom = resumeAt
+	ws2 := openWatch(t, ts.URL, info.ID, req)
+	ev = ws2.next()
+	if ev.Type != "full_resync" {
+		t.Fatalf("aged-out resume frame = %q; want full_resync", ev.Type)
+	}
+	cold = explainWhySo(t, ts.URL, info.ID, q, "a4")
+	if rankingJSON(t, ev.Ranking) != rankingJSON(t, cold.Explanations) {
+		t.Fatalf("aged-out full_resync %s != cold %s", rankingJSON(t, ev.Ranking), rankingJSON(t, cold.Explanations))
+	}
+}
+
+// TestWatchResumeOntoErroredTopic: resuming onto a topic wedged in an
+// error state gets the error frame up front (not a bogus diff chain),
+// and recovers with a full_resync once the instance is valid again.
+func TestWatchResumeOntoErroredTopic(t *testing.T) {
+	_, ts := newTest(t, Config{})
+	info := upload(t, ts, "+R(a)\n+S(a)\n")
+	const q = "q :- R(x), S(x)"
+	req := WatchRequest{Query: q, WhyNo: true}
+
+	ws := openWatch(t, ts.URL, info.ID, req)
+	snap := ws.next()
+	// Exogenous R(a), S(a) make q hold for real: the why-no instance is
+	// invalid and the topic enters its error state.
+	ins := insertTuples(t, ts.URL, info.ID,
+		TupleSpec{Rel: "R", Args: []string{"a"}},
+		TupleSpec{Rel: "S", Args: []string{"a"}})
+	if ev := ws.next(); ev.Type != "error" {
+		t.Fatalf("frame after invalidating mutation = %+v; want error", ev)
+	}
+	ws.close()
+
+	req.ResumeFrom = snap.Version
+	ws2 := openWatch(t, ts.URL, info.ID, req)
+	ev := ws2.next()
+	if ev.Type != "error" || ev.Error == nil {
+		t.Fatalf("resume onto errored topic = %+v; want error frame", ev)
+	}
+	// Deleting one exogenous tuple re-validates the instance; the
+	// resumed stream recovers like any live one.
+	deleteTuple(t, ts.URL, info.ID, ins.TupleIDs[0])
+	ev = ws2.next()
+	if ev.Type != "full_resync" || len(ev.Ranking) == 0 {
+		t.Fatalf("recovery frame = %+v; want non-empty full_resync", ev)
+	}
+}

@@ -102,6 +102,25 @@ func (h *Hub[E]) Sent() uint64 { return h.sent.Load() }
 // subscriber buffers.
 func (h *Hub[E]) Lagged() uint64 { return h.lagged.Load() }
 
+// CloseAll closes every live subscription on the hub. Session handoff
+// uses it to end the old owner's watch streams: consumers observe the
+// channel close, end their streams, and the clients reconnect to the
+// new owner and resume.
+func (h *Hub[E]) CloseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for topic, set := range h.topics {
+		for s := range set {
+			if !s.closed {
+				s.closed = true
+				close(s.ch)
+				h.active.Add(-1)
+			}
+		}
+		delete(h.topics, topic)
+	}
+}
+
 // C is the subscriber's event channel. It is closed by Close.
 func (s *Sub[E]) C() <-chan E { return s.ch }
 

@@ -70,9 +70,14 @@ type Session interface {
 	// is re-seeded with a full_resync instead of a broken diff chain.
 	// Invalid specs (nil query, invalid why-no instance) fail as the
 	// first iteration error; otherwise the sequence ends only with a
-	// non-nil error when ctx is canceled or the transport fails.
-	// The sequence is single-use; breaking out of the range
-	// unsubscribes.
+	// non-nil error when ctx is canceled or the transport fails for
+	// good. On the remote transport a broken stream reconnects with
+	// backoff and resumes from the last delivered version — replaying
+	// the missed diffs gap-free when the server still buffers them,
+	// re-seeding with a full_resync otherwise — so a watch survives
+	// node deaths and session handoffs; set spec.ResumeFrom to hand a
+	// replayed state across Watch calls yourself. The sequence is
+	// single-use; breaking out of the range unsubscribes.
 	Watch(ctx context.Context, spec WatchSpec, opts ...Option) iter.Seq2[DiffEvent, error]
 	// Close releases the session (and drops the server-side session on
 	// a Dial'ed one).
@@ -120,6 +125,15 @@ type WatchSpec struct {
 	// subscriber that falls more than Buffer frames behind has its
 	// backlog dropped and recovers with a full_resync frame.
 	Buffer int
+	// ResumeFrom resumes a broken watch: the version of the last frame
+	// the subscriber applied. When the topic's diff buffer still covers
+	// that version the stream replays the missed frames and continues
+	// the chain gap-free (no snapshot frame); otherwise it starts with
+	// a full_resync. Zero subscribes fresh with a snapshot. The remote
+	// transport sets it automatically when reconnecting a dropped watch
+	// stream; set it manually to hand a replayed state across Watch
+	// calls.
+	ResumeFrom uint64
 }
 
 // Open returns an in-process Session over db. While the session is in
@@ -344,7 +358,7 @@ func (s *localSession) Watch(ctx context.Context, spec WatchSpec, opts ...Option
 			return dtos, nil
 		}
 		s.dbMu.RLock()
-		sub, snap, err := s.watch.Subscribe(key, buffer, s.db.Version(), func(relName string) bool {
+		sub, initial, err := s.watch.Subscribe(key, buffer, s.db.Version(), spec.ResumeFrom, func(relName string) bool {
 			for _, a := range q.Atoms {
 				if a.Pred == relName {
 					return true
@@ -358,9 +372,12 @@ func (s *localSession) Watch(ctx context.Context, spec WatchSpec, opts ...Option
 			return
 		}
 		defer s.watch.Unsubscribe(key, sub)
-		lastVersion := snap.Version
-		if !yield(snap, nil) {
-			return
+		lastVersion := spec.ResumeFrom
+		for _, ev := range initial {
+			if !yield(ev, nil) {
+				return
+			}
+			lastVersion = ev.Version
 		}
 		for {
 			select {

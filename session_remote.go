@@ -31,8 +31,12 @@ import (
 // Against a clustered server (see cmd/querycaused -peers), Dial learns
 // the topology from GET /v1/cluster and routes client-side: it uploads
 // to the node the database's content hashes onto and pins the session
-// there, so no request of this Session is ever redirected or proxied.
-// Topology probe failures are not fatal — Dial falls back to baseURL.
+// there, so no request of this Session is redirected or proxied while
+// the topology holds. The peer list also arms failover: when the
+// pinned node stops answering (it was killed, or the session moved in
+// a handoff after a membership change), requests rotate to a peer and
+// follow its epoch-stamped redirect to the new owner. Topology probe
+// failures are not fatal — Dial falls back to baseURL.
 func Dial(ctx context.Context, baseURL string, db *Database, opts ...Option) (Session, error) {
 	if db == nil {
 		return nil, qerr.Tag(qerr.ErrBadInstance, fmt.Errorf("querycause: Dial: nil database"))
@@ -46,9 +50,10 @@ func Dial(ctx context.Context, baseURL string, db *Database, opts ...Option) (Se
 	dctx, cancel := cfg.withTimeout(ctx)
 	defer cancel()
 	if topo, err := c.Cluster(dctx); err == nil && len(topo.Peers) >= 2 {
-		if owner := cluster.New(topo.Peers).Owner(text); owner != "" && owner != c.base {
+		if owner := cluster.New(topo.Peers).Owner(text); owner != "" && owner != c.Base() {
 			c = NewClient(owner, cfg.httpClient).SetRetries(cfg.retries)
 		}
+		c.SetFallbacks(topo.Peers)
 	}
 	info, err := c.UploadDatabase(dctx, text)
 	if err != nil {
@@ -219,7 +224,9 @@ func (s *remoteSession) Delete(ctx context.Context, id TupleID) error {
 // Watch on the remote transport is Client.WatchStream against the
 // session: the server's WatchSet performs the fanout (diff chains,
 // error frames, lag recovery), so the frame sequence is byte-identical
-// to the in-process transport's.
+// to the in-process transport's. WatchStream reconnects on transport
+// failures and resumes from the last delivered version, so one Watch
+// range survives node restarts and session handoffs.
 func (s *remoteSession) Watch(ctx context.Context, spec WatchSpec, opts ...Option) iter.Seq2[DiffEvent, error] {
 	cfg := s.cfg.apply(opts)
 	return func(yield func(DiffEvent, error) bool) {
@@ -234,11 +241,12 @@ func (s *remoteSession) Watch(ctx context.Context, spec WatchSpec, opts ...Optio
 		ctx, cancel := cfg.withTimeout(ctx)
 		defer cancel()
 		for ev, err := range s.c.WatchStream(ctx, s.dbID, WatchRequest{
-			Query:  spec.Query.String(),
-			Answer: valueStrings(spec.Answer),
-			WhyNo:  spec.WhyNo,
-			Mode:   cfg.mode.String(),
-			Buffer: spec.Buffer,
+			Query:      spec.Query.String(),
+			Answer:     valueStrings(spec.Answer),
+			WhyNo:      spec.WhyNo,
+			Mode:       cfg.mode.String(),
+			Buffer:     spec.Buffer,
+			ResumeFrom: spec.ResumeFrom,
 		}) {
 			if !yield(ev, err) {
 				return
